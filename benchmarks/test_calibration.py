@@ -1,0 +1,24 @@
+"""Model-calibration report (validation, not a paper figure).
+
+Regenerates the primitive-latency/bandwidth measurements that anchor the
+timing model to its Table III configuration — the first thing a reviewer
+of a simulator asks for.
+"""
+
+from repro.harness.calibration import calibration_report
+from repro.harness.report import format_series
+
+from conftest import record, run_once
+
+
+def test_calibration_report(benchmark):
+    out = run_once(benchmark, calibration_report)
+    record("calibration", format_series(
+        out, title="Model calibration: measured vs configured primitives"))
+
+    assert abs(out["l1_latency_cycles"] - out["l1_configured"]) < 0.5
+    assert out["dram_latency_cycles"] > out["dram_configured"]
+    assert out["dram_latency_cycles"] < out["dram_configured"] * 1.6
+    # The in-order core leaves the channel mostly idle (Fig 18's premise).
+    assert out["bandwidth_gibps"] < out["bandwidth_configured"] * 0.5
+    assert 2.0 < out["issue_width"] <= 3.0

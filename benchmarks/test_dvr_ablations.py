@@ -1,0 +1,65 @@
+"""Section VI-D: the DVR-comparison ablations.
+
+Three quantitative claims from the paper's DVR discussion:
+
+* register recycling — with DVR's no-steal policy and 2 speculative
+  registers, SVR-16 drops from 3.2x to 1.9x; SVR's LRU recycling keeps
+  most of the speedup even at K=2;
+* waiting mode — without it, lockstep re-triggering repeats almost every
+  lane: SVR-16 falls to ~1.14x and SVR-64 *slows down* (0.56x);
+* lockstep register-copy cost — charging a register-file copy at every
+  PRM entry costs only a few percent (3.21x -> 3.16x).
+"""
+
+from repro.harness import experiments
+from repro.harness.report import format_series
+
+from conftest import record, run_once
+
+WORKLOADS = ("PR_KR", "BFS_KR", "Camel", "Kangr", "Randacc", "HJ2")
+
+
+def test_register_recycling(benchmark):
+    out = run_once(benchmark, experiments.dvr_recycling,
+                   workloads=WORKLOADS, scale="bench")
+    record("ablation_recycling", format_series(
+        out, title="Sec VI-D: SRF recycling policy (h-mean speedup)"))
+
+    # DVR's policy with 2 registers loses a clear share of the speedup
+    # (paper: 3.2x -> 1.9x; our chains are shallower — randacc/Kangaroo
+    # need only two live registers — so the measured drop is milder, see
+    # EXPERIMENTS.md).
+    assert out["svr16-dvr-k2"] < 0.88 * out["svr16-lru-k8"]
+    assert out["svr64-dvr-k2"] < 0.88 * out["svr64-lru-k8"]
+    # SVR's LRU recycling needs only 2 registers to stay close to peak.
+    assert out["svr16-lru-k2"] > 0.85 * out["svr16-lru-k8"]
+
+
+def test_waiting_mode(benchmark):
+    out = run_once(benchmark, experiments.dvr_waiting_mode,
+                   workloads=WORKLOADS, scale="bench")
+    record("ablation_waiting", format_series(
+        out, title="Sec VI-D: waiting mode on/off (h-mean speedup)"))
+
+    # Without waiting mode the redundant re-execution devours the benefit;
+    # the longer the vector, the worse it gets (paper: SVR-16 falls to
+    # 1.14x, SVR-64 to 0.56x — a slowdown, which we reproduce).
+    assert out["svr16-no-waiting"] < 0.75 * out["svr16"]
+    assert out["svr64-no-waiting"] < out["svr16-no-waiting"] * 1.05
+    assert out["svr64-no-waiting"] < 1.0      # net slowdown at SVR-64
+
+
+def test_register_copy_cost(benchmark):
+    out = run_once(benchmark, experiments.register_copy_cost,
+                   workloads=WORKLOADS, scale="bench", cost_cycles=16.0)
+    record("ablation_regcopy", format_series(
+        out, title="Sec VI-D: lockstep register-copy cost (h-mean speedup)"))
+
+    # A small but visible cost: a few percent, not a collapse.
+    assert out["svr16-regcopy"] < out["svr16"]
+    assert out["svr16-regcopy"] > 0.85 * out["svr16"]
+    # A free second context (DVR-style decoupling) buys only a little:
+    # runahead is memory-bound, so sharing issue slots is nearly free —
+    # the paper's justification for lockstep coupling.
+    assert out["svr16-decoupled"] >= out["svr16"] * 0.98
+    assert out["svr16-decoupled"] < out["svr16"] * 1.25

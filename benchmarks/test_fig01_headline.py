@@ -1,0 +1,33 @@
+"""Fig 1: headline harmonic-mean speedup and normalised energy.
+
+Regenerates the two panels of Fig 1 — normalised IPC and whole-system
+energy for InO, IMP, OoO and SVR-8..128 — over a representative slice of
+the 33-workload suite (pass the full list for the complete figure).
+"""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+WORKLOADS = ("PR_KR", "BFS_KR", "CC_UR", "SSSP_UR", "Camel", "Kangr",
+             "Randacc", "HJ2")
+TECHNIQUES = ("inorder", "imp", "ooo", "svr8", "svr16", "svr32", "svr64",
+              "svr128")
+
+
+def test_fig1_headline(benchmark):
+    out = run_once(benchmark, experiments.fig1, workloads=WORKLOADS,
+                   scale="bench", techniques=TECHNIQUES)
+    record("fig01_headline", format_table(
+        out, title="Fig 1: harmonic-mean normalised IPC and energy "
+                   "(in-order = 1.0)"))
+
+    # Paper shapes: SVR-16 well above the in-order core and above the OoO
+    # core; energy roughly halved; longer vectors help further.
+    assert out["svr16"]["norm_ipc"] > 2.0
+    assert out["svr16"]["norm_ipc"] > out["ooo"]["norm_ipc"]
+    assert out["svr16"]["norm_ipc"] > out["imp"]["norm_ipc"]
+    assert out["svr64"]["norm_ipc"] > out["svr8"]["norm_ipc"]
+    assert out["svr16"]["norm_energy"] < 0.7
+    assert out["svr16"]["norm_energy"] < out["ooo"]["norm_energy"]

@@ -1,0 +1,31 @@
+"""Fig 3: CPI stacks of in-order vs out-of-order on the irregular suite.
+
+The motivating figure: the in-order core spends a multiple of the OoO
+core's cycles waiting on DRAM.
+"""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+
+def test_fig3_cpi_stacks(benchmark):
+    out = run_once(benchmark, experiments.fig3, scale="bench", per_group=2)
+
+    rows = {}
+    for group, cores in out.items():
+        for core_name, stack in cores.items():
+            rows[f"{group}/{core_name}"] = stack
+    record("fig03_cpi_stacks", format_table(
+        rows, title="Fig 3: CPI stacks (in-order vs OoO)"))
+
+    ino = out["Avg"]["inorder"]
+    ooo = out["Avg"]["ooo"]
+    ino_cpi = sum(ino.values())
+    ooo_cpi = sum(ooo.values())
+    # Paper: in-order CPI is a multiple of OoO's, driven by DRAM stalls
+    # (2.5x more DRAM-wait cycles).
+    assert ino_cpi > 1.8 * ooo_cpi
+    assert ino["mem-dram"] > 1.8 * ooo["mem-dram"]
+    assert ino["mem-dram"] > 0.5 * ino_cpi

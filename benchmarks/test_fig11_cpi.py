@@ -1,0 +1,32 @@
+"""Fig 11: per-workload CPI for all eight techniques (lower is better)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+WORKLOADS = ("BC_UR", "BFS_KR", "BFS_UR", "CC_UR", "PR_KR", "SSSP_UR",
+             "Camel", "G500", "HJ2", "HJ8", "Kangr", "NAS-CG", "NAS-IS",
+             "Randacc")
+TECHNIQUES = ("inorder", "imp", "ooo", "svr8", "svr16", "svr32", "svr64",
+              "svr128")
+
+
+def test_fig11_cpi(benchmark):
+    out = run_once(benchmark, experiments.fig11, workloads=WORKLOADS,
+                   scale="bench", techniques=TECHNIQUES)
+    record("fig11_cpi", format_table(
+        out, title="Fig 11: cycles per instruction (lower is better)"))
+
+    for workload, row in out.items():
+        # SVR-16 beats the in-order baseline everywhere (even HJ8 is
+        # merely ~flat, never worse).
+        assert row["svr16"] <= row["inorder"] * 1.02, workload
+    # The paper's per-workload calls:
+    assert out["HJ8"]["svr16"] > 0.8 * out["HJ8"]["inorder"]   # ~no speedup
+    for w in ("HJ2", "HJ8", "Kangr", "Randacc"):               # IMP fails
+        assert out[w]["imp"] > 0.9 * out[w]["inorder"], w
+    for w in ("PR_KR", "NAS-IS"):                              # IMP wins
+        assert out[w]["imp"] < out[w]["svr16"], w
+    # Longer vectors keep helping on the memory-bound kernels.
+    assert out["Camel"]["svr128"] < out["Camel"]["svr8"]

@@ -1,0 +1,51 @@
+"""Fig 13: prefetch accuracy (a) and DRAM-traffic coverage (b)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+GROUPS = {
+    "BFS": ("BFS_KR", "BFS_UR"),
+    "CC": ("CC_UR",),
+    "PR": ("PR_KR",),
+    "SSSP": ("SSSP_UR",),
+    "HPC-DB": ("Camel", "NAS-IS"),
+}
+
+
+def test_fig13a_accuracy(benchmark):
+    out = run_once(benchmark, experiments.fig13a, groups=GROUPS,
+                   scale="bench", per_group=2)
+    record("fig13a_accuracy", format_table(
+        out, title="Fig 13a: prefetch accuracy (fraction of prefetched "
+                   "lines used before LLC eviction)"))
+
+    for group, row in out.items():
+        for tech, acc in row.items():
+            assert 0.0 <= acc <= 1.0, (group, tech)
+    # Paper: throttled SVR is extremely accurate; unthrottled (Maxlength)
+    # SVR-64 over-fetches more than SVR-16.
+    svr16 = [row["svr16"] for row in out.values()]
+    assert sum(svr16) / len(svr16) > 0.8
+    maxlen64 = [row["svr64-maxlength"] for row in out.values()]
+    throttled64 = [row["svr64"] for row in out.values()]
+    assert sum(throttled64) >= sum(maxlen64) - 0.05 * len(out)
+    # All techniques accurate on PR (outer loop proceeds in strict
+    # sequence, Section VI-C).
+    assert min(out["PR"].values()) > 0.75
+
+
+def test_fig13b_coverage(benchmark):
+    out = run_once(benchmark, experiments.fig13b, groups=GROUPS,
+                   scale="bench", per_group=2)
+    record("fig13b_coverage", format_table(
+        out, title="Fig 13b: DRAM traffic, normalised to in-order demand "
+                   "(demand/prefetch per technique)"))
+
+    for group, row in out.items():
+        assert row["inorder.total"] == 1.0
+        # With SVR most former demand misses become prefetches.
+        assert row["svr16.prefetch"] > row["svr16.demand"] * 0.5, group
+        # Nothing explodes the traffic by more than ~40%.
+        assert row["svr16.total"] < 1.4, group

@@ -1,0 +1,24 @@
+"""Fig 14: SPECrate 2017 surrogates — SVR must not hurt regular code."""
+
+from repro.harness import experiments
+from repro.harness.report import format_series
+from repro.workloads.registry import SPEC_WORKLOADS
+
+from conftest import record, run_once
+
+
+def test_fig14_spec_overhead(benchmark):
+    out = run_once(benchmark, experiments.fig14,
+                   workloads=SPEC_WORKLOADS, scale="bench")
+    record("fig14_spec", format_series(
+        out, title="Fig 14: SVR-16 IPC normalised to in-order "
+                   "(1.0 = no overhead)"))
+
+    hmean = out.pop("H-mean")
+    # Paper: ~1% average overhead, worst case (wrf) ~-3%.
+    assert hmean > 0.93
+    assert hmean < 1.10
+    assert min(out.values()) > 0.85
+    # Most components essentially unaffected.
+    unaffected = sum(1 for v in out.values() if v > 0.97)
+    assert unaffected >= len(out) * 0.6

@@ -1,0 +1,35 @@
+"""Fig 15: the six loop-bound prediction policies at SVR-16 and SVR-64."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+
+def test_fig15_policies_svr16(benchmark):
+    out = run_once(benchmark, experiments.fig15, length=16, scale="bench")
+    record("fig15a_loop_bound_svr16", format_table(
+        out, title="Fig 15a: normalised IPC per loop-bound policy (SVR-16)"))
+    _check_shapes(out, length=16)
+
+
+def test_fig15_policies_svr64(benchmark):
+    out = run_once(benchmark, experiments.fig15, length=64, scale="bench")
+    record("fig15b_loop_bound_svr64", format_table(
+        out, title="Fig 15b: normalised IPC per loop-bound policy (SVR-64)"))
+    _check_shapes(out, length=64)
+
+
+def _check_shapes(out, length):
+    hmeans = {policy: row["H-mean"] for policy, row in out.items()}
+    # Every policy still beats the in-order baseline overall.
+    assert min(hmeans.values()) > 1.0
+    # DVR-style LBD+Wait is the weakest approach on an in-order core: the
+    # bound arrives behind high-latency loads (Section VI-D).
+    assert hmeans["lbd+wait"] <= min(hmeans["tournament"],
+                                     hmeans["lbd+cv"]) + 0.05
+    # The tournament is competitive with the best single policy.
+    best = max(hmeans.values())
+    assert hmeans["tournament"] > 0.85 * best
+    # CV scavenging must not be worse than waiting for the branch.
+    assert hmeans["lbd+cv"] >= hmeans["lbd+wait"] - 0.05

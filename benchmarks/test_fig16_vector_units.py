@@ -1,0 +1,28 @@
+"""Fig 16: scalars per vector unit — performance should be flat.
+
+The paper's point: because runahead execution is memory-bound, packing
+1, 2, 4 or 8 lanes through an execute slot changes essentially nothing,
+so scalar execution (no vector units at all) is sufficient.
+"""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+WORKLOADS = ("PR_KR", "Camel", "Kangr")
+
+
+def test_fig16_scalars_per_unit(benchmark):
+    out = run_once(benchmark, experiments.fig16, workloads=WORKLOADS,
+                   scale="bench", widths=(1, 2, 4, 8), lengths=(16, 64))
+    rows = {cfg: {str(w): v for w, v in series.items()}
+            for cfg, series in out.items()}
+    record("fig16_vector_units", format_table(
+        rows, title="Fig 16: speedup vs lanes-per-execute-slot "
+                    "(flat = scalar execution suffices)"))
+
+    for cfg, series in out.items():
+        values = list(series.values())
+        spread = (max(values) - min(values)) / max(values)
+        assert spread < 0.12, (cfg, series)   # near-identical, as in Fig 16

@@ -1,0 +1,32 @@
+"""Fig 17: sensitivity to MSHR count and page-table walkers."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+
+def test_fig17_mshr_ptw(benchmark):
+    out = run_once(benchmark, experiments.fig17,
+                   workloads=("PR_KR", "Randacc", "Camel"), scale="bench",
+                   mshrs=(1, 2, 4, 8, 16, 32), ptws=(2, 4), lengths=(16, 64))
+    rows = {cfg: {str(m): v for m, v in series.items()}
+            for cfg, series in out.items()}
+    record("fig17_mshr_ptw", format_table(
+        rows, title="Fig 17: SVR speedup vs in-order (same MSHR/PTW "
+                    "config)"))
+
+    for length in (16, 64):
+        series = out[f"svr{length}-ptw4"]
+        # Even one MSHR still speeds up the system...
+        assert series[1] > 1.0
+        # ...but more MSHRs unlock the MLP, saturating toward the top end.
+        assert series[16] > series[1] * 1.3
+        gain_low = series[8] / series[1]
+        gain_high = series[32] / series[16]
+        assert gain_low > gain_high        # diminishing returns
+    # SVR-64 keeps benefiting from MSHRs longer than SVR-16 (it can
+    # overlap more misses).
+    r16 = out["svr16-ptw4"][32] / out["svr16-ptw4"][8]
+    r64 = out["svr64-ptw4"][32] / out["svr64-ptw4"][8]
+    assert r64 >= r16 * 0.95

@@ -1,0 +1,30 @@
+"""Fig 18: memory-bandwidth sensitivity (12.5 to 100 GiB/s)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+
+def test_fig18_bandwidth(benchmark):
+    out = run_once(benchmark, experiments.fig18,
+                   workloads=("PR_KR", "Camel", "Kangr"), scale="bench",
+                   bandwidths=(12.5, 25.0, 50.0, 100.0), lengths=(16, 64))
+    rows = {cfg: {str(bw): v for bw, v in series.items()}
+            for cfg, series in out.items()}
+    record("fig18_bandwidth", format_table(
+        rows, title="Fig 18: SVR speedup vs in-order at the same DRAM "
+                    "bandwidth"))
+
+    for length in (16, 64):
+        series = out[f"svr{length}"]
+        # Speedup grows with bandwidth but saturates (SVR does not fully
+        # saturate the memory system on one core).
+        assert series[100.0] >= series[12.5]
+        low_gain = series[25.0] / series[12.5]
+        high_gain = series[100.0] / series[50.0]
+        assert low_gain >= high_gain - 0.05
+    # SVR-64 generates more requests, so it benefits more from bandwidth.
+    gain64 = out["svr64"][100.0] / out["svr64"][12.5]
+    gain16 = out["svr16"][100.0] / out["svr16"][12.5]
+    assert gain64 >= gain16 * 0.95

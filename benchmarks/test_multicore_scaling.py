@@ -1,0 +1,35 @@
+"""Section VI-E (future work): multicore SVR bandwidth-sharing study.
+
+Fig 18 shows a single SVR core leaves DRAM bandwidth on the table; the
+paper concludes multicore SVR "would give significant benefit".  This
+benchmark runs 1/2/4 rate-mode copies of a memory-bound kernel per core
+over a shared channel and checks that aggregate throughput scales.
+"""
+
+from repro.harness.multicore import run_multicore, scaling_study
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+
+def test_multicore_scaling(benchmark):
+    out = run_once(benchmark, scaling_study, "Camel",
+                   techniques=("inorder", "svr16"), core_counts=(1, 2, 4),
+                   scale="bench", measure=10_000)
+    rows = {tech: {str(c): v for c, v in series.items()}
+            for tech, series in out.items()}
+    record("multicore_scaling", format_table(
+        rows, title="Sec VI-E: aggregate IPC, N cores sharing one DRAM "
+                    "channel (rate mode)"))
+
+    # Throughput scales with cores for both, and SVR's advantage holds.
+    for tech, series in out.items():
+        assert series[4] > 2.5 * series[1], tech
+    assert out["svr16"][4] > 2.0 * out["inorder"][4]
+
+    # SVR pushes the shared channel much harder than the baseline.
+    base = run_multicore(["Camel"] * 4, "inorder", scale="bench",
+                         measure=6_000)
+    svr = run_multicore(["Camel"] * 4, "svr16", scale="bench",
+                        measure=6_000)
+    assert svr.dram_utilisation > 1.5 * base.dram_utilisation

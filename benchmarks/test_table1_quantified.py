@@ -1,0 +1,32 @@
+"""Table I, quantified (extension): VR on the big core vs SVR on the
+little core.
+
+The paper compares VR/DVR/SVR only qualitatively (Table I).  With our VR
+model on the OoO core (`repro.svr.vr`), the trade-off the paper argues
+from becomes measurable: big-core runahead is the fastest option, but
+SVR's little core delivers most of the speed at a fraction of the energy.
+"""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+from conftest import record, run_once
+
+WORKLOADS = ("PR_KR", "Camel", "Kangr", "Randacc", "HJ2")
+
+
+def test_table1_quantified(benchmark):
+    out = run_once(benchmark, experiments.table1_quantified,
+                   workloads=WORKLOADS, scale="bench")
+    record("table1_quantified", format_table(
+        out, title="Table I quantified: speedup vs in-order and mean "
+                   "energy (nJ/instr)"))
+
+    # VR turbocharges the OoO core...
+    assert out["vr64"]["norm_ipc"] > 1.3 * out["ooo"]["norm_ipc"]
+    # ...and is the fastest configuration overall...
+    assert out["vr64"]["norm_ipc"] >= out["svr16"]["norm_ipc"]
+    # ...but SVR's little core wins whole-system energy.
+    assert out["svr16"]["nj_per_instr"] < out["vr64"]["nj_per_instr"]
+    assert out["svr16"]["nj_per_instr"] < out["ooo"]["nj_per_instr"]
+    assert out["svr16"]["nj_per_instr"] < out["inorder"]["nj_per_instr"]

@@ -1,0 +1,20 @@
+"""Table II: hardware-overhead budget across vector lengths."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+from repro.svr.overhead import overhead_bits, overhead_kib
+
+from conftest import record, run_once
+
+
+def test_table2_overhead(benchmark):
+    out = run_once(benchmark, experiments.table2,
+                   lengths=(8, 16, 32, 64, 128))
+    record("table2_overhead", format_table(
+        out, title="Table II: SVR state vs vector length"))
+
+    # The paper's exact numbers.
+    assert overhead_bits(16, 8) == 17738
+    assert abs(overhead_kib(16, 8) - 2.17) < 0.01
+    assert 8.0 < out["svr128"]["kib"] < 10.0
+    assert out["svr16"]["kib"] < 2.5

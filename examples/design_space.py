@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Design-space exploration: SVR's area/performance trade-off.
+
+Sweeps the two dimensions a hardware architect would size:
+
+* vector length N (8..128) — the dominant MLP/area knob (Fig 1, Table II);
+* speculative-register-file entries K — the recycling pressure knob
+  (Section VI-D: SVR needs only 2, DVR's policy needs 8).
+
+For each point it reports speedup over the in-order baseline and the exact
+SRAM budget from the Table II calculator, ending with the
+"performance per KiB" view the paper's abstract argues from.
+
+Usage::
+
+    python examples/design_space.py [workload] [scale]
+"""
+
+import sys
+
+from repro import harmonic_mean, overhead_kib, run, technique
+from repro.svr.config import RecyclingPolicy
+
+WORKLOADS = ("PR_KR", "Camel", "Kangr")
+
+
+def sweep_vector_length(workloads, scale):
+    print("Vector length sweep (K = 8 SRF entries)")
+    print(f"{'config':<8} {'state KiB':>10} {'speedup':>8} {'per KiB':>8}")
+    for n in (8, 16, 32, 64, 128):
+        speedups = []
+        for w in workloads:
+            base = run(w, technique("inorder"), scale=scale)
+            svr = run(w, technique(f"svr{n}"), scale=scale)
+            speedups.append(svr.ipc / base.ipc)
+        mean = harmonic_mean(speedups)
+        kib = overhead_kib(n, 8)
+        print(f"svr{n:<5} {kib:10.2f} {mean:7.2f}x {mean / kib:8.2f}")
+
+
+def sweep_srf_entries(workloads, scale):
+    print("\nSRF sizing (N = 16), LRU recycling vs DVR renaming")
+    print(f"{'K':>3} {'LRU speedup':>12} {'DVR speedup':>12}")
+    for k in (1, 2, 4, 8):
+        row = []
+        for policy in (RecyclingPolicy.LRU, RecyclingPolicy.DVR):
+            speedups = []
+            for w in workloads:
+                base = run(w, technique("inorder"), scale=scale)
+                svr = run(w, technique("svr16", srf_entries=k,
+                                       recycling=policy), scale=scale)
+                speedups.append(svr.ipc / base.ipc)
+            row.append(harmonic_mean(speedups))
+        print(f"{k:>3} {row[0]:11.2f}x {row[1]:11.2f}x")
+    print("(paper: SVR reaches peak at K=2; DVR's policy needs K=8)")
+
+
+def main() -> None:
+    workloads = (sys.argv[1].split(",") if len(sys.argv) > 1 else WORKLOADS)
+    scale = sys.argv[2] if len(sys.argv) > 2 else "bench"
+    sweep_vector_length(workloads, scale)
+    sweep_srf_entries(workloads, scale)
+
+
+if __name__ == "__main__":
+    main()

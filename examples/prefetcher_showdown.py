@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Prefetcher showdown: why in-core runahead beats an L1 prefetcher.
+
+Runs IMP and SVR-16 over access patterns of increasing hostility and shows
+where each one breaks (Section VI-A / Fig 13 of the paper):
+
+* ``NAS-IS``  — linear stride-indirect: IMP's home turf (it can overlap
+  prefetching with compute; SVR cannot);
+* ``Camel``   — two-level indirection: IMP covers one hop, SVR the chain;
+* ``Kangr``   — hashed index: IMP learns nothing, SVR taints through the
+  hash arithmetic;
+* ``Randacc`` — masked index over an 8 MiB table: same, plus TLB pressure;
+* ``HJ8``     — data-dependent bucket scans: divergence masks SVR's lanes
+  too, leaving both with little (the paper's honest failure case).
+
+Usage::
+
+    python examples/prefetcher_showdown.py [scale]
+"""
+
+import sys
+
+from repro import run, technique
+
+CASES = (
+    ("NAS-IS", "linear stride-indirect"),
+    ("Camel", "two-level indirection"),
+    ("Kangr", "hashed histogram index"),
+    ("Randacc", "masked random access"),
+    ("HJ8", "divergent bucket scans"),
+)
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "bench"
+    header = (f"{'workload':<9} {'pattern':<24} {'IMP speedup':>11} "
+              f"{'SVR speedup':>11} {'IMP acc':>8} {'SVR acc':>8}")
+    print(header)
+    print("-" * len(header))
+    for name, pattern in CASES:
+        base = run(name, technique("inorder"), scale=scale)
+        imp = run(name, technique("imp"), scale=scale)
+        svr = run(name, technique("svr16"), scale=scale)
+        imp_acc = imp.hierarchy.accuracy("imp")
+        print(f"{name:<9} {pattern:<24} "
+              f"{imp.ipc / base.ipc:10.2f}x {svr.ipc / base.ipc:10.2f}x "
+              f"{imp_acc:8.1%} {svr.svr_accuracy:8.1%}")
+    print("\nIMP only helps when the indirect address is a linear function "
+          "of a striding load's value;\nSVR executes the real dependent "
+          "chain, so arbitrary arithmetic between load and use is fine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one graph workload on four core configurations.
+
+Runs PageRank over a Kronecker graph (the paper's motivating workload,
+Listing 1) on the in-order baseline, the IMP prefetcher, the out-of-order
+core and SVR-16, then prints CPI, speedup, energy and prefetch statistics.
+
+Usage::
+
+    python examples/quickstart.py [workload] [scale]
+
+    workload  any registry name (default PR_KR) — try BFS_UR, Camel, HJ2
+    scale     tiny | bench | default (default bench)
+"""
+
+import sys
+
+from repro import run, technique
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "PR_KR"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "bench"
+
+    print(f"Simulating {workload} at '{scale}' scale")
+    print(f"{'technique':<10} {'CPI':>7} {'speedup':>8} {'nJ/instr':>9} "
+          f"{'DRAM lines':>11} {'pf accuracy':>12}")
+
+    baseline_ipc = None
+    for name in ("inorder", "imp", "ooo", "svr16"):
+        result = run(workload, technique(name), scale=scale)
+        if baseline_ipc is None:
+            baseline_ipc = result.ipc
+        accuracy = ""
+        if result.svr_accuracy is not None:
+            accuracy = f"{result.svr_accuracy:12.1%}"
+        elif name == "imp":
+            accuracy = f"{result.hierarchy.accuracy('imp'):12.1%}"
+        print(f"{name:<10} {result.cpi:7.2f} "
+              f"{result.ipc / baseline_ipc:7.2f}x "
+              f"{result.energy_per_instruction_nj:9.2f} "
+              f"{result.dram_lines:11d} {accuracy:>12}")
+
+    print("\nCPI stack of the in-order baseline (why SVR helps):")
+    base = run(workload, technique("inorder"), scale=scale)
+    for bucket, value in sorted(base.cpi_stack().items(),
+                                key=lambda kv: -kv[1]):
+        if value > 0.005:
+            print(f"  {bucket:<10} {value:6.2f}")
+
+
+if __name__ == "__main__":
+    main()

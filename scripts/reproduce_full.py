@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regenerate the complete evaluation at full ('default') scale.
+
+The pytest benchmarks use representative workload slices to stay fast;
+this script runs the *entire* 33-workload irregular suite (plus the 23
+SPEC surrogates) across all eight techniques and writes the complete
+Figs 1/11/12/14 data to ``results/full_*``.  Expect a long run — roughly
+an hour of pure-Python simulation.
+
+Usage::
+
+    python scripts/reproduce_full.py [--scale bench|default] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.harness import experiments
+from repro.harness.report import format_series, format_table, harmonic_mean
+from repro.harness.runner import MAIN_TECHNIQUES
+from repro.workloads.registry import IRREGULAR_WORKLOADS, SPEC_WORKLOADS
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="default",
+                        choices=("tiny", "bench", "default"))
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+    out_dir = Path(args.out)
+    out_dir.mkdir(exist_ok=True)
+
+    started = time.time()
+
+    def save(name: str, text: str) -> None:
+        path = out_dir / f"full_{name}.txt"
+        path.write_text(text + "\n")
+        print(f"[{time.time() - started:7.0f}s] wrote {path}")
+
+    print(f"Full reproduction at '{args.scale}' scale "
+          f"({len(IRREGULAR_WORKLOADS)} irregular + "
+          f"{len(SPEC_WORKLOADS)} SPEC workloads, "
+          f"{len(MAIN_TECHNIQUES)} techniques)")
+
+    fig11 = experiments.fig11(workloads=IRREGULAR_WORKLOADS,
+                              scale=args.scale)
+    save("fig11_cpi", format_table(
+        fig11, title="Fig 11 (full): CPI per workload"))
+
+    fig12 = experiments.fig12(workloads=IRREGULAR_WORKLOADS,
+                              scale=args.scale)
+    save("fig12_energy", format_table(
+        fig12, title="Fig 12 (full): nJ per instruction"))
+
+    # Fig 1 aggregates derived from the full Fig 11/12 matrices.
+    fig1_rows = {}
+    for tech in MAIN_TECHNIQUES:
+        speedups = [fig11[w]["inorder"] / fig11[w][tech]
+                    for w in IRREGULAR_WORKLOADS]
+        energy = [fig12[w][tech] / fig12[w]["inorder"]
+                  for w in IRREGULAR_WORKLOADS]
+        fig1_rows[tech] = {
+            "norm_ipc": harmonic_mean(speedups),
+            "norm_energy": sum(energy) / len(energy),
+        }
+    save("fig01_headline", format_table(
+        fig1_rows, title="Fig 1 (full 33-workload suite)"))
+
+    fig14 = experiments.fig14(workloads=SPEC_WORKLOADS, scale=args.scale)
+    save("fig14_spec", format_series(
+        fig14, title="Fig 14 (full): SPEC surrogate overhead"))
+
+    print(f"done in {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

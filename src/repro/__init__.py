@@ -1,0 +1,64 @@
+"""repro — a full-system Python reproduction of *Scalar Vector Runahead*
+(Roelandts et al., MICRO 2024).
+
+The package builds everything the paper's evaluation depends on, from
+scratch: a mini-ISA with an assembler, a timed memory hierarchy (caches,
+MSHRs, DRAM bandwidth/latency, TLBs, stride + IMP prefetchers), in-order
+and out-of-order timing cores, the SVR mechanism itself, an energy model,
+the paper's workloads (GAP graph kernels, HPC/DB kernels, SPEC surrogates)
+and a harness that regenerates every figure and table.
+
+Quick start::
+
+    from repro import run, technique
+    result = run("PR_KR", technique("svr16"), scale="bench")
+    print(result.cpi, result.energy_per_instruction_nj)
+
+See README.md for the architecture tour and DESIGN.md for the experiment
+index.
+"""
+
+from repro.harness.runner import (
+    MAIN_TECHNIQUES,
+    SimResult,
+    TechniqueConfig,
+    run,
+    technique,
+)
+from repro.harness.report import format_series, format_table, harmonic_mean
+from repro.svr.config import LoopBoundPolicy, RecyclingPolicy, SVRConfig
+from repro.svr.overhead import feature_matrix, overhead_bits, overhead_kib
+from repro.workloads.registry import (
+    GAP_WORKLOADS,
+    HPC_WORKLOADS,
+    IRREGULAR_WORKLOADS,
+    SPEC_WORKLOADS,
+    build_workload,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GAP_WORKLOADS",
+    "HPC_WORKLOADS",
+    "IRREGULAR_WORKLOADS",
+    "LoopBoundPolicy",
+    "MAIN_TECHNIQUES",
+    "RecyclingPolicy",
+    "SPEC_WORKLOADS",
+    "SVRConfig",
+    "SimResult",
+    "TechniqueConfig",
+    "__version__",
+    "build_workload",
+    "feature_matrix",
+    "format_series",
+    "format_table",
+    "harmonic_mean",
+    "overhead_bits",
+    "overhead_kib",
+    "run",
+    "technique",
+    "workload_names",
+]

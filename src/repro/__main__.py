@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``                          show workloads, techniques and figures
+``run WORKLOAD TECH [options]``   simulate one pair and print the result
+``figure NAME [options]``         regenerate one paper figure
+``trace WORKLOAD [TECH]``         instruction-level ASCII timeline
+``overhead [N] [K]``              print the Table II budget
+
+Examples::
+
+    python -m repro run PR_KR svr16 --scale bench
+    python -m repro figure fig1 --workloads PR_KR,Camel --scale bench
+    python -m repro overhead 128 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import experiments
+from repro.harness.report import format_series, format_table
+from repro.harness.runner import MAIN_TECHNIQUES, run, technique
+from repro.svr.overhead import overhead_breakdown
+from repro.workloads.registry import (
+    IRREGULAR_WORKLOADS,
+    SPEC_WORKLOADS,
+    workload_names,
+)
+
+FIGURES = {
+    "fig1": experiments.fig1,
+    "fig3": experiments.fig3,
+    "fig11": experiments.fig11,
+    "fig12": experiments.fig12,
+    "fig13a": experiments.fig13a,
+    "fig13b": experiments.fig13b,
+    "fig14": experiments.fig14,
+    "fig15": experiments.fig15,
+    "fig16": experiments.fig16,
+    "fig17": experiments.fig17,
+    "fig18": experiments.fig18,
+    "table1": experiments.table1_quantified,
+    "table2": experiments.table2,
+}
+
+
+def _cmd_list(_args) -> int:
+    print("Techniques:", ", ".join(MAIN_TECHNIQUES))
+    print("\nIrregular workloads (paper suite, 33):")
+    print("  " + ", ".join(IRREGULAR_WORKLOADS))
+    print("\nSPEC surrogates (Fig 14, 23):")
+    print("  " + ", ".join(SPEC_WORKLOADS))
+    print("\nFigures:", ", ".join(sorted(FIGURES)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    result = run(args.workload, technique(args.technique), scale=args.scale)
+    print(f"workload   {result.workload}")
+    print(f"technique  {result.technique}")
+    print(f"instructions {result.core.instructions}")
+    print(f"cycles     {result.core.cycles:.0f}")
+    print(f"CPI        {result.cpi:.3f}")
+    print(f"IPC        {result.ipc:.3f}")
+    print(f"energy     {result.energy_per_instruction_nj:.3f} nJ/instr")
+    print(f"DRAM lines {result.dram_lines}")
+    print(f"branch acc {result.branch_accuracy:.1%}")
+    if result.svr_accuracy is not None:
+        print(f"SVR acc    {result.svr_accuracy:.1%}")
+        print(f"PRM rounds {result.svr.prm_rounds}")
+        print(f"SVI lanes  {result.svr.svi_lanes}")
+    print("\nCPI stack:")
+    for bucket, value in sorted(result.cpi_stack().items(),
+                                key=lambda kv: -kv[1]):
+        if value > 0.001:
+            print(f"  {bucket:<10} {value:6.3f}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    fn = FIGURES.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}; choose from "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.name not in ("table2",):
+        kwargs["scale"] = args.scale
+    if args.workloads and args.name in ("fig1", "fig11", "fig12", "fig14",
+                                        "fig16", "fig17", "fig18",
+                                        "table1"):
+        kwargs["workloads"] = tuple(args.workloads.split(","))
+    out = fn(**kwargs)
+    first = next(iter(out.values()))
+    if isinstance(first, dict):
+        inner = next(iter(first.values()))
+        if isinstance(inner, dict):   # fig3-style nesting
+            flat = {}
+            for group, sub in out.items():
+                for key, stack in sub.items():
+                    flat[f"{group}/{key}"] = stack
+            out = flat
+        out = {row: {str(k): v for k, v in cols.items()}
+               for row, cols in out.items()}
+        print(format_table(out, title=args.name))
+    else:
+        print(format_series(out, title=args.name))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.harness.trace import capture, render, summarize
+
+    records = capture(args.workload, args.technique, scale=args.scale,
+                      warmup=args.warmup, count=args.count)
+    print(render(records))
+    summary = summarize(records)
+    print("\nsummary:")
+    for key, value in summary.items():
+        print(f"  {key:<18} {value:.2f}")
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    breakdown = overhead_breakdown(args.n, args.k)
+    rows = {
+        "stride detector": breakdown.stride_detector,
+        "taint tracker": breakdown.taint_tracker,
+        "HSLR": breakdown.hslr,
+        "SRF": breakdown.srf,
+        "LC": breakdown.lc,
+        "LBD": breakdown.lbd,
+        "scoreboard counters": breakdown.scoreboard,
+        "L1 prefetch tags": breakdown.l1_prefetch_tags,
+    }
+    print(f"Table II: SVR hardware overhead (N={args.n}, K={args.k})")
+    for name, bits in rows.items():
+        print(f"  {name:<20} {bits:>7} bits")
+    print(f"  {'total':<20} {breakdown.total_bits:>7} bits "
+          f"= {breakdown.total_kib:.2f} KiB")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Scalar Vector Runahead (MICRO 2024) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads, techniques and figures")
+
+    run_p = sub.add_parser("run", help="simulate one workload/technique")
+    run_p.add_argument("workload")
+    run_p.add_argument("technique")
+    run_p.add_argument("--scale", default="bench",
+                       choices=("tiny", "bench", "default"))
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper figure")
+    fig_p.add_argument("name")
+    fig_p.add_argument("--scale", default="bench",
+                       choices=("tiny", "bench", "default"))
+    fig_p.add_argument("--workloads", default="",
+                       help="comma-separated subset")
+
+    trace_p = sub.add_parser("trace", help="instruction-level timeline")
+    trace_p.add_argument("workload")
+    trace_p.add_argument("technique", nargs="?", default="svr16")
+    trace_p.add_argument("--scale", default="tiny",
+                         choices=("tiny", "bench", "default"))
+    trace_p.add_argument("--warmup", type=int, default=800)
+    trace_p.add_argument("--count", type=int, default=48)
+
+    ovh_p = sub.add_parser("overhead", help="Table II budget")
+    ovh_p.add_argument("n", nargs="?", type=int, default=16)
+    ovh_p.add_argument("k", nargs="?", type=int, default=8)
+
+    args = parser.parse_args(argv)
+    handlers = {"list": _cmd_list, "run": _cmd_run, "figure": _cmd_figure,
+                "trace": _cmd_trace, "overhead": _cmd_overhead}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Branch prediction substrate (hybrid local/global, Table III)."""
+
+from repro.branch.predictor import HybridBranchPredictor
+
+__all__ = ["HybridBranchPredictor"]

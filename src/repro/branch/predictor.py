@@ -1,0 +1,90 @@
+"""Hybrid local/global branch predictor with a chooser (Table III).
+
+A classic tournament design: a local predictor (per-PC history indexing a
+pattern table), a global predictor (gshare), and a per-PC chooser of 2-bit
+counters.  Mispredictions cost the configured 10-cycle penalty in the
+timing cores.
+"""
+
+from __future__ import annotations
+
+
+class _SaturatingCounter:
+    __slots__ = ("value", "bits")
+
+    def __init__(self, bits: int = 2, value: int = 1) -> None:
+        self.bits = bits
+        self.value = value
+
+    @property
+    def taken(self) -> bool:
+        return self.value >= (1 << (self.bits - 1))
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.value = min((1 << self.bits) - 1, self.value + 1)
+        else:
+            self.value = max(0, self.value - 1)
+
+
+class HybridBranchPredictor:
+    """Local + gshare + chooser."""
+
+    def __init__(self, local_entries: int = 1024, local_history_bits: int = 8,
+                 global_history_bits: int = 12,
+                 misprediction_penalty: float = 10.0) -> None:
+        self._local_entries = local_entries
+        self._local_history: dict[int, int] = {}
+        self._local_hist_mask = (1 << local_history_bits) - 1
+        self._local_pht: dict[int, _SaturatingCounter] = {}
+        self._global_history = 0
+        self._global_mask = (1 << global_history_bits) - 1
+        self._global_pht: dict[int, _SaturatingCounter] = {}
+        self._chooser: dict[int, _SaturatingCounter] = {}
+        self.penalty = misprediction_penalty
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _counter(self, table: dict[int, _SaturatingCounter],
+                 key: int) -> _SaturatingCounter:
+        counter = table.get(key)
+        if counter is None:
+            counter = _SaturatingCounter()
+            table[key] = counter
+        return counter
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at *pc*, train on the actual outcome, and
+        return True when the prediction was correct."""
+        pc_index = pc % self._local_entries
+        local_hist = self._local_history.get(pc_index, 0)
+        local = self._counter(self._local_pht,
+                              (pc_index << 16) | local_hist)
+        global_key = (pc ^ self._global_history) & self._global_mask
+        glob = self._counter(self._global_pht, global_key)
+        chooser = self._counter(self._chooser, pc_index)
+
+        use_global = chooser.taken
+        prediction = glob.taken if use_global else local.taken
+
+        # Train the chooser toward whichever component was right.
+        if glob.taken != local.taken:
+            chooser.update(glob.taken == taken)
+        local.update(taken)
+        glob.update(taken)
+        self._local_history[pc_index] = \
+            ((local_hist << 1) | taken) & self._local_hist_mask
+        self._global_history = \
+            ((self._global_history << 1) | taken) & self._global_mask
+
+        self.predictions += 1
+        correct = prediction == taken
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -1,0 +1,14 @@
+"""Timing core models: 3-wide stall-on-use in-order and 3-wide out-of-order."""
+
+from repro.cores.base import CoreConfig, CoreStats, IssueSlots, StallReason
+from repro.cores.inorder import InOrderCore
+from repro.cores.ooo import OutOfOrderCore
+
+__all__ = [
+    "CoreConfig",
+    "CoreStats",
+    "InOrderCore",
+    "IssueSlots",
+    "OutOfOrderCore",
+    "StallReason",
+]

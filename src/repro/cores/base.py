@@ -1,0 +1,144 @@
+"""Shared core-model machinery: configuration, stats, issue-slot tracking.
+
+Both cores are *event-driven latency models* (DESIGN.md): simulated time is
+a float cycle count, instructions are processed in program order, and every
+structural resource (issue width, scoreboard/ROB occupancy, MSHRs, DRAM
+bandwidth) is a constraint on when an instruction may issue or complete.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class StallReason(enum.Enum):
+    """CPI-stack attribution buckets (Fig 3 / Fig 11)."""
+
+    BASE = "base"
+    MEM_L1 = "mem-l1"
+    MEM_L2 = "mem-l2"
+    MEM_DRAM = "mem-dram"
+    BRANCH = "branch"
+    OTHER = "other"
+
+
+_LEVEL_TO_REASON = {
+    "l1": StallReason.MEM_L1,
+    "l2": StallReason.MEM_L2,
+    "dram": StallReason.MEM_DRAM,
+    "alu": StallReason.OTHER,
+}
+
+
+def stall_reason_for_level(level: str) -> StallReason:
+    """Map a producing memory level / unit to its CPI-stack bucket."""
+    return _LEVEL_TO_REASON.get(level, StallReason.OTHER)
+
+
+@dataclass
+class CoreConfig:
+    """Table III parameters shared by both cores."""
+
+    width: int = 3                   # dispatch/commit width
+    frequency_ghz: float = 2.0
+    scoreboard_entries: int = 32     # in-order in-flight window
+    rob_entries: int = 32            # OoO
+    lsq_entries: int = 16            # OoO
+    mispredict_penalty: float = 10.0
+    alu_latency: float = 1.0
+    mul_latency: float = 3.0
+    fp_latency: float = 3.0
+
+
+@dataclass
+class CoreStats:
+    """Counters for one measured region of one core."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    alu_ops: int = 0
+    fp_ops: int = 0
+    mispredicts: int = 0
+    halted: bool = False
+    start_cycle: float = 0.0
+    end_cycle: float = 0.0
+    stall_cycles: dict[StallReason, float] = field(
+        default_factory=lambda: {r: 0.0 for r in StallReason})
+
+    @property
+    def cycles(self) -> float:
+        return max(0.0, self.end_cycle - self.start_cycle)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def add_stall(self, reason: StallReason, cycles: float) -> None:
+        if cycles > 0:
+            self.stall_cycles[reason] += cycles
+
+    def cpi_stack(self) -> dict[str, float]:
+        """CPI contributions per bucket; 'base' is the residual issue CPI."""
+        if not self.instructions:
+            return {r.value: 0.0 for r in StallReason}
+        stack = {r.value: c / self.instructions
+                 for r, c in self.stall_cycles.items()}
+        attributed = sum(stack.values()) - stack[StallReason.BASE.value]
+        stack[StallReason.BASE.value] = max(0.0, self.cpi - attributed)
+        return stack
+
+
+class IssueSlots:
+    """Tracks issue bandwidth: at most ``width`` issues per integer cycle.
+
+    Allocation requests are monotonic in practice (program order); a request
+    earlier than the current issue cycle is pushed forward, which is also
+    how SVR's lockstep coupling serialises SVIs behind the real instruction
+    that spawned them.
+    """
+
+    __slots__ = ("width", "_cycle", "_used")
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("issue width must be >= 1")
+        self.width = width
+        self._cycle = 0
+        self._used = 0
+
+    @property
+    def current_cycle(self) -> int:
+        return self._cycle
+
+    def allocate(self, earliest: float) -> float:
+        """Reserve one slot at or after *earliest*; return the issue time."""
+        if earliest < self._cycle:
+            earliest = float(self._cycle)
+        cycle = math.floor(earliest)
+        if cycle > self._cycle:
+            self._cycle = cycle
+            self._used = 1
+            return earliest
+        if self._used < self.width:
+            self._used += 1
+            return earliest
+        self._cycle += 1
+        self._used = 1
+        return float(self._cycle)
+
+    def peek(self, earliest: float) -> float:
+        """Issue time :meth:`allocate` would return, without reserving."""
+        if earliest < self._cycle:
+            earliest = float(self._cycle)
+        cycle = math.floor(earliest)
+        if cycle > self._cycle or self._used < self.width:
+            return earliest
+        return float(self._cycle + 1)

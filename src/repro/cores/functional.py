@@ -1,0 +1,44 @@
+"""Timing-free functional interpreter.
+
+Used by the workload test-suite to run kernels to completion and compare
+results against numpy/networkx references, and by builders that want to
+fast-forward initialisation phases (the paper skips initialisation before
+its 200M-instruction regions of interest).
+"""
+
+from __future__ import annotations
+
+from repro.isa.executor import execute
+from repro.isa.registers import RegisterFile
+
+
+class FunctionalCore:
+    """Executes a program with architectural semantics only."""
+
+    def __init__(self, program, memory) -> None:
+        self.program = program
+        self.memory = memory
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.halted = False
+        self.instructions = 0
+
+    def step(self) -> bool:
+        if self.halted or self.pc >= len(self.program):
+            self.halted = True
+            return False
+        inst = self.program[self.pc]
+        result = execute(inst, self.pc, self.regs.read, self.memory)
+        if result.value is not None and inst.rd is not None:
+            self.regs.write(inst.rd, result.value)
+        if result.halted:
+            self.halted = True
+        self.pc = result.next_pc
+        self.instructions += 1
+        return not self.halted
+
+    def run(self, max_instructions: int = 50_000_000) -> int:
+        """Run to HALT (or the safety cap); returns instructions executed."""
+        while self.instructions < max_instructions and self.step():
+            pass
+        return self.instructions

@@ -1,0 +1,194 @@
+"""3-wide out-of-order core (Table III: ROB 32, LSQ 16, RS 32).
+
+A one-pass dataflow timing model: instructions are processed in program
+order, but each one's execution start is constrained only by operand
+readiness, dispatch bandwidth and window occupancy — so independent loads
+overlap (MLP) while dependent chains serialise, exactly the contrast with
+the in-order core that Figs 3 and 11 rest on.
+
+Modelled constraints
+--------------------
+* dispatch: ``width`` per cycle, blocked when the ROB (32) is full, i.e.
+  until instruction ``i - 32`` commits;
+* memory ops additionally wait for a free LSQ (16) slot;
+* execution: starts at max(dispatch, source-ready); loads go through the
+  shared memory hierarchy (MSHRs, bandwidth, TLB);
+* store-to-load forwarding: a load that hits a prior in-window store to the
+  same word receives the store's data directly (Table III note);
+* in-order commit at ``width`` per cycle; a mispredicted branch redirects
+  fetch when it resolves, plus the 10-cycle penalty.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.branch.predictor import HybridBranchPredictor
+from repro.cores.base import (
+    CoreConfig,
+    CoreStats,
+    IssueSlots,
+    StallReason,
+    stall_reason_for_level,
+)
+from repro.isa.executor import execute
+from repro.isa.instructions import OpClass, Opcode
+from repro.isa.registers import NUM_REGS, RegisterFile
+
+
+class OutOfOrderCore:
+    """Dataflow out-of-order timing model."""
+
+    kind = "ooo"
+
+    def __init__(self, program, memory, hierarchy,
+                 config: CoreConfig | None = None, vr=None) -> None:
+        self.program = program
+        self.memory = memory
+        self.hierarchy = hierarchy
+        # Optional Vector-Runahead unit (repro.svr.vr), triggered on
+        # full-window stalls.
+        self.vr = vr
+        if vr is not None:
+            vr.attach(self)
+        self.config = config or CoreConfig()
+        self.regs = RegisterFile()
+        self.predictor = HybridBranchPredictor(
+            misprediction_penalty=self.config.mispredict_penalty)
+        self._dispatch_slots = IssueSlots(self.config.width)
+        self._commit_slots = IssueSlots(self.config.width)
+        self.pc = 0
+        self.halted = False
+        self.stats = CoreStats()
+        self._ready = [0.0] * NUM_REGS
+        self._producer = ["alu"] * NUM_REGS
+        self._rob: deque[float] = deque()      # commit times, oldest first
+        self._lsq: deque[float] = deque()      # commit times of memory ops
+        self._frontend_ready = 0.0
+        self._commit_tail = 0.0
+        self._index = 0
+        # word address -> (instruction index, data-ready time) for forwarding
+        self._store_window: dict[int, tuple[int, float]] = {}
+
+    def now(self) -> float:
+        return self._commit_tail
+
+    def reset_stats(self) -> None:
+        start = self._commit_tail
+        self.stats = CoreStats(start_cycle=start, end_cycle=start)
+
+    def _exec_latency(self, inst) -> float:
+        cfg = self.config
+        if inst.op is Opcode.MUL or inst.op is Opcode.MULI:
+            return cfg.mul_latency
+        if inst.opclass is OpClass.FP:
+            return cfg.fp_latency
+        return cfg.alu_latency
+
+    def step(self) -> bool:
+        if self.halted or self.pc >= len(self.program):
+            self.halted = True
+            return False
+        inst = self.program[self.pc]
+        cfg = self.config
+        stats = self.stats
+
+        dispatch_earliest = max(self._frontend_ready,
+                                float(self._dispatch_slots.current_cycle))
+        if len(self._rob) >= cfg.rob_entries:
+            release = self._rob.popleft()
+            if release > dispatch_earliest:
+                # Full-window stall: the VR trigger condition.
+                if self.vr is not None:
+                    self.vr.on_window_stall(self.pc, dispatch_earliest,
+                                            release - dispatch_earliest,
+                                            self._index)
+                dispatch_earliest = release
+        is_mem = inst.opclass in (OpClass.LOAD, OpClass.STORE)
+        if is_mem and len(self._lsq) >= cfg.lsq_entries:
+            dispatch_earliest = max(dispatch_earliest, self._lsq.popleft())
+        dispatch = self._dispatch_slots.allocate(dispatch_earliest)
+
+        # Operand readiness (register dataflow).
+        exec_start = dispatch
+        src_level = None
+        for reg in inst.sources():
+            ready = self._ready[reg]
+            if ready > exec_start:
+                exec_start = ready
+                src_level = self._producer[reg]
+
+        result = execute(inst, self.pc, self.regs.read, self.memory)
+
+        completion = exec_start + 1.0
+        level = "alu"
+        opclass = inst.opclass
+        if opclass is OpClass.LOAD:
+            word = result.address >> 3
+            forward = self._store_window.get(word)
+            if forward is not None and forward[0] >= self._index - cfg.rob_entries:
+                completion = max(exec_start, forward[1]) + 1.0
+                level = "alu"  # forwarded, no memory round trip
+            else:
+                outcome = self.hierarchy.load(result.address, exec_start, self.pc)
+                completion = outcome.completion
+                level = outcome.level
+            self.regs.write(inst.rd, result.value)
+            self._ready[inst.rd] = completion
+            self._producer[inst.rd] = level
+            stats.loads += 1
+        elif opclass is OpClass.STORE:
+            outcome = self.hierarchy.store(result.address, exec_start, self.pc)
+            completion = exec_start + 1.0  # store buffered; core moves on
+            self._store_window[result.address >> 3] = (self._index, exec_start)
+            stats.stores += 1
+        elif opclass is OpClass.BRANCH:
+            correct = self.predictor.predict_and_update(self.pc, result.taken)
+            completion = exec_start + 1.0
+            if not correct:
+                stats.mispredicts += 1
+                stats.add_stall(StallReason.BRANCH, cfg.mispredict_penalty)
+                self._frontend_ready = completion + cfg.mispredict_penalty
+            stats.branches += 1
+        elif opclass is OpClass.HALT:
+            self.halted = True
+            stats.halted = True
+        elif opclass in (OpClass.ALU, OpClass.FP, OpClass.CMP):
+            completion = exec_start + self._exec_latency(inst)
+            self.regs.write(inst.rd, result.value)
+            self._ready[inst.rd] = completion
+            self._producer[inst.rd] = src_level or "alu"
+            if opclass is OpClass.FP:
+                stats.fp_ops += 1
+            else:
+                stats.alu_ops += 1
+
+        # In-order commit; attribute commit stalls to the producing level.
+        commit_earliest = max(completion, self._commit_tail)
+        if completion > self._commit_tail:
+            reason_level = level if opclass is OpClass.LOAD else (src_level or "alu")
+            stats.add_stall(stall_reason_for_level(reason_level),
+                            completion - self._commit_tail)
+        commit = self._commit_slots.allocate(commit_earliest)
+        self._commit_tail = commit
+        self._rob.append(commit)
+        if is_mem:
+            self._lsq.append(commit)
+        if len(self._store_window) > 4 * cfg.rob_entries:
+            cutoff = self._index - cfg.rob_entries
+            self._store_window = {w: v for w, v in self._store_window.items()
+                                  if v[0] >= cutoff}
+
+        stats.instructions += 1
+        self._index += 1
+        if commit + 1.0 > stats.end_cycle:
+            stats.end_cycle = commit + 1.0
+
+        self.pc = result.next_pc
+        return not self.halted
+
+    def run(self, max_instructions: int) -> CoreStats:
+        executed = 0
+        while executed < max_instructions and self.step():
+            executed += 1
+        return self.stats

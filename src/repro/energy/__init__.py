@@ -1,0 +1,5 @@
+"""Whole-system energy model (McPAT substitution, see DESIGN.md)."""
+
+from repro.energy.model import EnergyModel, EnergyParams, EnergyBreakdown
+
+__all__ = ["EnergyBreakdown", "EnergyModel", "EnergyParams"]

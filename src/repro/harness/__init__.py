@@ -1,0 +1,38 @@
+"""Experiment harness: technique presets, the runner, and one function per
+figure/table of the paper's evaluation."""
+
+from repro.harness.runner import (
+    SimResult,
+    TechniqueConfig,
+    MAIN_TECHNIQUES,
+    run,
+    technique,
+)
+from repro.harness.report import format_series, format_table, harmonic_mean
+from repro.harness.multicore import MulticoreResult, run_multicore, scaling_study
+from repro.harness.sweeps import SweepAxis, render_sweep, sweep
+from repro.harness.trace import capture, render, summarize
+from repro.harness.charts import bar_chart, grouped_bar_chart, sparkline
+
+__all__ = [
+    "MAIN_TECHNIQUES",
+    "MulticoreResult",
+    "SweepAxis",
+    "bar_chart",
+    "capture",
+    "grouped_bar_chart",
+    "render",
+    "render_sweep",
+    "run_multicore",
+    "scaling_study",
+    "sparkline",
+    "summarize",
+    "sweep",
+    "SimResult",
+    "TechniqueConfig",
+    "format_series",
+    "format_table",
+    "harmonic_mean",
+    "run",
+    "technique",
+]

@@ -1,0 +1,150 @@
+"""Model calibration microbenchmarks.
+
+The standard way to validate a timing model: measure its primitive
+latencies and bandwidths with targeted microkernels and check them
+against the configuration.  These are also the numbers a user needs when
+porting the model to a different machine configuration.
+
+* ``measure_dram_latency`` — dependent pointer chase over a cold region:
+  cycles per hop ≈ DRAM latency + TLB/cache probe overheads;
+* ``measure_l1_latency`` / ``measure_l2_latency`` — pointer chases sized
+  to each level;
+* ``measure_bandwidth`` — independent streaming reads: achieved
+  GiB/s ≈ the configured channel bandwidth;
+* ``measure_issue_width`` — independent ALU ops per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cores.base import CoreConfig
+from repro.cores.inorder import InOrderCore
+from repro.isa.program import ProgramBuilder
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+
+
+def _run(program, memory, mem_cfg=None, max_instructions=200_000):
+    hierarchy = MemoryHierarchy(
+        memory, mem_cfg or MemoryConfig(stride_prefetcher=False))
+    core = InOrderCore(program, memory, hierarchy)
+    stats = core.run(max_instructions)
+    return stats, hierarchy
+
+
+def _pointer_chase(region_bytes: int, hops: int, seed: int = 5):
+    """Build a random cyclic pointer chain covering *region_bytes*."""
+    memory = MainMemory(capacity_bytes=max(region_bytes * 2, 1 << 22))
+    lines = region_bytes // 64
+    base = memory.alloc(region_bytes, name="chain")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(lines)
+    for i in range(lines):
+        src = base + int(order[i]) * 64
+        dst = base + int(order[(i + 1) % lines]) * 64
+        memory.write_word(src, dst)
+    b = ProgramBuilder()
+    b.li("t0", base + int(order[0]) * 64)
+    b.li("t1", hops)
+    b.label("loop")
+    b.ld("t0", "t0", 0)
+    b.addi("t1", "t1", -1)
+    b.bnez("t1", "loop")
+    b.halt()
+    return b.build(), memory
+
+
+def measure_latency(region_bytes: int, hops: int = 2000,
+                    mem_cfg: MemoryConfig | None = None) -> float:
+    """Steady-state cycles per dependent load over a working set.
+
+    The chase covers the region at least once as warmup (filling caches
+    and TLBs), then a fresh measurement window counts only steady-state
+    hops — the lat_mem_rd methodology.
+    """
+    lines = region_bytes // 64
+    warm_hops = lines + 64
+    program, memory = _pointer_chase(region_bytes, warm_hops + hops)
+    hierarchy = MemoryHierarchy(
+        memory, mem_cfg or MemoryConfig(stride_prefetcher=False))
+    core = InOrderCore(program, memory, hierarchy)
+    core.run(2 + warm_hops * 3)       # li/li + warm hops
+    core.reset_stats()
+    stats = core.run(hops * 3)
+    return stats.cycles / hops
+
+
+def measure_l1_latency(**kwargs) -> float:
+    """Chase latency inside the L1 (16 KiB working set)."""
+    return measure_latency(16 << 10, **kwargs)
+
+
+def measure_l2_latency(**kwargs) -> float:
+    """Chase latency inside the L2 (256 KiB working set)."""
+    return measure_latency(256 << 10, **kwargs)
+
+
+def measure_dram_latency(**kwargs) -> float:
+    """Chase latency from DRAM (4 MiB working set — larger than the L2,
+    within S-TLB reach so page walks stay off the critical path)."""
+    return measure_latency(4 << 20, **kwargs)
+
+
+def measure_bandwidth(mem_cfg: MemoryConfig | None = None,
+                      lines: int = 4096,
+                      frequency_ghz: float = 2.0) -> float:
+    """Achieved streaming read bandwidth in GiB/s.
+
+    Independent line-stride loads with no uses, so the only limiter is
+    the memory system (MSHRs + channel).
+    """
+    memory = MainMemory(capacity_bytes=1 << 24)
+    base = memory.alloc(lines * 64, name="stream")
+    b = ProgramBuilder()
+    b.li("a0", base)
+    b.li("t1", lines)
+    b.label("loop")
+    b.ld("t0", "a0", 0)          # never used: no stall-on-use
+    b.addi("a0", "a0", 64)
+    b.addi("t1", "t1", -1)
+    b.bnez("t1", "loop")
+    b.halt()
+    stats, hierarchy = _run(b.build(), memory, mem_cfg,
+                            max_instructions=lines * 4 + 100)
+    bytes_moved = hierarchy.dram.accesses * 64
+    seconds = stats.cycles / (frequency_ghz * 1e9)
+    return bytes_moved / seconds / (1 << 30)
+
+
+def measure_issue_width(ops: int = 3000) -> float:
+    """Independent ALU instructions retired per cycle."""
+    memory = MainMemory(capacity_bytes=1 << 20)
+    b = ProgramBuilder()
+    # Fully independent ops across 8 registers.
+    reps = ops // 8
+    b.li("t8", reps)
+    b.label("loop")
+    for i in range(8):
+        b.addi(f"t{i}", "x0", i)
+    b.addi("t8", "t8", -1)
+    b.bnez("t8", "loop")
+    b.halt()
+    stats, _ = _run(b.build(), memory, max_instructions=ops * 2 + 100)
+    return stats.instructions / stats.cycles
+
+
+def calibration_report(mem_cfg: MemoryConfig | None = None) -> dict[str, float]:
+    """All calibration numbers plus their configured expectations."""
+    cfg = mem_cfg or MemoryConfig(stride_prefetcher=False)
+    return {
+        "l1_latency_cycles": measure_l1_latency(mem_cfg=cfg),
+        "l1_configured": cfg.l1_latency,
+        "l2_latency_cycles": measure_l2_latency(mem_cfg=cfg),
+        "l2_configured": cfg.l1_latency + cfg.l2_latency,
+        "dram_latency_cycles": measure_dram_latency(mem_cfg=cfg),
+        "dram_configured": cfg.dram_latency_ns * cfg.frequency_ghz,
+        "bandwidth_gibps": measure_bandwidth(mem_cfg=cfg),
+        "bandwidth_configured": cfg.dram_bandwidth_gbps,
+        "issue_width": measure_issue_width(),
+    }

@@ -1,0 +1,82 @@
+"""Plain-text bar charts for the regenerated figures.
+
+The paper's figures are bar charts and line plots; with no plotting stack
+available offline, these helpers render the same data as aligned unicode
+bars so `results/*.txt` and the examples stay human-readable.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, peak: float, width: int) -> str:
+    if peak <= 0:
+        return ""
+    cells = value / peak * width
+    full = int(cells)
+    frac = int((cells - full) * 8)
+    bar = "█" * full
+    if frac and full < width:
+        bar += _BLOCKS[frac]
+    return bar
+
+
+def bar_chart(series: Mapping[str, float], title: str = "",
+              width: int = 40, precision: int = 2,
+              baseline: str | None = None) -> str:
+    """Horizontal bar chart of {label: value}.
+
+    With ``baseline`` set, values are annotated relative to that label
+    (the in-order-normalised style of Figs 1 and 14).
+    """
+    if not series:
+        return title
+    peak = max(series.values())
+    label_width = max(len(str(k)) for k in series) + 1
+    base_value = series.get(baseline) if baseline else None
+    lines = [title] if title else []
+    for label, value in series.items():
+        suffix = ""
+        if base_value:
+            suffix = f"  ({value / base_value:.2f}x)"
+        lines.append(f"{str(label):<{label_width}}"
+                     f"{_bar(value, peak, width):<{width}} "
+                     f"{value:.{precision}f}{suffix}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Mapping[str, Mapping[str, float]],
+                      title: str = "", width: int = 30,
+                      precision: int = 2) -> str:
+    """Grouped bars: one block per row, one bar per column (Fig 11 style)."""
+    if not rows:
+        return title
+    peak = max(v for cols in rows.values() for v in cols.values())
+    lines = [title] if title else []
+    col_width = max(len(c) for cols in rows.values() for c in cols) + 1
+    for row, cols in rows.items():
+        lines.append(f"{row}:")
+        for col, value in cols.items():
+            lines.append(f"  {col:<{col_width}}"
+                         f"{_bar(value, peak, width):<{width}} "
+                         f"{value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = None) -> str:
+    """One-line trend (the Fig 17/18 saturation curves at a glance)."""
+    values = list(values)
+    if not values:
+        return ""
+    peak = max(values)
+    low = min(values)
+    span = peak - low
+    marks = "▁▂▃▄▅▆▇█"
+    out = []
+    for v in values:
+        idx = 0 if span == 0 else int((v - low) / span * (len(marks) - 1))
+        out.append(marks[idx])
+    return "".join(out)

@@ -1,0 +1,446 @@
+"""One function per figure/table of the paper's evaluation (Section VI).
+
+Every function returns plain dict structures (rows of the table / series of
+the figure) so benchmarks and tests can assert on shapes, and accepts a
+workload subset so the pytest-benchmark harness can trade coverage for
+runtime.  The full-suite defaults regenerate the complete figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.harness.report import harmonic_mean
+from repro.harness.runner import MAIN_TECHNIQUES, SimResult, run, technique
+from repro.svr.config import LoopBoundPolicy, RecyclingPolicy
+from repro.svr.overhead import overhead_bits, overhead_kib
+from repro.workloads.registry import (
+    GAP_KERNELS,
+    HPC_WORKLOADS,
+    IRREGULAR_WORKLOADS,
+    SPEC_WORKLOADS,
+)
+
+# Workload groups used by the grouped figures (3, 13, 15).
+GROUPS: dict[str, tuple[str, ...]] = {
+    "BC": tuple(w for w in IRREGULAR_WORKLOADS if w.startswith("BC_")),
+    "BFS": tuple(w for w in IRREGULAR_WORKLOADS if w.startswith("BFS_")),
+    "CC": tuple(w for w in IRREGULAR_WORKLOADS if w.startswith("CC_")),
+    "PR": tuple(w for w in IRREGULAR_WORKLOADS if w.startswith("PR_")),
+    "SSSP": tuple(w for w in IRREGULAR_WORKLOADS if w.startswith("SSSP_")),
+    "HPC-DB": HPC_WORKLOADS,
+}
+
+# Compact default subsets so a full figure regeneration stays tractable in
+# pure Python; pass workloads=IRREGULAR_WORKLOADS for the complete sweep.
+REPRESENTATIVE = ("BC_UR", "BFS_KR", "CC_UR", "PR_KR", "SSSP_UR",
+                  "Camel", "HJ2", "Kangr", "Randacc")
+
+
+def _run_matrix(workloads: Sequence[str], techniques: Sequence,
+                scale: str) -> dict[str, dict[str, SimResult]]:
+    """{workload: {technique_name: SimResult}}."""
+    results: dict[str, dict[str, SimResult]] = {}
+    for name in workloads:
+        row: dict[str, SimResult] = {}
+        for tech in techniques:
+            cfg = technique(tech) if isinstance(tech, str) else tech
+            row[cfg.name] = run(name, cfg, scale=scale)
+        results[name] = row
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig 1 — headline: harmonic-mean speedup and normalised energy.
+# ---------------------------------------------------------------------------
+
+def fig1(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
+         techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+    """Fig 1: per-technique harmonic-mean normalised IPC and mean energy."""
+    matrix = _run_matrix(workloads, techniques, scale)
+    out: dict[str, dict[str, float]] = {}
+    for tech in techniques:
+        speedups = []
+        energy_ratios = []
+        for name in workloads:
+            base = matrix[name]["inorder"]
+            res = matrix[name][tech]
+            speedups.append(res.ipc / base.ipc if base.ipc else 1.0)
+            base_e = base.energy_per_instruction_nj
+            energy_ratios.append(res.energy_per_instruction_nj / base_e
+                                 if base_e else 1.0)
+        out[tech] = {
+            "norm_ipc": harmonic_mean(speedups),
+            "norm_energy": sum(energy_ratios) / len(energy_ratios),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 3 — CPI stacks for in-order vs out-of-order.
+# ---------------------------------------------------------------------------
+
+def fig3(scale: str = "bench",
+         groups: dict[str, tuple[str, ...]] | None = None,
+         per_group: int = 1) -> dict[str, dict[str, dict[str, float]]]:
+    """Fig 3: {group: {core: cpi_stack}} with mem-dram separated out."""
+    groups = groups or GROUPS
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for group, members in groups.items():
+        chosen = members[:per_group]
+        for core_name in ("inorder", "ooo"):
+            stacks = [run(w, core_name, scale=scale).cpi_stack()
+                      for w in chosen]
+            merged = {key: sum(s[key] for s in stacks) / len(stacks)
+                      for key in stacks[0]}
+            out.setdefault(group, {})[core_name] = merged
+    # Average row.
+    avg: dict[str, dict[str, float]] = {}
+    for core_name in ("inorder", "ooo"):
+        keys = next(iter(out.values()))[core_name].keys()
+        avg[core_name] = {
+            key: sum(out[g][core_name][key] for g in groups) / len(groups)
+            for key in keys}
+    out["Avg"] = avg
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figs 11 and 12 — per-workload CPI and energy for all techniques.
+# ---------------------------------------------------------------------------
+
+def fig11(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
+          techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+    """Fig 11: {workload: {technique: CPI}} (lower is better)."""
+    matrix = _run_matrix(workloads, techniques, scale)
+    return {w: {t: matrix[w][t].cpi for t in techniques} for w in workloads}
+
+
+def fig12(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
+          techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+    """Fig 12: {workload: {technique: nJ per instruction}}."""
+    matrix = _run_matrix(workloads, techniques, scale)
+    return {w: {t: matrix[w][t].energy_per_instruction_nj
+                for t in techniques} for w in workloads}
+
+
+# ---------------------------------------------------------------------------
+# Fig 13 — prefetch accuracy and coverage.
+# ---------------------------------------------------------------------------
+
+def _maxlength(name: str):
+    cfg = technique(name, policy=LoopBoundPolicy.MAXLENGTH)
+    return cfg
+
+
+def fig13a(groups: dict[str, tuple[str, ...]] | None = None,
+           scale: str = "bench", per_group: int = 1) -> dict[str, dict[str, float]]:
+    """Fig 13a: prefetch accuracy per workload group.
+
+    Techniques: IMP, SVR16-Maxlength, SVR16, SVR64-Maxlength, SVR64.
+    Accuracy = prefetched lines touched before LLC eviction / all resolved
+    prefetched lines.
+    """
+    groups = groups or GROUPS
+    techs = [
+        ("imp", technique("imp")),
+        ("svr16-maxlength", _maxlength("svr16")),
+        ("svr16", technique("svr16")),
+        ("svr64-maxlength", _maxlength("svr64")),
+        ("svr64", technique("svr64")),
+    ]
+    out: dict[str, dict[str, float]] = {}
+    for group, members in groups.items():
+        row: dict[str, float] = {}
+        for label, cfg in techs:
+            origin = "imp" if label == "imp" else "svr"
+            accs = []
+            for w in members[:per_group]:
+                res = run(w, cfg, scale=scale)
+                accs.append(res.hierarchy.accuracy(origin))
+            row[label] = sum(accs) / len(accs)
+        out[group] = row
+    return out
+
+
+def fig13b(groups: dict[str, tuple[str, ...]] | None = None,
+           scale: str = "bench", per_group: int = 1) -> dict[str, dict[str, float]]:
+    """Fig 13b: DRAM-traffic origin, normalised to the in-order baseline.
+
+    Returns, per group and technique, the fraction of baseline DRAM line
+    fetches issued as demand traffic vs prefetch traffic; totals above 1.0
+    are over-coverage from inaccurate prefetches.
+    """
+    groups = groups or GROUPS
+    techs = [("inorder", technique("inorder")), ("imp", technique("imp")),
+             ("svr16", technique("svr16")), ("svr64", technique("svr64"))]
+    out: dict[str, dict[str, float]] = {}
+    for group, members in groups.items():
+        chosen = members[:per_group]
+        base_lines = 0
+        rows: dict[str, dict[str, float]] = {}
+        for label, cfg in techs:
+            demand = prefetch = 0
+            for w in chosen:
+                res = run(w, cfg, scale=scale)
+                fetches = res.hierarchy.dram_fetches
+                demand += fetches["demand"]
+                prefetch += fetches["stride"] + fetches["imp"] + fetches["svr"]
+            if label == "inorder":
+                base_lines = max(1, demand + prefetch)
+            rows[label] = {"demand": demand / base_lines,
+                           "prefetch": prefetch / base_lines,
+                           "total": (demand + prefetch) / base_lines}
+        flat = {}
+        for label, vals in rows.items():
+            for key, value in vals.items():
+                flat[f"{label}.{key}"] = value
+        out[group] = flat
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 14 — SPEC 2017 overhead.
+# ---------------------------------------------------------------------------
+
+def fig14(workloads: Sequence[str] = SPEC_WORKLOADS,
+          scale: str = "bench") -> dict[str, float]:
+    """Fig 14: SVR-16 IPC normalised to in-order per SPEC surrogate."""
+    out: dict[str, float] = {}
+    ratios = []
+    for name in workloads:
+        base = run(name, "inorder", scale=scale)
+        svr = run(name, "svr16", scale=scale)
+        ratio = svr.ipc / base.ipc if base.ipc else 1.0
+        out[name] = ratio
+        ratios.append(ratio)
+    out["H-mean"] = harmonic_mean(ratios)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 15 — loop-bound prediction policies.
+# ---------------------------------------------------------------------------
+
+FIG15_GROUPS = {
+    "BC+BFS+SSSP": ("BC_UR", "BFS_KR", "SSSP_UR"),
+    "CC+PR": ("CC_UR", "PR_KR"),
+    "HPC-DB": ("Camel", "Kangr", "Randacc"),
+}
+
+FIG15_POLICIES = (
+    LoopBoundPolicy.LBD_WAIT,
+    LoopBoundPolicy.MAXLENGTH,
+    LoopBoundPolicy.LBD_MAXLENGTH,
+    LoopBoundPolicy.LBD_CV,
+    LoopBoundPolicy.EWMA,
+    LoopBoundPolicy.TOURNAMENT,
+)
+
+
+def fig15(length: int = 16, scale: str = "bench",
+          groups: dict[str, tuple[str, ...]] | None = None
+          ) -> dict[str, dict[str, float]]:
+    """Fig 15: normalised IPC per loop-bound policy, grouped workloads."""
+    groups = groups or FIG15_GROUPS
+    baselines = {w: run(w, "inorder", scale=scale)
+                 for ws in groups.values() for w in ws}
+    out: dict[str, dict[str, float]] = {}
+    for policy in FIG15_POLICIES:
+        cfg = technique(f"svr{length}", policy=policy)
+        row: dict[str, float] = {}
+        all_speedups = []
+        for group, members in groups.items():
+            speedups = []
+            for w in members:
+                res = run(w, cfg, scale=scale)
+                speedups.append(res.ipc / baselines[w].ipc)
+            row[group] = harmonic_mean(speedups)
+            all_speedups.extend(speedups)
+        row["H-mean"] = harmonic_mean(all_speedups)
+        out[policy.value] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section VI-D — DVR-comparison ablations.
+# ---------------------------------------------------------------------------
+
+def dvr_recycling(workloads: Sequence[str] = REPRESENTATIVE,
+                  scale: str = "bench") -> dict[str, float]:
+    """SVR LRU recycling vs DVR renaming with 2 speculative registers."""
+    out: dict[str, float] = {}
+    variants = {
+        "svr16-lru-k8": technique("svr16"),
+        "svr16-lru-k2": technique("svr16", srf_entries=2),
+        "svr16-dvr-k2": technique("svr16", srf_entries=2,
+                                  recycling=RecyclingPolicy.DVR),
+        "svr64-lru-k8": technique("svr64"),
+        "svr64-dvr-k2": technique("svr64", srf_entries=2,
+                                  recycling=RecyclingPolicy.DVR),
+    }
+    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    for label, cfg in variants.items():
+        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
+                    for w in workloads]
+        out[label] = harmonic_mean(speedups)
+    return out
+
+
+def dvr_waiting_mode(workloads: Sequence[str] = REPRESENTATIVE,
+                     scale: str = "bench") -> dict[str, float]:
+    """Waiting mode on/off (paper: SVR-16 3.2x -> 1.14x, SVR-64 -> 0.56x)."""
+    out: dict[str, float] = {}
+    variants = {
+        "svr16": technique("svr16"),
+        "svr16-no-waiting": technique("svr16", waiting_mode=False),
+        "svr64": technique("svr64"),
+        "svr64-no-waiting": technique("svr64", waiting_mode=False),
+    }
+    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    for label, cfg in variants.items():
+        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
+                    for w in workloads]
+        out[label] = harmonic_mean(speedups)
+    return out
+
+
+def register_copy_cost(workloads: Sequence[str] = REPRESENTATIVE,
+                       scale: str = "bench",
+                       cost_cycles: float = 16.0) -> dict[str, float]:
+    """Lockstep-coupling cost model (paper: 3.21x -> 3.16x).
+
+    Also reports the *decoupled-context* upper bound: SVIs issued from a
+    free second context (DVR-style), quantifying what sharing the main
+    thread's issue slots costs.
+    """
+    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    out: dict[str, float] = {}
+    for label, cfg in (
+            ("svr16", technique("svr16")),
+            ("svr16-regcopy", technique(
+                "svr16", register_copy_cost_cycles=cost_cycles)),
+            ("svr16-decoupled", technique(
+                "svr16", decoupled_context=True))):
+        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
+                    for w in workloads]
+        out[label] = harmonic_mean(speedups)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 16 — scalars per vector unit.
+# ---------------------------------------------------------------------------
+
+def fig16(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
+          widths: Sequence[int] = (1, 2, 4, 8),
+          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[int, float]]:
+    """Fig 16: normalised IPC vs lanes-per-execute-slot (should be flat)."""
+    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    out: dict[str, dict[int, float]] = {}
+    for length in lengths:
+        series: dict[int, float] = {}
+        for width in widths:
+            cfg = technique(f"svr{length}", scalars_per_unit=width)
+            speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
+                        for w in workloads]
+            series[width] = harmonic_mean(speedups)
+        out[f"svr{length}"] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 17 — MSHR / page-table-walker sensitivity.
+# ---------------------------------------------------------------------------
+
+def fig17(workloads: Sequence[str] = ("PR_KR", "Randacc", "Camel"),
+          scale: str = "bench",
+          mshrs: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
+          ptws: Sequence[int] = (2, 4, 6),
+          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[int, float]]:
+    """Fig 17: speedup over the *matching* in-order baseline per MSHR/PTW."""
+    out: dict[str, dict[int, float]] = {}
+    for length in lengths:
+        for ptw in ptws:
+            series: dict[int, float] = {}
+            for mshr in mshrs:
+                base_cfg = technique("inorder").with_memory(
+                    l1_mshrs=mshr, page_table_walkers=ptw)
+                svr_cfg = technique(f"svr{length}").with_memory(
+                    l1_mshrs=mshr, page_table_walkers=ptw)
+                speedups = []
+                for w in workloads:
+                    base = run(w, base_cfg, scale=scale)
+                    res = run(w, svr_cfg, scale=scale)
+                    speedups.append(res.ipc / base.ipc)
+                series[mshr] = harmonic_mean(speedups)
+            out[f"svr{length}-ptw{ptw}"] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig 18 — memory-bandwidth sensitivity.
+# ---------------------------------------------------------------------------
+
+def fig18(workloads: Sequence[str] = ("PR_KR", "Camel", "Kangr"),
+          scale: str = "bench",
+          bandwidths: Sequence[float] = (12.5, 25.0, 50.0, 100.0),
+          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[float, float]]:
+    """Fig 18: speedup vs in-order at the *same* bandwidth."""
+    out: dict[str, dict[float, float]] = {}
+    for length in lengths:
+        series: dict[float, float] = {}
+        for bw in bandwidths:
+            base_cfg = technique("inorder").with_memory(
+                dram_bandwidth_gbps=bw)
+            svr_cfg = technique(f"svr{length}").with_memory(
+                dram_bandwidth_gbps=bw)
+            speedups = []
+            for w in workloads:
+                base = run(w, base_cfg, scale=scale)
+                res = run(w, svr_cfg, scale=scale)
+                speedups.append(res.ipc / base.ipc)
+            series[bw] = harmonic_mean(speedups)
+        out[f"svr{length}"] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table I quantified — VR on the big core vs SVR on the little core.
+# ---------------------------------------------------------------------------
+
+def table1_quantified(workloads: Sequence[str] = REPRESENTATIVE,
+                      scale: str = "bench") -> dict[str, dict[str, float]]:
+    """Quantify Table I's qualitative comparison (extension experiment).
+
+    Runs the plain OoO core, Vector Runahead on the OoO core (the paper's
+    big-core state of the art, modelled in :mod:`repro.svr.vr`) and SVR-16
+    on the in-order core, reporting harmonic-mean speedup over the
+    in-order baseline and mean energy per instruction.
+    """
+    techs = ("inorder", "ooo", "vr64", "svr16")
+    out: dict[str, dict[str, float]] = {}
+    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    for tech in techs:
+        speedups = []
+        energies = []
+        for w in workloads:
+            res = baselines[w] if tech == "inorder" else run(w, tech,
+                                                             scale=scale)
+            speedups.append(res.ipc / baselines[w].ipc)
+            energies.append(res.energy_per_instruction_nj)
+        out[tech] = {
+            "norm_ipc": harmonic_mean(speedups),
+            "nj_per_instr": sum(energies) / len(energies),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table II — hardware overhead.
+# ---------------------------------------------------------------------------
+
+def table2(lengths: Sequence[int] = (8, 16, 32, 64, 128)) -> dict[str, dict[str, float]]:
+    """Table II: SVR state (bits / KiB) as the vector length grows."""
+    return {f"svr{n}": {"bits": float(overhead_bits(n)),
+                        "kib": overhead_kib(n)} for n in lengths}

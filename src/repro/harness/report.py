@@ -1,0 +1,53 @@
+"""Small text-report helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean (the paper's aggregate for IPC speedups)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def format_table(rows: Mapping[str, Mapping[str, float]],
+                 columns: list[str] | None = None,
+                 title: str = "", precision: int = 2) -> str:
+    """Render {row: {column: value}} as an aligned text table."""
+    if not rows:
+        return title
+    if columns is None:
+        columns = list(next(iter(rows.values())).keys())
+    width = max(len(str(r)) for r in rows) + 2
+    col_width = max(max((len(c) for c in columns), default=8) + 2,
+                    precision + 6)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * width + "".join(f"{c:>{col_width}}" for c in columns)
+    lines.append(header)
+    for name, values in rows.items():
+        cells = []
+        for col in columns:
+            value = values.get(col)
+            if value is None:
+                cells.append(f"{'-':>{col_width}}")
+            else:
+                cells.append(f"{value:>{col_width}.{precision}f}")
+        lines.append(f"{str(name):<{width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, float], title: str = "",
+                  precision: int = 3) -> str:
+    """Render a flat {label: value} mapping."""
+    lines = [title] if title else []
+    width = max((len(str(k)) for k in series), default=4) + 2
+    for key, value in series.items():
+        lines.append(f"{str(key):<{width}}{value:.{precision}f}")
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Generic parameter-sweep utility over techniques and memory knobs.
+
+The per-figure functions in :mod:`repro.harness.experiments` hard-code the
+paper's sweeps; this module offers the general tool a user extending the
+study would reach for::
+
+    from repro.harness.sweeps import sweep, SweepAxis
+
+    grid = sweep(
+        workloads=("PR_KR", "Camel"),
+        base="svr16",
+        axes=[SweepAxis("memory.l1_mshrs", (4, 8, 16)),
+              SweepAxis("svr.vector_length", (8, 32))],
+        metric="ipc",
+    )
+
+Axis paths address the :class:`TechniqueConfig` tree: ``memory.<field>``,
+``svr.<field>``, ``core_config.<field>`` or a top-level field.  The result
+maps each axis-value combination to the harmonic-mean metric over the
+workloads, normalised to the in-order baseline when ``normalise=True``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.harness.report import harmonic_mean
+from repro.harness.runner import TechniqueConfig, run, technique
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept parameter: a dotted config path and its values."""
+
+    path: str
+    values: tuple
+
+    def __init__(self, path: str, values: Sequence) -> None:
+        object.__setattr__(self, "path", path)
+        object.__setattr__(self, "values", tuple(values))
+
+
+def _apply(config: TechniqueConfig, path: str, value) -> TechniqueConfig:
+    """Return a copy of *config* with the dotted *path* set to *value*."""
+    head, _, rest = path.partition(".")
+    if not rest:
+        if not hasattr(config, head):
+            raise ValueError(f"unknown config field: {path!r}")
+        return replace(config, **{head: value})
+    sub = getattr(config, head, None)
+    if sub is None:
+        raise ValueError(f"{config.name} has no {head!r} to sweep "
+                         f"(path {path!r})")
+    if not hasattr(sub, rest):
+        raise ValueError(f"unknown config field: {path!r}")
+    return replace(config, **{head: replace(sub, **{rest: value})})
+
+
+def sweep(workloads: Sequence[str], base: TechniqueConfig | str,
+          axes: Sequence[SweepAxis], metric: str = "ipc",
+          scale: str = "bench", normalise: bool = True,
+          ) -> dict[tuple, float]:
+    """Run the full cross product of *axes* and aggregate *metric*.
+
+    ``metric`` is any float attribute/property of
+    :class:`~repro.harness.runner.SimResult` (``ipc``, ``cpi``,
+    ``energy_per_instruction_nj``, ``dram_lines``).  Returns
+    ``{(v1, v2, ...): value}`` keyed in axis order.
+    """
+    if isinstance(base, str):
+        base = technique(base)
+    if not axes:
+        raise ValueError("need at least one sweep axis")
+    baselines = {}
+    if normalise:
+        for w in workloads:
+            baselines[w] = run(w, "inorder", scale=scale)
+
+    out: dict[tuple, float] = {}
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        config = base
+        for axis, value in zip(axes, combo):
+            config = _apply(config, axis.path, value)
+        config = replace(config, name=f"{base.name}@" + ",".join(
+            f"{a.path}={v}" for a, v in zip(axes, combo)))
+        samples = []
+        for w in workloads:
+            result = run(w, config, scale=scale)
+            value = float(getattr(result, metric))
+            if normalise:
+                base_value = float(getattr(baselines[w], metric))
+                value = value / base_value if base_value else 0.0
+            samples.append(value)
+        if all(s > 0 for s in samples):
+            out[combo] = harmonic_mean(samples)
+        else:
+            out[combo] = sum(samples) / len(samples)
+    return out
+
+
+def render_sweep(result: dict[tuple, float], axes: Sequence[SweepAxis],
+                 precision: int = 3) -> str:
+    """Aligned text rendering of a sweep result."""
+    header = "  ".join(f"{axis.path:>20}" for axis in axes)
+    lines = [header + f"  {'value':>10}"]
+    for combo, value in result.items():
+        cells = "  ".join(f"{str(v):>20}" for v in combo)
+        lines.append(cells + f"  {value:>10.{precision}f}")
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Instruction-level trace capture — a debugging microscope for the model.
+
+``capture`` runs a workload on an in-order core (with or without SVR) and
+records one :class:`TraceRecord` per committed instruction: issue time,
+completion time, the memory level that served it, and the SVR activity it
+triggered.  ``render`` turns a window of records into a readable timeline,
+which is how the examples and docs illustrate where SVR's overlap comes
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cores.inorder import InOrderCore
+from repro.harness.runner import TechniqueConfig, technique
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.svr.unit import ScalarVectorUnit
+from repro.workloads.registry import build_workload
+
+
+@dataclass(slots=True)
+class TraceRecord:
+    """Timing of one committed instruction."""
+
+    index: int
+    pc: int
+    op: str
+    issue: float
+    completion: float
+    level: str | None          # 'l1' | 'l2' | 'dram' for memory ops
+    svi_lanes: int             # transient lanes generated at this instr
+    in_prm: bool
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.issue
+
+
+def capture(workload_name: str, tech: TechniqueConfig | str = "svr16",
+            scale: str = "tiny", warmup: int = 500,
+            count: int = 200) -> list[TraceRecord]:
+    """Run *workload_name* and capture *count* post-warmup records."""
+    if isinstance(tech, str):
+        tech = technique(tech)
+    if tech.core != "inorder":
+        raise ValueError("tracing supports the in-order core only")
+    workload = build_workload(workload_name, scale)
+    hierarchy = MemoryHierarchy(workload.memory, tech.memory)
+    svr = ScalarVectorUnit(tech.svr) if tech.svr is not None else None
+    core = InOrderCore(workload.program, workload.memory, hierarchy,
+                       tech.core_config, svr=svr)
+    core.run(warmup)
+
+    records: list[TraceRecord] = []
+    lanes_before = [svr.stats.svi_lanes if svr else 0]
+
+    def observer(pc, inst, issue, completion, outcome):
+        lanes_now = svr.stats.svi_lanes if svr else 0
+        records.append(TraceRecord(
+            index=len(records),
+            pc=pc,
+            op=inst.op.value,
+            issue=issue,
+            completion=completion,
+            level=outcome.level if outcome is not None else None,
+            svi_lanes=lanes_now - lanes_before[0],
+            in_prm=bool(svr.in_prm) if svr else False,
+        ))
+        lanes_before[0] = lanes_now
+
+    core.trace = observer
+    core.run(count)
+    return records
+
+
+def render(records: list[TraceRecord], width: int = 60) -> str:
+    """ASCII timeline: one row per instruction, '#' spans issue..completion."""
+    if not records:
+        return "(empty trace)"
+    start = min(r.issue for r in records)
+    end = max(r.completion for r in records)
+    span = max(1.0, end - start)
+    lines = [f"cycles {start:.0f}..{end:.0f} "
+             f"({span:.0f} cycles, {len(records)} instructions)"]
+    for r in records:
+        left = int((r.issue - start) / span * width)
+        right = max(left + 1, int((r.completion - start) / span * width))
+        bar = " " * left + "#" * (right - left)
+        level = r.level or ""
+        svr_mark = f" +{r.svi_lanes}sv" if r.svi_lanes else ""
+        prm = "R" if r.in_prm else " "
+        lines.append(f"{r.index:>4} {prm} {r.op:<7} {level:<5} "
+                     f"|{bar:<{width}}|{svr_mark}")
+    return "\n".join(lines)
+
+
+def summarize(records: list[TraceRecord]) -> dict[str, float]:
+    """Aggregate a trace window: latency by level, SVI density, PRM share."""
+    if not records:
+        return {}
+    loads = [r for r in records if r.level is not None]
+    dram = [r for r in loads if r.level == "dram"]
+    out = {
+        "instructions": float(len(records)),
+        "span_cycles": max(r.completion for r in records)
+        - min(r.issue for r in records),
+        "memory_ops": float(len(loads)),
+        "dram_ops": float(len(dram)),
+        "svi_lanes": float(sum(r.svi_lanes for r in records)),
+        "prm_share": sum(1 for r in records if r.in_prm) / len(records),
+    }
+    if dram:
+        out["mean_dram_latency"] = (sum(r.latency for r in dram)
+                                    / len(dram))
+    return out

@@ -1,0 +1,39 @@
+"""Mini-ISA substrate: instruction set, assembler and functional semantics.
+
+The paper evaluates ARM binaries on Sniper; our substitution is a small
+RISC-style 64-bit integer ISA with an assembler-like :class:`ProgramBuilder`
+so the GAP / NAS / HPCC / SPEC-surrogate kernels can be written directly in
+Python.  The functional semantics live in :mod:`repro.isa.executor` and are
+shared by the timing cores and by SVR's per-lane transient execution.
+"""
+
+from repro.isa.instructions import (
+    ALU_OPS,
+    BRANCH_OPS,
+    CMP_OPS,
+    Instruction,
+    OpClass,
+    Opcode,
+    op_class,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import NUM_REGS, REG_NAMES, RegisterFile, reg_index
+from repro.isa.executor import ExecResult, execute
+
+__all__ = [
+    "ALU_OPS",
+    "BRANCH_OPS",
+    "CMP_OPS",
+    "ExecResult",
+    "Instruction",
+    "NUM_REGS",
+    "OpClass",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "REG_NAMES",
+    "RegisterFile",
+    "execute",
+    "op_class",
+    "reg_index",
+]

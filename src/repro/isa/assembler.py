@@ -1,0 +1,155 @@
+"""Text assembler: parse assembly source into a :class:`Program`.
+
+The inverse of :meth:`Program.disassemble`; lets kernels live in plain
+``.s``-style strings/files instead of builder calls.  Syntax, one
+instruction or label per line::
+
+    # comments run to end of line
+    start:
+        li   a0, 0x1000
+        li   t0, 0
+    loop:
+        ld   t1, t0, 8       # rd, base, displacement
+        add  t2, t2, t1
+        addi t0, t0, 1
+        cmp_lt t3, t0, a1
+        bnez t3, loop
+        halt
+
+Operands are comma-separated; registers use the same names the builder
+accepts (x0..x31, a0.., t0.., s0.., zero); immediates accept decimal,
+hex (0x..) and negative values; branch/jump targets are label names.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import REG_NAMES
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.][\w.]*)\s*:\s*(.*)$")
+
+# op -> (mnemonic handler spec): which builder method and operand shape.
+_THREE_REG = {op.value for op in (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLL, Opcode.SRL, Opcode.MIN, Opcode.MAX, Opcode.FADD, Opcode.FMUL,
+    Opcode.CMP_LT, Opcode.CMP_LTU, Opcode.CMP_EQ, Opcode.CMP_NE,
+    Opcode.CMP_GE,
+)}
+_REG_REG_IMM = {op.value for op in (
+    Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+    Opcode.SRLI, Opcode.MULI,
+)}
+# Builder method names for mnemonics that are Python keywords/shadowed.
+_METHOD_ALIASES = {"and": "and_", "or": "or_", "min": "min_", "max": "max_"}
+_MNEMONIC_ALIASES = {"and": "and", "or": "or", "min": "min", "max": "max"}
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly source, with a line number."""
+
+    def __init__(self, line_no: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+
+
+def _parse_int(token: str, line_no: int, line: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(line_no, line,
+                             f"expected integer, got {token!r}") from None
+
+
+def _check_reg(token: str, line_no: int, line: str) -> str:
+    if token not in REG_NAMES:
+        raise AssemblerError(line_no, line, f"unknown register {token!r}")
+    return token
+
+
+def assemble(source: str, name: str = "assembly") -> Program:
+    """Assemble *source* text into a :class:`Program`."""
+    builder = ProgramBuilder(name)
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match and match.group(1) not in _mnemonics():
+            builder.label(match.group(1))
+            line = match.group(2).strip()
+            if not line:
+                continue
+        _assemble_line(builder, line, line_no, raw)
+    return builder.build()
+
+
+def _mnemonics() -> set[str]:
+    return ({op.value for op in Opcode}
+            | set(_MNEMONIC_ALIASES))
+
+
+def _assemble_line(builder: ProgramBuilder, line: str, line_no: int,
+                   raw: str) -> None:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    operand_text = parts[1] if len(parts) > 1 else ""
+    operands = [tok.strip() for tok in operand_text.split(",") if tok.strip()]
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblerError(line_no, raw,
+                                 f"{mnemonic} expects {count} operands")
+
+    if mnemonic in _THREE_REG or mnemonic in _MNEMONIC_ALIASES:
+        need(3)
+        method = getattr(builder,
+                         _METHOD_ALIASES.get(mnemonic, mnemonic))
+        method(_check_reg(operands[0], line_no, raw),
+               _check_reg(operands[1], line_no, raw),
+               _check_reg(operands[2], line_no, raw))
+    elif mnemonic in _REG_REG_IMM:
+        need(3)
+        getattr(builder, mnemonic)(
+            _check_reg(operands[0], line_no, raw),
+            _check_reg(operands[1], line_no, raw),
+            _parse_int(operands[2], line_no, raw))
+    elif mnemonic == "ld":
+        if len(operands) == 2:
+            operands.append("0")
+        need(3)
+        builder.ld(_check_reg(operands[0], line_no, raw),
+                   _check_reg(operands[1], line_no, raw),
+                   _parse_int(operands[2], line_no, raw))
+    elif mnemonic == "st":
+        if len(operands) == 2:
+            operands.append("0")
+        need(3)
+        builder.st(_check_reg(operands[0], line_no, raw),
+                   _check_reg(operands[1], line_no, raw),
+                   _parse_int(operands[2], line_no, raw))
+    elif mnemonic == "li":
+        need(2)
+        builder.li(_check_reg(operands[0], line_no, raw),
+                   _parse_int(operands[1], line_no, raw))
+    elif mnemonic == "mv":
+        need(2)
+        builder.mv(_check_reg(operands[0], line_no, raw),
+                   _check_reg(operands[1], line_no, raw))
+    elif mnemonic in ("beqz", "bnez"):
+        need(2)
+        getattr(builder, mnemonic)(
+            _check_reg(operands[0], line_no, raw), operands[1])
+    elif mnemonic == "jmp":
+        need(1)
+        builder.jmp(operands[0])
+    elif mnemonic == "halt":
+        need(0)
+        builder.halt()
+    elif mnemonic == "nop":
+        need(0)
+        builder.nop()
+    else:
+        raise AssemblerError(line_no, raw, f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,166 @@
+"""Functional semantics for the mini-ISA.
+
+:func:`execute` is a pure(ish) evaluator: it reads sources through a caller
+supplied function and touches memory only through the provided
+:class:`~repro.memory.main_memory.MainMemory`.  The same evaluator drives
+
+* committed execution in the timing cores, and
+* SVR's transient per-lane execution (Section IV-A4 of the paper), where the
+  source reader substitutes speculative-register-file lane values and stores
+  are suppressed (transient instructions must not affect architectural state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import to_signed64, wrap64
+
+_MASK64 = (1 << 64) - 1
+# Fixed-point scale used by the FP-style ops (graph scores are Q32.16).
+FP_SHIFT = 16
+
+
+@dataclass(slots=True)
+class ExecResult:
+    """Outcome of functionally executing one instruction.
+
+    ``value``    the result written to ``rd`` (or the store data)
+    ``address``  effective memory address for LD/ST, else ``None``
+    ``taken``    branch outcome for conditional branches, else ``None``
+    ``next_pc``  PC of the next instruction to execute
+    ``halted``   true when a HALT was executed
+    """
+
+    value: int | None = None
+    address: int | None = None
+    taken: bool | None = None
+    next_pc: int = 0
+    halted: bool = False
+    src_a: int = 0     # rs1 value as read (LC register needs compare sources)
+    src_b: int = 0     # rs2 value as read
+
+
+def alu_compute(op: Opcode, a: int, b: int, imm: int) -> int:
+    """Evaluate an ALU/FP/CMP operation on 64-bit values.
+
+    Shared by committed and transient execution so the two can never drift.
+    """
+    if op is Opcode.ADD:
+        return wrap64(a + b)
+    if op is Opcode.SUB:
+        return wrap64(a - b)
+    if op is Opcode.MUL:
+        return wrap64(a * b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SLL:
+        return wrap64(a << (b & 63))
+    if op is Opcode.SRL:
+        return a >> (b & 63)
+    if op is Opcode.MIN:
+        return wrap64(min(to_signed64(a), to_signed64(b)))
+    if op is Opcode.MAX:
+        return wrap64(max(to_signed64(a), to_signed64(b)))
+    if op is Opcode.ADDI:
+        return wrap64(a + imm)
+    if op is Opcode.ANDI:
+        return a & wrap64(imm)
+    if op is Opcode.ORI:
+        return a | wrap64(imm)
+    if op is Opcode.XORI:
+        return a ^ wrap64(imm)
+    if op is Opcode.SLLI:
+        return wrap64(a << (imm & 63))
+    if op is Opcode.SRLI:
+        return a >> (imm & 63)
+    if op is Opcode.MULI:
+        return wrap64(a * imm)
+    if op is Opcode.LI:
+        return wrap64(imm)
+    if op is Opcode.MV:
+        return a
+    if op is Opcode.FADD:
+        return wrap64(a + b)
+    if op is Opcode.FMUL:
+        # Q32.16 fixed-point multiply.
+        return wrap64((to_signed64(a) * to_signed64(b)) >> FP_SHIFT)
+    if op is Opcode.CMP_LT:
+        return 1 if to_signed64(a) < to_signed64(b) else 0
+    if op is Opcode.CMP_LTU:
+        return 1 if a < b else 0
+    if op is Opcode.CMP_EQ:
+        return 1 if a == b else 0
+    if op is Opcode.CMP_NE:
+        return 1 if a != b else 0
+    if op is Opcode.CMP_GE:
+        return 1 if to_signed64(a) >= to_signed64(b) else 0
+    raise ValueError(f"not an ALU-evaluable opcode: {op}")
+
+
+def execute(
+    inst: Instruction,
+    pc: int,
+    read_reg: Callable[[int], int],
+    memory,
+    commit_stores: bool = True,
+) -> ExecResult:
+    """Execute *inst* at *pc* and return the :class:`ExecResult`.
+
+    ``read_reg`` supplies source operand values (architectural registers for
+    real execution, SRF lanes for transient SVR execution).  ``memory`` must
+    expose ``read_word(addr)`` / ``write_word(addr, value)``.  With
+    ``commit_stores=False`` store data is computed but memory is untouched.
+    """
+    op = inst.op
+    result = ExecResult(next_pc=pc + 1)
+
+    if op is Opcode.LD:
+        addr = wrap64(read_reg(inst.rs1) + inst.imm)
+        result.address = addr
+        result.value = memory.read_word(addr)
+    elif op is Opcode.ST:
+        addr = wrap64(read_reg(inst.rs1) + inst.imm)
+        result.address = addr
+        result.value = read_reg(inst.rs2)
+        if commit_stores:
+            memory.write_word(addr, result.value)
+    elif op is Opcode.BEQZ or op is Opcode.BNEZ:
+        value = read_reg(inst.rs1)
+        result.src_a = value
+        taken = (value == 0) if op is Opcode.BEQZ else (value != 0)
+        result.taken = taken
+        if taken:
+            result.next_pc = inst.target
+    elif op is Opcode.JMP:
+        result.taken = True
+        result.next_pc = inst.target
+    elif op is Opcode.HALT:
+        result.halted = True
+        result.next_pc = pc
+    elif op is Opcode.NOP:
+        pass
+    else:
+        a = read_reg(inst.rs1) if inst.rs1 is not None else 0
+        b = read_reg(inst.rs2) if inst.rs2 is not None else 0
+        result.src_a = a
+        result.src_b = b
+        result.value = alu_compute(op, a, b, inst.imm)
+
+    return result
+
+
+def fixed_point(value: float) -> int:
+    """Convert a float to the Q32.16 fixed-point encoding used by kernels."""
+    return wrap64(int(round(value * (1 << FP_SHIFT))))
+
+
+def from_fixed_point(value: int) -> float:
+    """Convert a Q32.16 fixed-point register value back to a float."""
+    return to_signed64(value) / (1 << FP_SHIFT)

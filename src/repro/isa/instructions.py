@@ -1,0 +1,176 @@
+"""Instruction encoding for the mini-ISA.
+
+Instructions are plain, immutable records.  PCs are instruction indices into
+the program's instruction list (the timing model treats a PC as an address by
+multiplying by 4 where a byte address is required, e.g. in predictor tables).
+
+Operand conventions
+-------------------
+``rd``      destination architectural register (or ``None``)
+``rs1``     first source register (base register for memory ops)
+``rs2``     second source register (store data register for ``ST``)
+``imm``     immediate (memory displacement, ALU immediate, or load value)
+``target``  branch target PC (resolved instruction index)
+
+Memory operations move 8-byte words: ``LD rd, imm(rs1)`` and
+``ST rs2, imm(rs1)``.  Compares are RISC-V ``slt``-style, writing 0/1 to a
+register that a conditional branch (``BNEZ``/``BEQZ``) then tests; this split
+is what lets SVR's loop-bound detector observe compare source values via the
+Last Compare register exactly as in the paper (SectionIV-B2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.Enum):
+    """Every operation in the mini-ISA."""
+
+    # Memory.
+    LD = "ld"        # rd <- mem[rs1 + imm]
+    ST = "st"        # mem[rs1 + imm] <- rs2
+    # ALU register-register.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    MIN = "min"
+    MAX = "max"
+    # ALU register-immediate.
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SLLI = "slli"
+    SRLI = "srli"
+    MULI = "muli"
+    LI = "li"        # rd <- imm
+    MV = "mv"        # rd <- rs1
+    # Floating-point-ish arithmetic (modelled on the integer registers with a
+    # longer execute latency; graph kernels use fixed-point score values).
+    FADD = "fadd"
+    FMUL = "fmul"
+    # Compares (slt-style: rd <- 1 if cmp(rs1, rs2) else 0).
+    CMP_LT = "cmp_lt"
+    CMP_LTU = "cmp_ltu"
+    CMP_EQ = "cmp_eq"
+    CMP_NE = "cmp_ne"
+    CMP_GE = "cmp_ge"
+    # Control flow.
+    BEQZ = "beqz"    # branch to target if rs1 == 0
+    BNEZ = "bnez"    # branch to target if rs1 != 0
+    JMP = "jmp"      # unconditional jump to target
+    HALT = "halt"    # stop the program
+    NOP = "nop"
+
+
+class OpClass(enum.Enum):
+    """Coarse functional class used by the timing models."""
+
+    LOAD = "load"
+    STORE = "store"
+    ALU = "alu"
+    FP = "fp"
+    CMP = "cmp"
+    BRANCH = "branch"
+    JUMP = "jump"
+    HALT = "halt"
+    NOP = "nop"
+
+
+ALU_OPS = frozenset(
+    {
+        Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SLL, Opcode.SRL, Opcode.MIN, Opcode.MAX, Opcode.ADDI,
+        Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI, Opcode.SRLI,
+        Opcode.MULI, Opcode.LI, Opcode.MV,
+    }
+)
+FP_OPS = frozenset({Opcode.FADD, Opcode.FMUL})
+CMP_OPS = frozenset(
+    {Opcode.CMP_LT, Opcode.CMP_LTU, Opcode.CMP_EQ, Opcode.CMP_NE, Opcode.CMP_GE}
+)
+BRANCH_OPS = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+
+_CLASS_BY_OP = {Opcode.LD: OpClass.LOAD, Opcode.ST: OpClass.STORE,
+                Opcode.JMP: OpClass.JUMP, Opcode.HALT: OpClass.HALT,
+                Opcode.NOP: OpClass.NOP}
+for _op in ALU_OPS:
+    _CLASS_BY_OP[_op] = OpClass.ALU
+for _op in FP_OPS:
+    _CLASS_BY_OP[_op] = OpClass.FP
+for _op in CMP_OPS:
+    _CLASS_BY_OP[_op] = OpClass.CMP
+for _op in BRANCH_OPS:
+    _CLASS_BY_OP[_op] = OpClass.BRANCH
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the functional class of *op*."""
+    return _CLASS_BY_OP[op]
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction.
+
+    ``target`` holds the resolved branch-target PC after assembly; before
+    label resolution the :class:`~repro.isa.program.ProgramBuilder` keeps the
+    symbolic name separately.
+    """
+
+    op: Opcode
+    rd: int | None = None
+    rs1: int | None = None
+    rs2: int | None = None
+    imm: int = 0
+    target: int | None = None
+
+    @property
+    def opclass(self) -> OpClass:
+        return _CLASS_BY_OP[self.op]
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.ST
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_control(self) -> bool:
+        return self.op in BRANCH_OPS or self.op is Opcode.JMP
+
+    def sources(self) -> tuple[int, ...]:
+        """Architectural source registers read by this instruction."""
+        srcs = []
+        if self.rs1 is not None:
+            srcs.append(self.rs1)
+        if self.rs2 is not None:
+            srcs.append(self.rs2)
+        return tuple(srcs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.rd is not None:
+            parts.append(f"x{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"x{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"x{self.rs2}")
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        return " ".join(parts)

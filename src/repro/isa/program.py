@@ -1,0 +1,235 @@
+"""Program container and assembler-style builder.
+
+Kernels are written against :class:`ProgramBuilder`, which accepts register
+names (``"a0"``, ``"t3"``, ``"x7"``) or indices and symbolic labels, and
+resolves everything into a flat :class:`Program` of
+:class:`~repro.isa.instructions.Instruction` records.
+
+Example
+-------
+>>> b = ProgramBuilder()
+>>> b.li("t0", 0)
+>>> b.label("loop")
+>>> b.addi("t0", "t0", 1)
+>>> b.cmp_lt("t1", "t0", "a0")
+>>> b.bnez("t1", "loop")
+>>> b.halt()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import reg_index
+
+
+@dataclass
+class Program:
+    """An assembled program: flat instruction list plus label map."""
+
+    instructions: list[Instruction]
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def pc_of(self, label: str) -> int:
+        return self.labels[label]
+
+    def disassemble(self, start: int = 0, count: int | None = None) -> str:
+        """Human-readable listing with label annotations (debugging aid)."""
+        by_pc = {pc: name for name, pc in self.labels.items()}
+        end = len(self.instructions) if count is None else min(
+            len(self.instructions), start + count)
+        lines = []
+        for pc in range(start, end):
+            label = by_pc.get(pc)
+            if label is not None:
+                lines.append(f"{label}:")
+            inst = self.instructions[pc]
+            parts = [inst.op.value]
+            for reg in (inst.rd, inst.rs1, inst.rs2):
+                if reg is not None:
+                    parts.append(f"x{reg}")
+            if inst.imm:
+                parts.append(str(inst.imm))
+            if inst.target is not None:
+                parts.append(f"-> {by_pc.get(inst.target, inst.target)}")
+            lines.append(f"  {pc:>5}  {' '.join(parts)}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incremental assembler for :class:`Program`.
+
+    Branch targets may be labels defined before or after the branch; they are
+    resolved in :meth:`build`.
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+        self._fixups: list[tuple[int, str]] = []
+        self._label_seq = 0
+
+    # -- assembly infrastructure ------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Define *name* at the current position and return it."""
+        if name in self._labels:
+            raise ValueError(f"duplicate label: {name}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Return a unique label name (not yet placed)."""
+        self._label_seq += 1
+        return f".{hint}{self._label_seq}"
+
+    def _emit(self, op: Opcode, rd=None, rs1=None, rs2=None, imm: int = 0,
+              target: str | None = None) -> None:
+        pc = len(self._instructions)
+        resolved = None
+        if target is not None:
+            self._fixups.append((pc, target))
+        self._instructions.append(
+            Instruction(op, reg_index(rd), reg_index(rs1), reg_index(rs2),
+                        imm, resolved)
+        )
+
+    def build(self) -> Program:
+        """Resolve labels and return the finished :class:`Program`."""
+        instructions = list(self._instructions)
+        for pc, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label: {label}")
+            inst = instructions[pc]
+            instructions[pc] = Instruction(
+                inst.op, inst.rd, inst.rs1, inst.rs2, inst.imm,
+                self._labels[label],
+            )
+        return Program(instructions, dict(self._labels), self._name)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    # -- memory -------------------------------------------------------------
+
+    def ld(self, rd, rs1, imm: int = 0) -> None:
+        """``rd <- mem[rs1 + imm]`` (8-byte word load)."""
+        self._emit(Opcode.LD, rd=rd, rs1=rs1, imm=imm)
+
+    def st(self, rs2, rs1, imm: int = 0) -> None:
+        """``mem[rs1 + imm] <- rs2`` (8-byte word store)."""
+        self._emit(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm)
+
+    # -- ALU register-register ------------------------------------------------
+
+    def add(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sub(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2)
+
+    def mul(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def and_(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2)
+
+    def or_(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def xor(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2)
+
+    def sll(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.SLL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def srl(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.SRL, rd=rd, rs1=rs1, rs2=rs2)
+
+    def min_(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.MIN, rd=rd, rs1=rs1, rs2=rs2)
+
+    def max_(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.MAX, rd=rd, rs1=rs1, rs2=rs2)
+
+    # -- ALU immediate --------------------------------------------------------
+
+    def addi(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+    def andi(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.ANDI, rd=rd, rs1=rs1, imm=imm)
+
+    def ori(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.ORI, rd=rd, rs1=rs1, imm=imm)
+
+    def xori(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.XORI, rd=rd, rs1=rs1, imm=imm)
+
+    def slli(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.SLLI, rd=rd, rs1=rs1, imm=imm)
+
+    def srli(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.SRLI, rd=rd, rs1=rs1, imm=imm)
+
+    def muli(self, rd, rs1, imm: int) -> None:
+        self._emit(Opcode.MULI, rd=rd, rs1=rs1, imm=imm)
+
+    def li(self, rd, imm: int) -> None:
+        self._emit(Opcode.LI, rd=rd, imm=imm)
+
+    def mv(self, rd, rs1) -> None:
+        self._emit(Opcode.MV, rd=rd, rs1=rs1)
+
+    # -- FP-style arithmetic ----------------------------------------------------
+
+    def fadd(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.FADD, rd=rd, rs1=rs1, rs2=rs2)
+
+    def fmul(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.FMUL, rd=rd, rs1=rs1, rs2=rs2)
+
+    # -- compares -------------------------------------------------------------
+
+    def cmp_lt(self, rd, rs1, rs2) -> None:
+        """``rd <- 1 if signed(rs1) < signed(rs2) else 0``."""
+        self._emit(Opcode.CMP_LT, rd=rd, rs1=rs1, rs2=rs2)
+
+    def cmp_ltu(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.CMP_LTU, rd=rd, rs1=rs1, rs2=rs2)
+
+    def cmp_eq(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.CMP_EQ, rd=rd, rs1=rs1, rs2=rs2)
+
+    def cmp_ne(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.CMP_NE, rd=rd, rs1=rs1, rs2=rs2)
+
+    def cmp_ge(self, rd, rs1, rs2) -> None:
+        self._emit(Opcode.CMP_GE, rd=rd, rs1=rs1, rs2=rs2)
+
+    # -- control flow -----------------------------------------------------------
+
+    def beqz(self, rs1, target: str) -> None:
+        self._emit(Opcode.BEQZ, rs1=rs1, target=target)
+
+    def bnez(self, rs1, target: str) -> None:
+        self._emit(Opcode.BNEZ, rs1=rs1, target=target)
+
+    def jmp(self, target: str) -> None:
+        self._emit(Opcode.JMP, target=target)
+
+    def halt(self) -> None:
+        self._emit(Opcode.HALT)
+
+    def nop(self) -> None:
+        self._emit(Opcode.NOP)

@@ -1,0 +1,27 @@
+"""Memory-system substrate: functional memory, caches, DRAM, TLBs, prefetchers.
+
+Everything the paper's Sniper configuration provides (Table III) is built
+here from scratch: a two-level cache hierarchy with MSHRs and per-line
+prefetch tags, a bandwidth/latency DRAM model, TLBs with a page-table-walker
+pool, the baseline L1 stride prefetcher, and the IMP comparison prefetcher.
+"""
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.dram import DramModel
+from repro.memory.cache import Cache, AccessOutcome
+from repro.memory.tlb import TlbHierarchy
+from repro.memory.stride_prefetcher import StridePrefetcher
+from repro.memory.imp import IndirectMemoryPrefetcher
+from repro.memory.hierarchy import MemoryHierarchy, MemoryConfig
+
+__all__ = [
+    "AccessOutcome",
+    "Cache",
+    "DramModel",
+    "IndirectMemoryPrefetcher",
+    "MainMemory",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "StridePrefetcher",
+    "TlbHierarchy",
+]

@@ -1,0 +1,144 @@
+"""Set-associative cache with LRU replacement, MSHRs and prefetch tags.
+
+A :class:`Cache` holds only tags and per-line metadata (data lives in the
+functional :class:`~repro.memory.main_memory.MainMemory`).  Each line carries
+the two prefetch tags the paper adds to the L1 (Section IV-A7): *prefetched*
+(brought in by a prefetch, not yet referenced) and *dirty* for writebacks.
+
+MSHR occupancy is modelled as a pool of busy-until times: allocating an MSHR
+at time *t* waits for the earliest-free entry, which is how a 1-MSHR system
+serialises misses in the Fig 17 sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class AccessOutcome:
+    """Result of a timed hierarchy access."""
+
+    completion: float
+    level: str                 # 'l1' | 'l2' | 'dram'
+    prefetch_hit: bool = False  # first demand touch of a prefetched line
+
+
+@dataclass(slots=True)
+class LineMeta:
+    dirty: bool = False
+    prefetched: bool = False
+    origin: str = ""           # prefetch origin: 'svr' | 'stride' | 'imp'
+
+
+class Cache:
+    """One cache level.
+
+    Parameters mirror Table III (size, 64 B lines, associativity).  The
+    latency is charged by the hierarchy, not here; this class only answers
+    hit/miss questions and manages replacement.
+    """
+
+    def __init__(self, name: str, size_bytes: int, assoc: int,
+                 line_bytes: int = 64) -> None:
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError(f"{name}: size not divisible by assoc*line")
+        self.name = name
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # set index -> {tag: LineMeta}, dict order is LRU order (front = LRU).
+        self._sets: list[dict[int, LineMeta]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, line_addr: int) -> tuple[dict[int, LineMeta], int]:
+        return self._sets[line_addr % self.num_sets], line_addr // self.num_sets
+
+    def lookup(self, line_addr: int, touch: bool = True) -> LineMeta | None:
+        """Return the line's metadata if present (LRU-touching it)."""
+        cache_set, tag = self._locate(line_addr)
+        meta = cache_set.get(tag)
+        if meta is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            del cache_set[tag]
+            cache_set[tag] = meta
+        return meta
+
+    def contains(self, line_addr: int) -> bool:
+        cache_set, tag = self._locate(line_addr)
+        return tag in cache_set
+
+    def insert(self, line_addr: int, *, dirty: bool = False,
+               prefetched: bool = False, origin: str = "") -> tuple[int, LineMeta] | None:
+        """Fill a line; return ``(victim_line_addr, victim_meta)`` if one
+        was evicted, else ``None``.  Filling a present line merges flags."""
+        cache_set, tag = self._locate(line_addr)
+        meta = cache_set.get(tag)
+        if meta is not None:
+            del cache_set[tag]
+            meta.dirty = meta.dirty or dirty
+            cache_set[tag] = meta
+            return None
+        victim = None
+        if len(cache_set) >= self.assoc:
+            victim_tag, victim_meta = next(iter(cache_set.items()))
+            del cache_set[victim_tag]
+            victim = (victim_tag * self.num_sets + line_addr % self.num_sets,
+                      victim_meta)
+        cache_set[tag] = LineMeta(dirty=dirty, prefetched=prefetched,
+                                  origin=origin)
+        return victim
+
+    def mark_dirty(self, line_addr: int) -> None:
+        cache_set, tag = self._locate(line_addr)
+        meta = cache_set.get(tag)
+        if meta is not None:
+            meta.dirty = True
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class MshrPool:
+    """Miss-status-holding registers as a busy-until pool.
+
+    ``allocate(t)`` blocks (in simulated time) until an entry is free and
+    returns the start time; the caller later fixes the entry's release time
+    via the returned slot index.
+    """
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("need at least one MSHR")
+        self._free_at = [0.0] * entries
+        self.peak_wait = 0.0
+        self.full_stalls = 0
+
+    @property
+    def entries(self) -> int:
+        return len(self._free_at)
+
+    def earliest_free(self) -> float:
+        return min(self._free_at)
+
+    def allocate(self, time: float) -> tuple[int, float]:
+        """Return ``(slot, start_time)`` for a miss arriving at *time*."""
+        slot = min(range(len(self._free_at)), key=self._free_at.__getitem__)
+        start = max(time, self._free_at[slot])
+        wait = start - time
+        if wait > 0:
+            self.full_stalls += 1
+            self.peak_wait = max(self.peak_wait, wait)
+        return slot, start
+
+    def would_block(self, time: float) -> bool:
+        """True if no MSHR is free at *time* (used for drop-on-full)."""
+        return self.earliest_free() > time
+
+    def release(self, slot: int, time: float) -> None:
+        self._free_at[slot] = time

@@ -1,0 +1,101 @@
+"""DRAM timing model: fixed access latency plus a bandwidth constraint.
+
+Table III: 45 ns latency, 50 GiB/s bandwidth at a 2 GHz core clock.  The
+memory controller is a single service pipe: each 64-byte line transfer
+occupies the pipe for ``line_bytes / bytes_per_cycle`` cycles, and a
+request completes ``latency_cycles`` after it wins the pipe.  This is the
+abstraction the Fig 18 bandwidth sweep varies.
+
+Requests do not arrive in timestamp order (a page walk issued at t=20 can
+reach the model after a line fill reserved t=124), so the pipe is tracked
+as a pruned list of busy intervals rather than a single next-free time:
+each request is placed in the earliest gap that fits, which keeps early
+arrivals from being queued behind later reservations.
+"""
+
+from __future__ import annotations
+
+# How far in the past a request may arrive relative to the newest
+# reservation; intervals older than this are pruned.  Arrival skew is
+# bounded by one DRAM round trip (~110 cycles), so 2k cycles is generous.
+_PRUNE_HORIZON = 2048.0
+
+
+class DramModel:
+    """Latency + bandwidth DRAM model.
+
+    Parameters
+    ----------
+    latency_ns:
+        Idle (unloaded) access latency.
+    bandwidth_gbps:
+        Peak bandwidth in GiB/s.
+    frequency_ghz:
+        Core clock, used to convert to cycles.
+    line_bytes:
+        Transfer granule (cache-line size).
+    """
+
+    def __init__(
+        self,
+        latency_ns: float = 45.0,
+        bandwidth_gbps: float = 50.0,
+        frequency_ghz: float = 2.0,
+        line_bytes: int = 64,
+    ) -> None:
+        if bandwidth_gbps <= 0 or latency_ns <= 0:
+            raise ValueError("DRAM latency and bandwidth must be positive")
+        self.latency_cycles = latency_ns * frequency_ghz
+        bytes_per_cycle = bandwidth_gbps * (1 << 30) / (frequency_ghz * 1e9)
+        self.cycles_per_line = line_bytes / bytes_per_cycle
+        # Sorted, disjoint busy intervals [(start, end), ...].
+        self._busy: list[tuple[float, float]] = []
+        self._newest = 0.0
+        self.accesses = 0
+        self.busy_cycles = 0.0
+
+    def _prune(self) -> None:
+        cutoff = self._newest - _PRUNE_HORIZON
+        if self._busy and self._busy[0][1] < cutoff:
+            self._busy = [iv for iv in self._busy if iv[1] >= cutoff]
+
+    def access(self, time: float) -> float:
+        """Issue a line fetch at *time*; return its completion time."""
+        need = self.cycles_per_line
+        start = max(time, 0.0)
+        index = 0
+        # Find the first gap of length `need` at or after `start`.
+        for index, (ivl_start, ivl_end) in enumerate(self._busy):
+            if ivl_end <= start:
+                continue
+            if start + need <= ivl_start:
+                break
+            start = max(start, ivl_end)
+        else:
+            index = len(self._busy)
+        end = start + need
+        self._busy.insert(index, (start, end))
+        # Merge with neighbours to keep the list short.
+        merged: list[tuple[float, float]] = []
+        for ivl in self._busy:
+            if merged and ivl[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], ivl[1]))
+            else:
+                merged.append(ivl)
+        self._busy = merged
+        if end > self._newest:
+            self._newest = end
+        self._prune()
+        self.accesses += 1
+        self.busy_cycles += need
+        return start + self.latency_cycles
+
+    def utilisation(self, elapsed_cycles: float) -> float:
+        """Fraction of *elapsed_cycles* the memory pipe was busy."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / elapsed_cycles)
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.busy_cycles = 0.0

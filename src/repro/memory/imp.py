@@ -1,0 +1,159 @@
+"""IMP — the Indirect Memory Prefetcher of Yu et al. (MICRO 2015) [60].
+
+IMP is the paper's main prefetcher baseline (Figs 1, 11-13).  It piggybacks
+on a stride stream ``A[i]`` and tries to learn a *linear* indirect pattern
+
+    indirect_addr = base + (A[i] << shift)
+
+by correlating the values loaded by the stride stream with the addresses of
+subsequent cache misses.  Once confident, every new stride access triggers
+prefetches for the next ``degree`` indirect targets, reading the future
+index values straight from the (already prefetched) index cache lines.
+
+Faithful consequences the evaluation relies on:
+
+* hashed or masked indices (HashJoin, Kangaroo, randacc) never satisfy the
+  linear hypothesis, so IMP stays silent — matching the paper's "IMP fails"
+  workloads;
+* IMP has no loop-bound information, so it always runs ``degree`` elements
+  past inner-loop boundaries — the over-fetch visible in Fig 13;
+* each stride access re-requests the next window, costing redundant
+  prefetch issues (energy) even when the lines are already resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Element-size coefficients IMP can learn (powers of two up to a cache
+# line, per the IMP paper's shift-based coefficient matching).
+_SHIFT_CANDIDATES = (0, 1, 2, 3, 4, 5, 6)
+
+
+@dataclass
+class _IndirectPattern:
+    shift: int
+    base: int
+    confidence: int = 0
+
+
+@dataclass
+class _StreamEntry:
+    """State for one striding load PC."""
+
+    prev_addr: int
+    stride: int = 0
+    confidence: int = 0
+    recent_values: list[int] = field(default_factory=list)
+    # hypothesis per shift: candidate base address awaiting confirmation
+    hypotheses: dict[int, int] = field(default_factory=dict)
+    pattern: _IndirectPattern | None = None
+
+
+class IndirectMemoryPrefetcher:
+    """IMP model: stride stream detection + indirect pattern table."""
+
+    CONFIDENCE_THRESHOLD = 2
+    STRIDE_THRESHOLD = 2
+    MAX_RECENT = 4
+
+    def __init__(self, memory, table_entries: int = 16, degree: int = 16,
+                 line_bytes: int = 64) -> None:
+        self._memory = memory
+        self._streams: dict[int, _StreamEntry] = {}
+        self._entries = table_entries
+        self.degree = degree
+        self.line_bytes = line_bytes
+        self.issued = 0
+        self.patterns_learned = 0
+
+    # -- training -----------------------------------------------------------
+
+    def observe_load(self, pc: int, addr: int, value: int,
+                     missed: bool) -> list[int]:
+        """Observe a committed load; return byte addresses to prefetch.
+
+        Stride loads train/advance their stream; other (potentially
+        indirect) loads are correlated against recent stream values.
+        """
+        entry = self._streams.get(pc)
+        if entry is not None:
+            requests = self._advance_stream(entry, addr, value)
+            if entry.confidence < self.STRIDE_THRESHOLD and missed:
+                # Not (or no longer) a stride stream: this may be the
+                # indirect consumer of another stream's values.
+                self._correlate(addr)
+            return requests
+        # First sighting: try correlating against confident streams, then
+        # start tracking this PC as a potential stream of its own.
+        if missed:
+            self._correlate(addr)
+        if len(self._streams) >= self._entries:
+            del self._streams[next(iter(self._streams))]
+        self._streams[pc] = _StreamEntry(prev_addr=addr)
+        return []
+
+    def _advance_stream(self, entry: _StreamEntry, addr: int,
+                        value: int) -> list[int]:
+        stride = addr - entry.prev_addr
+        entry.prev_addr = addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = max(0, entry.confidence - 1)
+            entry.recent_values.clear()
+            return []
+        if entry.confidence < self.STRIDE_THRESHOLD:
+            return []
+        entry.recent_values.append(value)
+        if len(entry.recent_values) > self.MAX_RECENT:
+            entry.recent_values.pop(0)
+        if entry.pattern is None or entry.pattern.confidence < self.CONFIDENCE_THRESHOLD:
+            return []
+        return self._generate(entry, addr)
+
+    def _correlate(self, miss_addr: int) -> None:
+        """Try to explain *miss_addr* as base + (value << shift)."""
+        for entry in self._streams.values():
+            if entry.confidence < self.STRIDE_THRESHOLD or not entry.recent_values:
+                continue
+            value = entry.recent_values[-1]
+            for shift in _SHIFT_CANDIDATES:
+                base = miss_addr - (value << shift)
+                if base < 0:
+                    continue
+                pattern = entry.pattern
+                if (pattern is not None and pattern.shift == shift
+                        and pattern.base == base):
+                    pattern.confidence = min(3, pattern.confidence + 1)
+                    if pattern.confidence == self.CONFIDENCE_THRESHOLD:
+                        self.patterns_learned += 1
+                    return
+                if entry.hypotheses.get(shift) == base:
+                    entry.pattern = _IndirectPattern(shift, base, confidence=1)
+                    return
+                entry.hypotheses[shift] = base
+
+    # -- generation -----------------------------------------------------------
+
+    def _generate(self, entry: _StreamEntry, addr: int) -> list[int]:
+        """Prefetch the next ``degree`` indirect targets past *addr*.
+
+        IMP reads future index values from memory (in hardware, from the
+        prefetched index lines); with no loop-bound knowledge it simply
+        marches ``degree`` elements ahead.
+        """
+        pattern = entry.pattern
+        assert pattern is not None
+        requests = []
+        for d in range(1, self.degree + 1):
+            index_addr = addr + d * entry.stride
+            try:
+                value = self._memory.read_word(index_addr)
+            except IndexError:
+                break
+            requests.append(index_addr)
+            requests.append(pattern.base + (value << pattern.shift))
+        self.issued += len(requests)
+        return requests

@@ -1,0 +1,69 @@
+"""Baseline L1 stride prefetcher (reference-prediction-table style).
+
+Table III lists a stride prefetcher on the L1-D for every configuration,
+including the plain in-order baseline.  It covers the sequential accesses
+(offset/neighbor array walks) but by construction cannot help the indirect
+accesses that SVR and IMP target.
+"""
+
+from __future__ import annotations
+
+
+class _Entry:
+    __slots__ = ("prev_addr", "stride", "confidence")
+
+    def __init__(self, addr: int) -> None:
+        self.prev_addr = addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """PC-indexed reference prediction table (Chen & Baer [17]).
+
+    On a confident stride match it requests ``degree`` lines starting
+    ``distance`` strides ahead.  Requests are line addresses; issuing them
+    (and dropping them when MSHRs are full) is the hierarchy's job.
+    """
+
+    def __init__(self, table_entries: int = 64, degree: int = 2,
+                 distance: int = 4, line_bytes: int = 64,
+                 confidence_threshold: int = 2) -> None:
+        self._table: dict[int, _Entry] = {}
+        self._entries = table_entries
+        self.degree = degree
+        self.distance = distance
+        self.line_bytes = line_bytes
+        self.threshold = confidence_threshold
+        self.issued = 0
+
+    def train(self, pc: int, addr: int) -> list[int]:
+        """Observe a demand load; return byte addresses to prefetch."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self._entries:
+                del self._table[next(iter(self._table))]
+            self._table[pc] = _Entry(addr)
+            return []
+        stride = addr - entry.prev_addr
+        entry.prev_addr = addr
+        if stride == entry.stride and stride != 0:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = max(0, entry.confidence - 1)
+            return []
+        if entry.confidence < self.threshold:
+            return []
+        requests = []
+        seen_lines = set()
+        for k in range(self.distance, self.distance + self.degree * 4):
+            target = addr + k * stride
+            line = target // self.line_bytes
+            if line not in seen_lines and line != addr // self.line_bytes:
+                seen_lines.add(line)
+                requests.append(target)
+            if len(requests) >= self.degree:
+                break
+        self.issued += len(requests)
+        return requests

@@ -1,0 +1,89 @@
+"""TLBs and page-table walkers.
+
+Table III: 16-entry fully-associative D-TLB, 2048-entry S-TLB, and 4 page
+table walkers.  A D-TLB miss that hits the S-TLB costs a small refill
+penalty; a full miss occupies one walker for the duration of a two-level
+walk whose accesses go through the shared DRAM model (so heavy TLB-missing
+workloads, e.g. randacc, contend for walkers exactly as in the Fig 17
+PTW sweep).
+"""
+
+from __future__ import annotations
+
+PAGE_BYTES = 4096
+
+
+class _FifoTlb:
+    """Fully-associative TLB with LRU replacement (dict-ordered)."""
+
+    def __init__(self, entries: int) -> None:
+        self._entries = entries
+        self._pages: dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        if page in self._pages:
+            del self._pages[page]
+            self._pages[page] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, page: int) -> None:
+        if page in self._pages:
+            del self._pages[page]
+        elif len(self._pages) >= self._entries:
+            del self._pages[next(iter(self._pages))]
+        self._pages[page] = None
+
+
+class TlbHierarchy:
+    """D-TLB + S-TLB + PTW pool; returns translation-ready times."""
+
+    STLB_HIT_CYCLES = 6.0      # refill from the second-level TLB
+    WALK_CACHED_CYCLES = 20.0  # page-table accesses that hit on-chip
+
+    def __init__(self, dram, dtlb_entries: int = 16, stlb_entries: int = 2048,
+                 walkers: int = 4) -> None:
+        self._dtlb = _FifoTlb(dtlb_entries)
+        self._stlb = _FifoTlb(stlb_entries)
+        self._dram = dram
+        self._walker_free = [0.0] * max(1, walkers)
+        self.walks = 0
+        self.stlb_refills = 0
+
+    @property
+    def walkers(self) -> int:
+        return len(self._walker_free)
+
+    def translate(self, addr: int, time: float) -> float:
+        """Return the time at which the translation of *addr* is available."""
+        page = addr // PAGE_BYTES
+        if self._dtlb.access(page):
+            return time
+        if self._stlb.access(page):
+            self._dtlb.fill(page)
+            self.stlb_refills += 1
+            return time + self.STLB_HIT_CYCLES
+        # Full miss: grab a walker, charge a cached leg plus one DRAM access
+        # for the leaf PTE (page tables are too big to stay resident for the
+        # irregular workloads).
+        slot = min(range(len(self._walker_free)),
+                   key=self._walker_free.__getitem__)
+        start = max(time, self._walker_free[slot])
+        done = self._dram.access(start + self.WALK_CACHED_CYCLES)
+        self._walker_free[slot] = done
+        self._stlb.fill(page)
+        self._dtlb.fill(page)
+        self.walks += 1
+        return done
+
+    @property
+    def dtlb_misses(self) -> int:
+        return self._dtlb.misses
+
+    @property
+    def dtlb_hits(self) -> int:
+        return self._dtlb.hits

@@ -1,0 +1,247 @@
+"""Loop-bound prediction (Section IV-B2, Figs 10 and 15).
+
+Three cooperating mechanisms decide how many scalar lanes each round of
+piggyback runahead should generate:
+
+* **EWMA** — a per-stride-PC exponentially weighted moving average of
+  contiguous-run lengths (the counters live in the stride detector entry);
+* **LBD** — the loop-bound detector: the Last Compare (LC) register
+  snapshots every compare's PC, source values and register ids; a
+  backward *taken* conditional branch reading the LC's destination trains
+  a per-loop entry that learns which compare operand is the induction
+  variable (changes each iteration) and which is the bound (constant),
+  plus the per-iteration increment;
+* **CV scavenging** — on loop (re-)entry the stored compare values are
+  stale, so SVR reads the *current* register values of the compare's
+  source registers and derives the remaining trip count from them;
+* a **tournament** of 2-bit counters (stored on the stride entry) picks
+  between EWMA and LBD+CV, trained whenever a contiguous run ends and the
+  true length becomes known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import to_signed64
+from repro.svr.config import LoopBoundPolicy
+from repro.svr.stride_detector import StrideEntry
+
+
+@dataclass(slots=True)
+class LastCompare:
+    """The LC register (Fig 10 context): state of the most recent compare."""
+
+    pc: int = -1
+    val_a: int = 0
+    val_b: int = 0
+    reg_a: int = -1
+    reg_b: int = -1
+    dest: int = -1
+    valid: bool = False
+
+    def reset(self) -> None:
+        self.valid = False
+        self.pc = -1
+        self.dest = -1
+
+
+@dataclass(slots=True)
+class LbdEntry:
+    """Per-HSLR-PC loop-bound detector entry."""
+
+    comp_pc: int = -1
+    s_a: int = 0
+    s_b: int = 0
+    reg_a: int = -1
+    reg_b: int = -1
+    confidence: int = 0
+    increment: int = 0
+    changing: str = ""     # 'a' or 'b' — which operand is the induction var
+    fresh: bool = False    # trained since the current loop entry
+
+
+class LoopBoundUnit:
+    """LC + LBD table + prediction policies."""
+
+    def __init__(self, entries: int = 8) -> None:
+        self.lc = LastCompare()
+        self._entries = entries
+        self._table: dict[int, LbdEntry] = {}
+        self.trainings = 0
+        self.cv_predictions = 0
+
+    # -- LC maintenance -----------------------------------------------------
+
+    def observe_compare(self, pc: int, val_a: int, val_b: int, reg_a: int,
+                        reg_b: int, dest: int) -> None:
+        lc = self.lc
+        lc.pc = pc
+        lc.val_a = val_a
+        lc.val_b = val_b
+        lc.reg_a = reg_a
+        lc.reg_b = reg_b
+        lc.dest = dest
+        lc.valid = True
+
+    def observe_write(self, pc: int, dest: int | None, is_compare: bool) -> None:
+        """Reset the LC when its flag destination is written by another op."""
+        if (dest is not None and not is_compare and self.lc.valid
+                and dest == self.lc.dest):
+            self.lc.reset()
+
+    # -- LBD table ---------------------------------------------------------------
+
+    def entry_for(self, hslr_pc: int) -> LbdEntry:
+        entry = self._table.get(hslr_pc)
+        if entry is None:
+            if len(self._table) >= self._entries:
+                del self._table[next(iter(self._table))]
+            entry = LbdEntry()
+            self._table[hslr_pc] = entry
+        return entry
+
+    def peek(self, hslr_pc: int) -> LbdEntry | None:
+        return self._table.get(hslr_pc)
+
+    def on_loop_reentry(self, hslr_pc: int) -> None:
+        """A stride discontinuity means we (re-)entered the loop: stored
+        compare values are stale until the branch executes again."""
+        entry = self._table.get(hslr_pc)
+        if entry is not None:
+            entry.fresh = False
+
+    def train_on_branch(self, branch_pc: int, target_pc: int, taken: bool,
+                        source_reg: int, hslr_pc: int | None) -> None:
+        """Train the LBD on a backward conditional-taken branch fed by LC."""
+        lc = self.lc
+        if (not taken or target_pc >= branch_pc or not lc.valid
+                or source_reg != lc.dest or hslr_pc is None
+                or target_pc > hslr_pc):
+            return
+        entry = self.entry_for(hslr_pc)
+        if entry.comp_pc != lc.pc:
+            entry.confidence -= 1
+            if entry.confidence <= 0:
+                # Replace with the LC's state.
+                entry.comp_pc = lc.pc
+                entry.s_a = lc.val_a
+                entry.s_b = lc.val_b
+                entry.reg_a = lc.reg_a
+                entry.reg_b = lc.reg_b
+                entry.confidence = 1
+                entry.increment = 0
+                entry.changing = ""
+                entry.fresh = False
+            return
+        entry.confidence = min(3, entry.confidence + 1)
+        a_changed = lc.val_a != entry.s_a
+        b_changed = lc.val_b != entry.s_b
+        if a_changed != b_changed:
+            # Exactly one operand moved: that's the induction variable.
+            if a_changed:
+                entry.increment = to_signed64(lc.val_a) - to_signed64(entry.s_a)
+                entry.changing = "a"
+            else:
+                entry.increment = to_signed64(lc.val_b) - to_signed64(entry.s_b)
+                entry.changing = "b"
+            entry.fresh = True
+            self.trainings += 1
+        entry.s_a = lc.val_a
+        entry.s_b = lc.val_b
+
+    # -- predictions -----------------------------------------------------------
+
+    @staticmethod
+    def _remaining(induction: int, bound: int, increment: int) -> int | None:
+        if increment == 0:
+            return None
+        remaining = (to_signed64(bound) - to_signed64(induction)) // increment
+        return remaining if remaining >= 0 else None
+
+    def predict_lbd(self, hslr_pc: int, require_fresh: bool) -> int | None:
+        """Remaining iterations from the stored (possibly stale) LC values."""
+        entry = self._table.get(hslr_pc)
+        if entry is None or entry.confidence < 2 or not entry.changing:
+            return None
+        if require_fresh and not entry.fresh:
+            return None
+        if entry.changing == "a":
+            return self._remaining(entry.s_a, entry.s_b, entry.increment)
+        return self._remaining(entry.s_b, entry.s_a, entry.increment)
+
+    def predict_cv(self, hslr_pc: int, read_reg) -> int | None:
+        """Current-value scavenging: read the compare's source registers now."""
+        entry = self._table.get(hslr_pc)
+        if (entry is None or entry.confidence < 2 or not entry.changing
+                or entry.reg_a < 0 or entry.reg_b < 0):
+            return None
+        cv_a = read_reg(entry.reg_a)
+        cv_b = read_reg(entry.reg_b)
+        self.cv_predictions += 1
+        if entry.changing == "a":
+            return self._remaining(cv_a, cv_b, entry.increment)
+        return self._remaining(cv_b, cv_a, entry.increment)
+
+    # -- policy front-end ----------------------------------------------------------
+
+    def decide_length(self, policy: LoopBoundPolicy, stride: StrideEntry,
+                      read_reg, n_max: int) -> int:
+        """How many lanes to generate this round (0 means skip the round)."""
+        ewma_pred = self._ewma_length(stride, n_max)
+        if policy is LoopBoundPolicy.MAXLENGTH:
+            return n_max
+        if policy is LoopBoundPolicy.EWMA:
+            stride.last_ewma_pred = ewma_pred
+            return ewma_pred
+        lbd_cv = self._lbd_cv_length(stride.pc, read_reg, n_max)
+        if policy is LoopBoundPolicy.LBD_WAIT:
+            fresh = self.predict_lbd(stride.pc, require_fresh=True)
+            return min(fresh, n_max) if fresh is not None else 0
+        if policy is LoopBoundPolicy.LBD_MAXLENGTH:
+            fresh = self.predict_lbd(stride.pc, require_fresh=True)
+            return min(fresh, n_max) if fresh is not None else n_max
+        if policy is LoopBoundPolicy.LBD_CV:
+            return lbd_cv if lbd_cv is not None else n_max
+        # Tournament: 2-bit chooser, MSB set -> trust LBD+CV.
+        stride.last_ewma_pred = ewma_pred
+        stride.last_lbd_pred = lbd_cv
+        if stride.tournament >= 2 and lbd_cv is not None:
+            return lbd_cv
+        return ewma_pred
+
+    def _ewma_length(self, stride: StrideEntry, n_max: int) -> int:
+        """min(EWMA - Iteration, N) if positive, else min(EWMA, N).
+
+        Before the first run ends the EWMA is untrained; be optimistic
+        (max length) rather than refusing to runahead at cold start.
+        """
+        if not stride.ewma_trained:
+            return n_max
+        ewma = int(round(stride.ewma))
+        remaining = ewma - stride.iteration
+        if remaining > 0:
+            return min(remaining, n_max)
+        return min(max(ewma, 0), n_max)
+
+    def _lbd_cv_length(self, hslr_pc: int, read_reg, n_max: int) -> int | None:
+        pred = self.predict_lbd(hslr_pc, require_fresh=True)
+        if pred is None:
+            pred = self.predict_cv(hslr_pc, read_reg)
+        return min(pred, n_max) if pred is not None else None
+
+    def train_tournament(self, stride: StrideEntry, actual: int) -> None:
+        """A contiguous run just ended with *actual* iterations: reward the
+        closer predictor (Section IV-B2, Tournament Predictor)."""
+        ewma_pred = stride.last_ewma_pred
+        lbd_pred = stride.last_lbd_pred
+        if ewma_pred is None or lbd_pred is None:
+            return
+        ewma_err = abs(ewma_pred - actual)
+        lbd_err = abs(lbd_pred - actual)
+        if lbd_err < ewma_err:
+            stride.tournament = min(3, stride.tournament + 1)
+        elif ewma_err < lbd_err:
+            stride.tournament = max(0, stride.tournament - 1)
+        stride.last_ewma_pred = None
+        stride.last_lbd_pred = None

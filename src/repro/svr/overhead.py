@@ -1,0 +1,100 @@
+"""Hardware-overhead accounting — Table II, plus the Table I feature matrix.
+
+``overhead_bits(n, k)`` reproduces the paper's bit-level budget exactly:
+17,738 bits (2.17 KiB) for the default N=16, K=8 configuration, growing to
+~9 KiB at N=128 as the SRF dominates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Bits per structure, mirroring the rows of Table II."""
+
+    stride_detector: int
+    taint_tracker: int
+    hslr: int
+    srf: int
+    lc: int
+    lbd: int
+    scoreboard: int
+    l1_prefetch_tags: int
+
+    @property
+    def total_bits(self) -> int:
+        return (self.stride_detector + self.taint_tracker + self.hslr
+                + self.srf + self.lc + self.lbd + self.scoreboard
+                + self.l1_prefetch_tags)
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+
+def overhead_breakdown(
+    n: int = 16,
+    k: int = 8,
+    *,
+    sd_entries: int = 32,
+    arch_regs: int = 32,
+    lbd_entries: int = 8,
+    scoreboard_entries: int = 32,
+    l1_lines: int = 1024,
+) -> OverheadBreakdown:
+    """Compute SVR state bits for vector length *n* and *k* SRF entries."""
+    if n < 1 or k < 1:
+        raise ValueError("N and K must be positive")
+    # Stride detector entry: 48b PC + 48b LP + 48b prev addr + 1b seen
+    # + 8b stride + 16b LIL + 2b stride conf + 2b LIL conf = 173 bits.
+    sd_entry = 48 + 48 + 48 + 1 + 8 + 16 + 2 + 2
+    # Taint tracker entry: 1b tainted + ceil(log2 K) SRF id + 1b mapped
+    # + 8b offset.
+    tt_entry = 1 + max(1, math.ceil(math.log2(k))) + 1 + 8
+    # HSLR: 48b PC + N mask bits.
+    hslr = 48 + n
+    # SRF: K vectors of N 64-bit lanes.
+    srf = k * n * 64
+    # LC: 48b PC + 2 x (64b value + 5b reg id).
+    lc = 48 + 2 * (64 + 5)
+    # LBD entry: 48b PC + LC copy + 9b EWMA + 16b increment + 9b iteration
+    # + 2b tournament.
+    lbd_entry = 48 + lc + 9 + 16 + 9 + 2
+    # Scoreboard return counters: ceil(log2(N+1)) bits per entry.
+    sb_entry = math.ceil(math.log2(n + 1))
+    return OverheadBreakdown(
+        stride_detector=sd_entries * sd_entry,
+        taint_tracker=arch_regs * tt_entry,
+        hslr=hslr,
+        srf=srf,
+        lc=lc,
+        lbd=lbd_entries * lbd_entry,
+        scoreboard=scoreboard_entries * sb_entry,
+        l1_prefetch_tags=l1_lines,
+    )
+
+
+def overhead_bits(n: int = 16, k: int = 8, **kwargs) -> int:
+    """Total SVR state in bits (Table II: 17,738 for N=16, K=8)."""
+    return overhead_breakdown(n, k, **kwargs).total_bits
+
+
+def overhead_kib(n: int = 16, k: int = 8, **kwargs) -> float:
+    """Total SVR state in KiB (Table II: 2.17 KiB for N=16, K=8)."""
+    return overhead_breakdown(n, k, **kwargs).total_kib
+
+
+def feature_matrix() -> dict[str, dict[str, bool]]:
+    """Table I: the qualitative VR / DVR / SVR comparison."""
+    return {
+        "Based on existing vector ISAs": {"VR": True, "DVR": True, "SVR": False},
+        "Relies on existing vector registers": {"VR": True, "DVR": True, "SVR": False},
+        "Optimizes vector-register usage": {"VR": False, "DVR": False, "SVR": True},
+        "Stalls the main thread": {"VR": True, "DVR": False, "SVR": False},
+        "Runahead synchronous with main thread": {"VR": False, "DVR": False, "SVR": True},
+        "Mitigates incorrect prefetches": {"VR": False, "DVR": True, "SVR": True},
+        "Needs a discovery pass": {"VR": False, "DVR": True, "SVR": False},
+    }

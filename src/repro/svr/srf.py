@@ -1,0 +1,109 @@
+"""Speculative register file (Section IV-A3).
+
+K wide registers, each holding N 64-bit lanes with per-lane value and
+ready-time (the scoreboard return-counter of Section IV-A4 collapses to
+per-lane readiness in our event-driven model).  SRF entries are
+deliberately under-provisioned; when they run out SVR recycles the entry
+backing the least-recently-read architectural register, while the DVR
+ablation policy refuses and simply stops vectorizing new values.
+"""
+
+from __future__ import annotations
+
+from repro.svr.config import RecyclingPolicy
+from repro.svr.taint_tracker import TaintTracker
+
+
+class _SrfEntry:
+    __slots__ = ("values", "ready", "valid", "owner")
+
+    def __init__(self, lanes: int) -> None:
+        self.values = [0] * lanes
+        self.ready = [0.0] * lanes
+        self.valid = [False] * lanes
+        self.owner = -1    # architectural register currently mapped here
+
+    def reset(self, owner: int) -> None:
+        for lane in range(len(self.values)):
+            self.values[lane] = 0
+            self.ready[lane] = 0.0
+            self.valid[lane] = False
+        self.owner = owner
+
+
+class SpeculativeRegisterFile:
+    """K x N x 64-bit transient storage with recycling."""
+
+    def __init__(self, entries: int, lanes: int,
+                 policy: RecyclingPolicy = RecyclingPolicy.LRU) -> None:
+        self._lanes = lanes
+        self._policy = policy
+        self._entries = [_SrfEntry(lanes) for _ in range(entries)]
+        self._free = list(range(entries))
+        self.allocations = 0
+        self.recycles = 0
+        self.allocation_failures = 0
+
+    @property
+    def lanes(self) -> int:
+        return self._lanes
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    def entry(self, srf_id: int) -> _SrfEntry:
+        return self._entries[srf_id]
+
+    def allocate(self, reg: int, taint: TaintTracker) -> int | None:
+        """Get an SRF entry for architectural register *reg*.
+
+        Reuses an existing mapping (footnote 1: only one copy of an
+        architectural register can be live at once).  On exhaustion, LRU
+        policy steals from the least-recently-read mapped register; DVR
+        policy fails, leaving *reg* tainted-but-unmapped.
+        """
+        tentry = taint.entry(reg)
+        if tentry.mapped:
+            srf = self._entries[tentry.srf_id]
+            srf.reset(reg)
+            return tentry.srf_id
+        if self._free:
+            srf_id = self._free.pop()
+            self._entries[srf_id].reset(reg)
+            self.allocations += 1
+            return srf_id
+        if self._policy is RecyclingPolicy.DVR:
+            self.allocation_failures += 1
+            return None
+        victim_reg = taint.lru_victim()
+        if victim_reg is None:
+            self.allocation_failures += 1
+            return None
+        srf_id = taint.srf_of(victim_reg)
+        taint.unmap(victim_reg)
+        self._entries[srf_id].reset(reg)
+        self.recycles += 1
+        return srf_id
+
+    def release(self, srf_id: int) -> None:
+        entry = self._entries[srf_id]
+        entry.owner = -1
+        if srf_id not in self._free:
+            self._free.append(srf_id)
+
+    def release_all(self) -> None:
+        for srf_id, entry in enumerate(self._entries):
+            entry.owner = -1
+        self._free = list(range(len(self._entries)))
+
+    def write_lane(self, srf_id: int, lane: int, value: int,
+                   ready: float) -> None:
+        entry = self._entries[srf_id]
+        entry.values[lane] = value
+        entry.ready[lane] = ready
+        entry.valid[lane] = True
+
+    def read_lane(self, srf_id: int, lane: int) -> tuple[int, float, bool]:
+        entry = self._entries[srf_id]
+        return entry.values[lane], entry.ready[lane], entry.valid[lane]

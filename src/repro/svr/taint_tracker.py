@@ -1,0 +1,94 @@
+"""Taint tracker — identifies the indirect chain (Fig 8).
+
+One entry per architectural register: a *tainted* bit (the register holds a
+transient value derived from a striding load), a *mapped* bit plus SRF id
+(the transient vector lives in the speculative register file), and an
+*offset* recording the dynamic-instruction distance of the last read, which
+implements the LRU recycling of Section IV-A3.
+
+A register can be tainted but unmapped: its SRF entry was recycled, so
+instructions reading it can no longer be scalar-vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import NUM_REGS
+
+
+@dataclass(slots=True)
+class TaintEntry:
+    tainted: bool = False
+    mapped: bool = False
+    srf_id: int = -1
+    offset: int = 0      # dynamic instructions since PRM start at last read
+
+
+class TaintTracker:
+    """Per-architectural-register taint state."""
+
+    def __init__(self) -> None:
+        self._entries = [TaintEntry() for _ in range(NUM_REGS)]
+
+    def entry(self, reg: int) -> TaintEntry:
+        return self._entries[reg]
+
+    def is_tainted(self, reg: int) -> bool:
+        return self._entries[reg].tainted
+
+    def is_vectorizable(self, reg: int) -> bool:
+        """Tainted *and* still mapped to a live SRF entry."""
+        entry = self._entries[reg]
+        return entry.tainted and entry.mapped
+
+    def srf_of(self, reg: int) -> int:
+        return self._entries[reg].srf_id
+
+    def map(self, reg: int, srf_id: int, offset: int) -> None:
+        entry = self._entries[reg]
+        entry.tainted = True
+        entry.mapped = True
+        entry.srf_id = srf_id
+        entry.offset = offset
+
+    def unmap(self, reg: int) -> None:
+        """Recycle: keep taint, drop the SRF mapping (Section IV-A3)."""
+        entry = self._entries[reg]
+        entry.mapped = False
+        entry.srf_id = -1
+
+    def untaint(self, reg: int) -> int | None:
+        """Overwritten by a non-chain instruction; frees the SRF entry.
+
+        Returns the freed SRF id, if any.
+        """
+        entry = self._entries[reg]
+        freed = entry.srf_id if entry.mapped else None
+        entry.tainted = False
+        entry.mapped = False
+        entry.srf_id = -1
+        return freed
+
+    def touch_read(self, reg: int, offset: int) -> None:
+        self._entries[reg].offset = offset
+
+    def lru_victim(self) -> int | None:
+        """Mapped register with the stalest read offset (LRU recycling)."""
+        victim = None
+        best = None
+        for reg, entry in enumerate(self._entries):
+            if entry.mapped and (best is None or entry.offset < best):
+                best = entry.offset
+                victim = reg
+        return victim
+
+    def mapped_registers(self) -> list[int]:
+        return [r for r, e in enumerate(self._entries) if e.mapped]
+
+    def clear(self) -> None:
+        for entry in self._entries:
+            entry.tainted = False
+            entry.mapped = False
+            entry.srf_id = -1
+            entry.offset = 0

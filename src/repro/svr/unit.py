@@ -1,0 +1,488 @@
+"""The Scalar Vector Unit: piggyback runahead on the in-order core.
+
+This module implements Sections IV-A and IV-B of the paper end to end:
+
+* **Triggering** — every committed load consults the stride detector; a
+  confident striding load outside its waiting range enters piggyback
+  runahead mode (PRM), setting the HSLR.
+* **Stride SVIs** — on PRM entry, N' scalar copies of the striding load
+  are issued at future addresses (N' chosen by the loop-bound policy);
+  lane values land in a speculative register file (SRF) entry mapped to
+  the load's destination register through the taint tracker.
+* **Dependent SVIs** — while in PRM, any real instruction reading a
+  tainted-and-mapped register is cloned per active lane at the point it
+  issues (lockstep coupling); dependent loads issue prefetches whose start
+  waits on the source lane's readiness (the scoreboard return counter of
+  Section IV-A4).
+* **Control flow** — per-lane branch outcomes that diverge from the real
+  path clear lane mask bits (one shared mask in the HSLR, Section IV-B1).
+* **Termination** — reaching the HSLR load again, a 256-instruction
+  timeout, or a retarget; the taint tracker and SRF are then cleared and
+  the stride entry's Last Prefetch range implements waiting mode.
+* **Multiple chains** — nested / unrolled / independent loops via the
+  per-entry Seen bits (Section IV-A6, Fig 9).
+* **Throttling** — the loop-bound unit decides N' (Fig 15 policies); the
+  accuracy monitor can ban triggering entirely (Section IV-A7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.executor import alu_compute
+from repro.isa.instructions import OpClass, Opcode
+from repro.isa.registers import wrap64
+from repro.svr.accuracy import AccuracyMonitor
+from repro.svr.config import LoopBoundPolicy, SVRConfig
+from repro.svr.loop_bound import LoopBoundUnit
+from repro.svr.overhead import overhead_kib
+from repro.svr.srf import SpeculativeRegisterFile
+from repro.svr.stride_detector import StrideDetector, StrideEntry
+from repro.svr.taint_tracker import TaintTracker
+
+
+@dataclass
+class SvrStats:
+    """Counters for one measured region (reset with the core's stats)."""
+
+    prm_rounds: int = 0
+    svi_lanes: int = 0            # scalar copies issued (all classes)
+    svi_load_lanes: int = 0       # scalar copies that were loads
+    masked_lanes: int = 0
+    retargets: int = 0
+    unrolled_chains: int = 0
+    terminations: dict[str, int] = field(
+        default_factory=lambda: {"hslr": 0, "timeout": 0, "retarget": 0})
+    rounds_skipped_zero_length: int = 0
+    rounds_blocked_by_monitor: int = 0
+    table_accesses: int = 0
+
+    @property
+    def transient_instructions(self) -> int:
+        return self.svi_lanes
+
+
+class ScalarVectorUnit:
+    """SVR attachment for :class:`repro.cores.inorder.InOrderCore`."""
+
+    def __init__(self, config: SVRConfig | None = None) -> None:
+        self.config = config or SVRConfig()
+        cfg = self.config
+        self.detector = StrideDetector(cfg.stride_detector_entries,
+                                       cfg.stride_confidence_threshold,
+                                       cfg.ewma_cap)
+        self.taint = TaintTracker()
+        self.srf = SpeculativeRegisterFile(cfg.srf_entries, cfg.vector_length,
+                                           cfg.recycling)
+        self.loop_bound = LoopBoundUnit()
+        self.monitor = AccuracyMonitor(cfg.accuracy_threshold,
+                                       cfg.accuracy_warmup_events,
+                                       cfg.accuracy_reset_interval,
+                                       cfg.accuracy_enabled)
+        self.stats = SvrStats()
+        self.core = None
+        self._context_slots = None      # decoupled-context ablation
+        self.in_prm = False
+        self.hslr_pc: int | None = None
+        self.mask = [False] * cfg.vector_length
+        self._prm_instructions = 0      # main-thread instrs since PRM entry
+        self._lil_offset = 0            # offset of last dependent load SVI
+        self._generation_stopped = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, core) -> None:
+        self.core = core
+        core.hierarchy.accuracy_listener = self.monitor
+        if self.config.decoupled_context:
+            from repro.cores.base import IssueSlots
+
+            self._context_slots = IssueSlots(core.config.width)
+
+    def _svi_slot(self, earliest: float) -> float:
+        """Reserve an issue slot for one SVI group.
+
+        Lockstep (default): the main thread's real issue slots.
+        Decoupled ablation: a free second context's slots.
+        """
+        if self._context_slots is not None:
+            time = self._context_slots.allocate(earliest)
+            if time + 1.0 > self.core.stats.end_cycle:
+                self.core.stats.end_cycle = time + 1.0
+            return time
+        return self.core.issue_transient(earliest)
+
+    def reset_stats(self) -> None:
+        self.stats = SvrStats()
+
+    @property
+    def state_kib(self) -> float:
+        """SVR SRAM overhead for the energy model (Table II)."""
+        return overhead_kib(self.config.vector_length, self.config.srf_entries)
+
+    # -- core callback ----------------------------------------------------------
+
+    def after_issue(self, pc: int, inst, issue_time: float, result,
+                    outcome) -> None:
+        """Called by the core for every committed instruction."""
+        cfg = self.config
+        if cfg.accuracy_enabled:
+            self.monitor.tick()
+        opclass = inst.opclass
+
+        if self.in_prm:
+            self._prm_instructions += 1
+
+        # Last Compare register maintenance (Section IV-B2).
+        if opclass is OpClass.CMP:
+            self.loop_bound.observe_compare(pc, result.src_a, result.src_b,
+                                            inst.rs1, inst.rs2, inst.rd)
+        else:
+            self.loop_bound.observe_write(pc, inst.rd,
+                                          is_compare=False)
+        if opclass is OpClass.BRANCH:
+            self.loop_bound.train_on_branch(pc, inst.target, result.taken,
+                                            inst.rs1, self.hslr_pc)
+
+        started_round = False
+        if opclass is OpClass.LOAD:
+            started_round = self._stride_logic(pc, inst, result, issue_time)
+
+        if self.in_prm and not started_round:
+            self._dependent_logic(pc, inst, result, issue_time)
+
+        if (self.in_prm
+                and self._prm_instructions > cfg.timeout_instructions):
+            self._terminate("timeout")
+
+    # -- trigger / multi-chain logic (Section IV-A6) ------------------------------
+
+    def _stride_logic(self, pc: int, inst, result, issue_time: float) -> bool:
+        """Handle a committed load; returns True if it generated stride SVIs."""
+        obs = self.detector.observe(pc, result.address)
+        entry = obs.entry
+        self.stats.table_accesses += 1
+        if obs.ended_run:
+            self.loop_bound.train_tournament(entry, obs.run_length)
+            self.loop_bound.on_loop_reentry(pc)
+        if not obs.is_striding:
+            return False
+
+        if self.in_prm:
+            if pc == self.hslr_pc:
+                # One full iteration of the indirect chain: terminate, then
+                # maybe immediately restart outside the prefetched range.
+                self.detector.clear_seen_except(pc)
+                self._terminate("hslr")
+                if not obs.in_waiting_range and self._may_trigger():
+                    return self._enter_prm(entry, inst, result.address,
+                                           issue_time)
+                return False
+            if entry.seen:
+                # Nested inner loop (Fig 9 top): abort and retarget.
+                self._terminate("retarget")
+                self.stats.retargets += 1
+                self.hslr_pc = pc
+                self.detector.clear_seen_except(pc)
+                entry.seen = True
+                if not obs.in_waiting_range and self._may_trigger():
+                    return self._enter_prm(entry, inst, result.address,
+                                           issue_time)
+                return False
+            # Unrolled parallel chain (Fig 9 middle): vectorize alongside.
+            entry.seen = True
+            if (not obs.in_waiting_range and self._may_trigger()
+                    and not self._generation_stopped):
+                self.stats.unrolled_chains += 1
+                self._generate_stride_svis(entry, inst, result.address,
+                                           issue_time,
+                                           shared_mask=True)
+                return True
+            return False
+
+        # Not in PRM (normal execution or waiting mode).
+        if self.hslr_pc is None or pc == self.hslr_pc:
+            self.detector.clear_seen_except(pc)
+            if not obs.in_waiting_range and self._may_trigger():
+                self.hslr_pc = pc
+                return self._enter_prm(entry, inst, result.address, issue_time)
+            return False
+        if entry.seen:
+            # Independent loop seen twice: retarget (Fig 9 bottom).
+            self.stats.retargets += 1
+            self.hslr_pc = pc
+            self.detector.clear_seen_except(pc)
+            entry.seen = True
+            if not obs.in_waiting_range and self._may_trigger():
+                return self._enter_prm(entry, inst, result.address, issue_time)
+            return False
+        if not obs.in_waiting_range:
+            entry.seen = True
+        return False
+
+    def _may_trigger(self) -> bool:
+        if not self.monitor.allow_trigger():
+            self.stats.rounds_blocked_by_monitor += 1
+            return False
+        return True
+
+    # -- PRM entry and SVI generation ----------------------------------------------
+
+    def _enter_prm(self, entry: StrideEntry, inst, addr: int,
+                   issue_time: float) -> bool:
+        cfg = self.config
+        length = self.loop_bound.decide_length(cfg.policy, entry,
+                                               self.core.regs.read,
+                                               cfg.vector_length)
+        if length <= 0:
+            self.stats.rounds_skipped_zero_length += 1
+            return False
+        self.in_prm = True
+        self._prm_instructions = 0
+        self._lil_offset = 0
+        self._generation_stopped = False
+        self.mask = [lane < length for lane in range(cfg.vector_length)]
+        self.stats.prm_rounds += 1
+        if cfg.register_copy_cost_cycles > 0:
+            self.core.delay_frontend(issue_time + cfg.register_copy_cost_cycles)
+        self._generate_stride_svis(entry, inst, addr, issue_time,
+                                   shared_mask=False, length=length)
+        return True
+
+    def _generate_stride_svis(self, entry: StrideEntry, inst, addr: int,
+                              issue_time: float, *, shared_mask: bool,
+                              length: int | None = None) -> None:
+        """Issue N' future copies of a striding load (Section IV-A1/A4)."""
+        cfg = self.config
+        if length is None:
+            length = self.loop_bound.decide_length(cfg.policy, entry,
+                                                   self.core.regs.read,
+                                                   cfg.vector_length)
+            if length <= 0:
+                self.stats.rounds_skipped_zero_length += 1
+                return
+        srf_id = self.srf.allocate(inst.rd, self.taint)
+        if srf_id is None:
+            self.taint.entry(inst.rd).tainted = True
+            return
+        self.taint.map(inst.rd, srf_id, self._prm_instructions)
+        stride = entry.stride
+        hierarchy = self.core.hierarchy
+        memory = self.core.memory
+        slot = issue_time
+        last_prefetched = addr
+        for lane in range(length):
+            if shared_mask and not self.mask[lane]:
+                continue
+            if lane % cfg.scalars_per_unit == 0:
+                slot = self._svi_slot(issue_time)
+            self.stats.svi_lanes += 1
+            self.stats.svi_load_lanes += 1
+            target = wrap64(addr + (lane + 1) * stride)
+            completion = hierarchy.prefetch(target, slot, "svr",
+                                            drop_on_full=False)
+            try:
+                value = memory.read_word(target)
+            except IndexError:
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+                continue
+            self.srf.write_lane(srf_id, lane, value,
+                                completion if completion is not None else slot)
+            last_prefetched = target
+        if cfg.waiting_mode:
+            self.detector.record_prefetch_range(entry, addr, last_prefetched)
+
+    # -- dependent-chain SVIs ------------------------------------------------------
+
+    def _lane_operand(self, reg: int | None, lane: int) -> tuple[int, float, bool]:
+        """Value, readiness and validity of *reg* for one lane."""
+        if reg is None:
+            return 0, 0.0, True
+        tentry = self.taint.entry(reg)
+        if tentry.tainted and tentry.mapped:
+            self.taint.touch_read(reg, self._prm_instructions)
+            return self.srf.read_lane(tentry.srf_id, lane)
+        return self.core.regs.read(reg), 0.0, True
+
+    def _dependent_logic(self, pc: int, inst, result, issue_time: float) -> None:
+        """Generate SVIs for an instruction reading tainted registers."""
+        opclass = inst.opclass
+        sources = inst.sources()
+        tainted_srcs = [r for r in sources if self.taint.is_tainted(r)]
+        vectorizable = bool(tainted_srcs) and all(
+            self.taint.is_vectorizable(r) for r in tainted_srcs)
+
+        if opclass is OpClass.BRANCH:
+            if vectorizable:
+                self._mask_divergent_lanes(inst, result, issue_time)
+            return
+
+        if not tainted_srcs:
+            # Overwriting a mapped register from outside the chain frees it.
+            if inst.rd is not None and self.taint.is_tainted(inst.rd):
+                freed = self.taint.untaint(inst.rd)
+                if freed is not None:
+                    self.srf.release(freed)
+            return
+
+        # LIL cutoff (Section IV-A4): once past the learned offset of the
+        # last indirect load, stop generating SVIs — trailing compute after
+        # the final dependent load contributes nothing to prefetching.
+        self._check_lil_cutoff()
+        if self._generation_stopped or not vectorizable:
+            # The chain continues logically but cannot be vectorized (LIL
+            # cutoff, or a tainted source lost its SRF mapping).  Taint
+            # still propagates — and a tainted load past the cutoff means
+            # we reached an *alternative* LIL, draining its confidence
+            # (footnote 2 of the paper).
+            if opclass is OpClass.LOAD and self._generation_stopped:
+                entry = (self.detector.get(self.hslr_pc)
+                         if self.hslr_pc is not None else None)
+                if entry is not None:
+                    entry.lil_confidence = max(0, entry.lil_confidence - 1)
+                self._lil_offset = self._prm_instructions
+            if inst.rd is not None:
+                taint_entry = self.taint.entry(inst.rd)
+                taint_entry.tainted = True
+                taint_entry.mapped = False
+            return
+        if opclass is OpClass.LOAD:
+            self._generate_dependent_load(inst, issue_time)
+            self._lil_offset = self._prm_instructions
+        elif opclass is OpClass.STORE:
+            self._generate_dependent_store(inst, issue_time)
+        elif opclass in (OpClass.ALU, OpClass.FP, OpClass.CMP):
+            self._generate_dependent_alu(inst, issue_time)
+
+    def _check_lil_cutoff(self) -> None:
+        """Stop generating past the learned Last Indirect Load offset."""
+        if self.hslr_pc is None:
+            return
+        entry = self.detector.get(self.hslr_pc)
+        if (entry is not None and entry.lil_confidence >= 2
+                and self._prm_instructions > entry.lil_offset):
+            self._generation_stopped = True
+
+    def _active_lanes(self):
+        return [lane for lane, on in enumerate(self.mask) if on]
+
+    def _mask_divergent_lanes(self, inst, result, issue_time: float) -> None:
+        """Section IV-B1: mask lanes whose branch outcome diverges."""
+        cfg = self.config
+        slot = issue_time
+        for count, lane in enumerate(self._active_lanes()):
+            if count % cfg.scalars_per_unit == 0:
+                slot = self._svi_slot(issue_time)
+            self.stats.svi_lanes += 1
+            value, _, valid = self._lane_operand(inst.rs1, lane)
+            if not valid:
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+                continue
+            lane_taken = (value == 0) if inst.op is Opcode.BEQZ else (value != 0)
+            if lane_taken != result.taken:
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+
+    def _generate_dependent_load(self, inst, issue_time: float) -> None:
+        cfg = self.config
+        hierarchy = self.core.hierarchy
+        memory = self.core.memory
+        lanes = self._active_lanes()
+        values: list[tuple[int, int, float]] = []   # (lane, value, ready)
+        slot = issue_time
+        for count, lane in enumerate(lanes):
+            if count % cfg.scalars_per_unit == 0:
+                slot = self._svi_slot(issue_time)
+            self.stats.svi_lanes += 1
+            self.stats.svi_load_lanes += 1
+            base, src_ready, valid = self._lane_operand(inst.rs1, lane)
+            if not valid:
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+                continue
+            target = wrap64(base + inst.imm)
+            start = max(slot, src_ready)
+            completion = hierarchy.prefetch(target, start, "svr",
+                                            drop_on_full=False)
+            try:
+                value = memory.read_word(target)
+            except IndexError:
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+                continue
+            values.append((lane, value,
+                           completion if completion is not None else start))
+        self._write_dest_lanes(inst.rd, values)
+
+    def _generate_dependent_store(self, inst, issue_time: float) -> None:
+        """Transient stores only prefetch their target lines (write-allocate);
+        they must never modify memory."""
+        if not self.taint.is_vectorizable(inst.rs1):
+            return
+        cfg = self.config
+        hierarchy = self.core.hierarchy
+        slot = issue_time
+        for count, lane in enumerate(self._active_lanes()):
+            if count % cfg.scalars_per_unit == 0:
+                slot = self._svi_slot(issue_time)
+            self.stats.svi_lanes += 1
+            base, src_ready, valid = self._lane_operand(inst.rs1, lane)
+            if not valid:
+                continue
+            target = wrap64(base + inst.imm)
+            hierarchy.prefetch(target, max(slot, src_ready), "svr",
+                               drop_on_full=False)
+
+    def _generate_dependent_alu(self, inst, issue_time: float) -> None:
+        cfg = self.config
+        lanes = self._active_lanes()
+        values: list[tuple[int, int, float]] = []
+        slot = issue_time
+        for count, lane in enumerate(lanes):
+            if count % cfg.scalars_per_unit == 0:
+                slot = self._svi_slot(issue_time)
+            self.stats.svi_lanes += 1
+            a, ready_a, valid_a = self._lane_operand(inst.rs1, lane)
+            b, ready_b, valid_b = (self._lane_operand(inst.rs2, lane)
+                                   if inst.rs2 is not None else (0, 0.0, True))
+            if not (valid_a and valid_b):
+                self.mask[lane] = False
+                self.stats.masked_lanes += 1
+                continue
+            value = alu_compute(inst.op, a, b, inst.imm)
+            ready = max(slot, ready_a, ready_b) + 1.0
+            values.append((lane, value, ready))
+        self._write_dest_lanes(inst.rd, values)
+
+    def _write_dest_lanes(self, rd: int | None,
+                          values: list[tuple[int, int, float]]) -> None:
+        if rd is None:
+            return
+        srf_id = self.srf.allocate(rd, self.taint)
+        if srf_id is None:
+            # DVR recycling policy exhausted the SRF: dest stays tainted but
+            # unmapped, so downstream consumers cannot be vectorized.
+            self.taint.entry(rd).tainted = True
+            self.taint.entry(rd).mapped = False
+            return
+        self.taint.map(rd, srf_id, self._prm_instructions)
+        for lane, value, ready in values:
+            self.srf.write_lane(srf_id, lane, value, ready)
+
+    # -- termination -------------------------------------------------------------
+
+    def _terminate(self, cause: str) -> None:
+        if not self.in_prm:
+            return
+        if cause == "hslr" and self.hslr_pc is not None:
+            entry = self.detector.get(self.hslr_pc)
+            if entry is not None:
+                self.detector.record_lil(entry, self._lil_offset)
+        self.taint.clear()
+        self.srf.release_all()
+        self.mask = [False] * self.config.vector_length
+        self.in_prm = False
+        self._generation_stopped = False
+        self.stats.terminations[cause] += 1

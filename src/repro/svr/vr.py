@@ -1,0 +1,123 @@
+"""Vector Runahead (VR) baseline for the out-of-order core.
+
+Table I compares SVR against VR (Naithani et al., ISCA'21) and DVR; the
+paper argues both are infeasible on in-order cores but uses them as design
+reference points.  This module models VR's *behaviour* on our OoO core so
+the qualitative Table I rows become a quantitative experiment:
+
+* **trigger** — VR fires when the reorder buffer fills behind a
+  long-latency load (the full-window stall);
+* **stalls the main thread** — runahead executes while the window drains,
+  so episodes add no issue cost but also give no main-thread overlap;
+* **fixed depth, no loop bounds** — VR always vectorizes ``length`` (64)
+  future iterations, over-running inner-loop bounds (the inaccuracy the
+  paper contrasts with SVR's throttling);
+* **vectorized transient execution** — modelled as a bounded transient
+  *functional* forward pass from the stalled PC that issues a prefetch for
+  every load it reaches: the same prefetch set VR's vector lanes would
+  generate, without re-modelling its SIMD pipeline.
+
+Episodes never touch architectural state (private register copy, stores
+suppressed), and their prefetches contend for DRAM bandwidth like any
+other traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.executor import execute
+from repro.isa.instructions import OpClass
+from repro.isa.registers import RegisterFile
+
+
+@dataclass
+class VrStats:
+    episodes: int = 0
+    transient_instructions: int = 0
+    prefetches: int = 0
+    aborted_episodes: int = 0    # wrong-path transient execution faulted
+
+
+class VectorRunaheadUnit:
+    """Full-window-stall runahead for :class:`OutOfOrderCore`."""
+
+    def __init__(self, length: int = 64, max_instructions: int = 1024,
+                 stall_threshold: float = 30.0,
+                 cooldown_instructions: int = 16) -> None:
+        self.length = length
+        self.max_instructions = max_instructions
+        self.stall_threshold = stall_threshold
+        self.cooldown = cooldown_instructions
+        self.stats = VrStats()
+        self.core = None
+        self._last_episode_index = -1_000_000
+
+    def attach(self, core) -> None:
+        self.core = core
+
+    def reset_stats(self) -> None:
+        self.stats = VrStats()
+
+    # -- trigger ---------------------------------------------------------------
+
+    def on_window_stall(self, pc: int, now: float, stall: float,
+                        instruction_index: int) -> None:
+        """Called by the core when dispatch blocks on a full ROB."""
+        if stall < self.stall_threshold:
+            return
+        if instruction_index - self._last_episode_index < self.cooldown:
+            return
+        self._last_episode_index = instruction_index
+        self._run_episode(pc, now)
+
+    # -- the transient pass -----------------------------------------------------
+
+    def _run_episode(self, pc: int, now: float) -> None:
+        """Transiently execute ahead, prefetching every load's target.
+
+        Depth is bounded by ``length`` backward-branch crossings (loop
+        iterations — VR's 64 vectors) and ``max_instructions``.
+        """
+        core = self.core
+        self.stats.episodes += 1
+        regs = RegisterFile()
+        regs.load(core.regs.snapshot())
+        memory = core.memory
+        hierarchy = core.hierarchy
+        iterations = 0
+        executed = 0
+        time = now
+        while (executed < self.max_instructions
+               and iterations < self.length
+               and 0 <= pc < len(core.program)):
+            inst = core.program[pc]
+            try:
+                result = execute(inst, pc, regs.read, memory,
+                                 commit_stores=False)
+            except IndexError:
+                # Wrong-path address outside simulated memory: abort.
+                self.stats.aborted_episodes += 1
+                return
+            executed += 1
+            opclass = inst.opclass
+            if opclass is OpClass.LOAD:
+                done = hierarchy.prefetch(result.address, time, "vr",
+                                          drop_on_full=True)
+                self.stats.prefetches += 1
+                if done is not None:
+                    time = max(time, done - hierarchy.dram.latency_cycles)
+                regs.write(inst.rd, result.value)
+            elif opclass is OpClass.STORE:
+                hierarchy.prefetch(result.address, time, "vr",
+                                   drop_on_full=True)
+                self.stats.prefetches += 1
+            elif opclass is OpClass.HALT:
+                break
+            elif result.value is not None and inst.rd is not None:
+                regs.write(inst.rd, result.value)
+            if opclass is OpClass.BRANCH and result.taken \
+                    and result.next_pc < pc:
+                iterations += 1
+            pc = result.next_pc
+        self.stats.transient_instructions += executed

@@ -1,0 +1,43 @@
+"""Workloads: GAP graph kernels, HPC/DB kernels and SPEC surrogates.
+
+All kernels are written in the mini-ISA via
+:class:`~repro.isa.program.ProgramBuilder` and keep the loop/indirection
+structure of the originals (see DESIGN.md for the substitution notes).
+"""
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    kronecker_graph,
+    power_law_graph,
+    uniform_random_graph,
+    graph_for_input,
+    GRAPH_INPUTS,
+)
+from repro.workloads.base import Workload
+from repro.workloads.validation import ValidationError, validate
+from repro.workloads.registry import (
+    GAP_WORKLOADS,
+    HPC_WORKLOADS,
+    IRREGULAR_WORKLOADS,
+    SPEC_WORKLOADS,
+    build_workload,
+    workload_names,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GAP_WORKLOADS",
+    "GRAPH_INPUTS",
+    "HPC_WORKLOADS",
+    "IRREGULAR_WORKLOADS",
+    "SPEC_WORKLOADS",
+    "ValidationError",
+    "Workload",
+    "validate",
+    "build_workload",
+    "graph_for_input",
+    "kronecker_graph",
+    "power_law_graph",
+    "uniform_random_graph",
+    "workload_names",
+]

@@ -1,0 +1,75 @@
+"""Workload container and shared kernel-builder helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.isa.program import Program, ProgramBuilder
+from repro.memory.main_memory import MainMemory
+
+# Vertex payloads are one cache line wide (64 B = 8 words).  Real GAP vertex
+# data is narrower, but the paper's graphs are orders of magnitude larger
+# than ours; padding vertex records to a line keeps the property that
+# matters — each indirect access touches its own line in a larger-than-LLC
+# array — at our reduced vertex counts.
+VERTEX_STRIDE_SHIFT = 6      # 64 bytes per vertex record
+WORD_SHIFT = 3               # 8 bytes per word
+
+
+@dataclass
+class Workload:
+    """An assembled kernel plus its initialised memory image."""
+
+    name: str
+    category: str            # 'gap' | 'hpc' | 'spec'
+    program: Program
+    memory: MainMemory
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def fresh_copy(self) -> "Workload":
+        """Workloads mutate their memory; builders are re-invoked instead."""
+        raise NotImplementedError(
+            "rebuild workloads through repro.workloads.build_workload")
+
+
+def emit_word_index_load(b: ProgramBuilder, dst: str, base: str, index: str,
+                         tmp: str) -> None:
+    """dst <- mem[base + index*8]."""
+    b.slli(tmp, index, WORD_SHIFT)
+    b.add(tmp, base, tmp)
+    b.ld(dst, tmp, 0)
+
+
+def emit_word_index_store(b: ProgramBuilder, src: str, base: str, index: str,
+                          tmp: str) -> None:
+    """mem[base + index*8] <- src."""
+    b.slli(tmp, index, WORD_SHIFT)
+    b.add(tmp, base, tmp)
+    b.st(src, tmp, 0)
+
+
+def emit_vertex_load(b: ProgramBuilder, dst: str, base: str, vertex: str,
+                     tmp: str) -> None:
+    """dst <- vertex_data[vertex] (64-byte records)."""
+    b.slli(tmp, vertex, VERTEX_STRIDE_SHIFT)
+    b.add(tmp, base, tmp)
+    b.ld(dst, tmp, 0)
+
+
+def emit_vertex_store(b: ProgramBuilder, src: str, base: str, vertex: str,
+                      tmp: str) -> None:
+    """vertex_data[vertex] <- src."""
+    b.slli(tmp, vertex, VERTEX_STRIDE_SHIFT)
+    b.add(tmp, base, tmp)
+    b.st(src, tmp, 0)
+
+
+def alloc_vertex_array(memory: MainMemory, num_nodes: int, name: str,
+                       fill: int | None = None) -> int:
+    """Allocate a 64-byte-per-vertex array; optionally fill word 0 of each."""
+    base = memory.alloc(num_nodes << VERTEX_STRIDE_SHIFT, name=name)
+    if fill is not None:
+        for v in range(num_nodes):
+            memory.write_word(base + (v << VERTEX_STRIDE_SHIFT), fill)
+    return base

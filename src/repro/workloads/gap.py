@@ -1,0 +1,382 @@
+"""GAP benchmark suite kernels: BC, BFS, CC, PR, SSSP (Section V).
+
+Each builder assembles the kernel in the mini-ISA over a CSR graph laid out
+in simulated memory, with vertex state stored in 64-byte records (see
+:mod:`repro.workloads.base`).  Initialisation (array setup, sentinel fills)
+happens in Python — the paper likewise skips initialisation and simulates a
+region of interest.
+
+The kernels keep the access-pattern structure that drives the paper's
+results: a striding walk over the queue/offset/neighbor arrays feeding
+indirect accesses into a larger-than-LLC vertex array, with the per-kernel
+quirks called out in the evaluation (PR/CC's contiguous inner loops, BFS's
+divergent visited-checks, SSSP's worklist irregularity, BC's two phases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.program import ProgramBuilder
+from repro.memory.main_memory import MainMemory
+from repro.workloads.base import (
+    VERTEX_STRIDE_SHIFT,
+    Workload,
+    alloc_vertex_array,
+    emit_vertex_load,
+    emit_vertex_store,
+    emit_word_index_load,
+    emit_word_index_store,
+)
+from repro.workloads.graphs import CSRGraph
+
+_UNVISITED = (1 << 64) - 1   # "-1" sentinel
+_INF = (1 << 62)
+
+
+def _alloc_graph(memory: MainMemory, graph: CSRGraph) -> tuple[int, int]:
+    offsets = memory.alloc_array(graph.offsets, name="offsets")
+    neighbors = memory.alloc_array(graph.neighbors, name="neighbors")
+    return offsets, neighbors
+
+
+def _default_root(graph: CSRGraph, root: int | None) -> int:
+    """GAP picks roots with non-trivial reach; default to the max-degree
+    vertex so synthetic graphs (where vertex 0 may be isolated) work."""
+    if root is not None:
+        return root
+    return int(np.argmax(np.diff(graph.offsets)))
+
+
+def build_pr(graph: CSRGraph, memory: MainMemory | None = None,
+             passes: int = 16) -> Workload:
+    """PageRank pull kernel (Listing 1 of the paper).
+
+    ``scores[u] = sum(contrib[v] for v in neigh(u))`` per pass; contrib is a
+    static per-vertex value so the gather dominates, as in the hot loop the
+    paper shows.
+    """
+    memory = memory or MainMemory()
+    offsets, neighbors = _alloc_graph(memory, graph)
+    n = graph.num_nodes
+    rng = np.random.default_rng(11)
+    contrib = alloc_vertex_array(memory, n, "contrib")
+    for v in range(n):
+        memory.write_word(contrib + (v << VERTEX_STRIDE_SHIFT),
+                          int(rng.integers(1, 1000)))
+    scores = alloc_vertex_array(memory, n, "scores", fill=0)
+
+    b = ProgramBuilder("pr")
+    # a0=offsets a1=neighbors a2=contrib a3=scores a4=n a5=passes
+    b.li("a0", offsets)
+    b.li("a1", neighbors)
+    b.li("a2", contrib)
+    b.li("a3", scores)
+    b.li("a4", n)
+    b.li("a5", passes)
+    b.li("s0", 0)                    # pass counter
+    b.label("pass_loop")
+    b.li("t0", 0)                    # u
+    b.label("outer")
+    b.slli("t1", "t0", 3)
+    b.add("t2", "a0", "t1")
+    b.ld("t3", "t2", 0)              # idx = offsets[u]      (striding)
+    b.ld("t4", "t2", 8)              # end = offsets[u+1]    (striding)
+    b.li("t5", 0)                    # total
+    b.cmp_ge("t6", "t3", "t4")
+    b.bnez("t6", "after_inner")
+    b.label("inner")
+    emit_word_index_load(b, "t8", "a1", "t3", "t7")   # v = neighbors[idx]
+    emit_vertex_load(b, "t10", "a2", "t8", "t9")      # contrib[v]  (indirect)
+    b.add("t5", "t5", "t10")
+    b.addi("t3", "t3", 1)
+    b.cmp_lt("t6", "t3", "t4")
+    b.bnez("t6", "inner")
+    b.label("after_inner")
+    emit_vertex_store(b, "t5", "a3", "t0", "t1")      # scores[u] = total
+    b.addi("t0", "t0", 1)
+    b.cmp_lt("t6", "t0", "a4")
+    b.bnez("t6", "outer")
+    b.addi("s0", "s0", 1)
+    b.cmp_lt("t6", "s0", "a5")
+    b.bnez("t6", "pass_loop")
+    b.halt()
+
+    return Workload("PR", "gap", b.build(), memory, meta={
+        "graph": graph, "scores": scores, "contrib": contrib,
+        "vertex_shift": VERTEX_STRIDE_SHIFT, "passes": passes,
+    })
+
+
+def build_bfs(graph: CSRGraph, memory: MainMemory | None = None,
+              root: int | None = None) -> Workload:
+    """Top-down queue-based breadth-first search."""
+    root = _default_root(graph, root)
+    memory = memory or MainMemory()
+    offsets, neighbors = _alloc_graph(memory, graph)
+    n = graph.num_nodes
+    parent = alloc_vertex_array(memory, n, "parent")
+    for v in range(n):
+        memory.write_word(parent + (v << VERTEX_STRIDE_SHIFT), _UNVISITED)
+    queue = memory.alloc_zeros(n + 1, name="queue")
+    memory.write_word(queue, root)
+    memory.write_word(parent + (root << VERTEX_STRIDE_SHIFT), root)
+
+    b = ProgramBuilder("bfs")
+    # a0=offsets a1=neighbors a2=parent a3=queue a4=sentinel
+    b.li("a0", offsets)
+    b.li("a1", neighbors)
+    b.li("a2", parent)
+    b.li("a3", queue)
+    b.li("a4", _UNVISITED)
+    b.li("t0", 0)                    # head
+    b.li("t1", 1)                    # tail
+    b.label("while_queue")
+    b.cmp_lt("t2", "t0", "t1")
+    b.beqz("t2", "done")
+    emit_word_index_load(b, "t3", "a3", "t0", "t2")   # u = queue[head] (striding)
+    b.addi("t0", "t0", 1)
+    b.slli("t4", "t3", 3)
+    b.add("t4", "a0", "t4")
+    b.ld("t5", "t4", 0)              # idx = offsets[u]   (indirect via queue)
+    b.ld("t6", "t4", 8)              # end
+    b.label("edge_loop")
+    b.cmp_ge("t7", "t5", "t6")
+    b.bnez("t7", "while_queue")
+    emit_word_index_load(b, "t8", "a1", "t5", "t7")   # v = neighbors[idx] (striding)
+    b.addi("t5", "t5", 1)
+    emit_vertex_load(b, "t9", "a2", "t8", "t10")      # parent[v]  (indirect)
+    b.cmp_eq("t11", "t9", "a4")
+    b.beqz("t11", "edge_loop")                        # visited -> skip (divergent)
+    emit_vertex_store(b, "t3", "a2", "t8", "t10")     # parent[v] = u
+    emit_word_index_store(b, "t8", "a3", "t1", "t10")  # queue[tail] = v
+    b.addi("t1", "t1", 1)
+    b.jmp("edge_loop")
+    b.label("done")
+    b.halt()
+
+    return Workload("BFS", "gap", b.build(), memory, meta={
+        "graph": graph, "parent": parent, "queue": queue, "root": root,
+        "sentinel": _UNVISITED, "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })
+
+
+def build_cc(graph: CSRGraph, memory: MainMemory | None = None,
+             passes: int = 8) -> Workload:
+    """Connected components by label propagation (min over neighbors).
+
+    The min is computed with an unconditional ``min`` instruction, so the
+    indirect chain is branch-free — the reason CC is listed among the
+    workloads where every SVR variant is accurate (Fig 13a).
+    """
+    memory = memory or MainMemory()
+    offsets, neighbors = _alloc_graph(memory, graph)
+    n = graph.num_nodes
+    comp = alloc_vertex_array(memory, n, "comp")
+    for v in range(n):
+        memory.write_word(comp + (v << VERTEX_STRIDE_SHIFT), v)
+
+    b = ProgramBuilder("cc")
+    # a0=offsets a1=neighbors a2=comp a4=n a5=passes
+    b.li("a0", offsets)
+    b.li("a1", neighbors)
+    b.li("a2", comp)
+    b.li("a4", n)
+    b.li("a5", passes)
+    b.li("s0", 0)
+    b.label("pass_loop")
+    b.li("t0", 0)                    # u
+    b.label("outer")
+    b.slli("t1", "t0", 3)
+    b.add("t2", "a0", "t1")
+    b.ld("t3", "t2", 0)              # idx            (striding)
+    b.ld("t4", "t2", 8)              # end            (striding)
+    emit_vertex_load(b, "t5", "a2", "t0", "t1")       # c = comp[u]
+    b.cmp_ge("t6", "t3", "t4")
+    b.bnez("t6", "after_inner")
+    b.label("inner")
+    emit_word_index_load(b, "t8", "a1", "t3", "t7")   # v = neighbors[idx]
+    emit_vertex_load(b, "t10", "a2", "t8", "t9")      # comp[v]   (indirect)
+    b.min_("t5", "t5", "t10")
+    b.addi("t3", "t3", 1)
+    b.cmp_lt("t6", "t3", "t4")
+    b.bnez("t6", "inner")
+    b.label("after_inner")
+    emit_vertex_store(b, "t5", "a2", "t0", "t1")      # comp[u] = c
+    b.addi("t0", "t0", 1)
+    b.cmp_lt("t6", "t0", "a4")
+    b.bnez("t6", "outer")
+    b.addi("s0", "s0", 1)
+    b.cmp_lt("t6", "s0", "a5")
+    b.bnez("t6", "pass_loop")
+    b.halt()
+
+    return Workload("CC", "gap", b.build(), memory, meta={
+        "graph": graph, "comp": comp, "passes": passes,
+        "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })
+
+
+def build_sssp(graph: CSRGraph, memory: MainMemory | None = None,
+               root: int | None = None, max_work: int | None = None) -> Workload:
+    """Single-source shortest paths (SPFA-style worklist relaxation).
+
+    The worklist order is data-dependent, so neither the stride prefetcher
+    nor IMP can track the indirect dist/weight accesses — the paper lists
+    SSSP among the workloads IMP fails on entirely.
+    """
+    if graph.weights is None:
+        raise ValueError("SSSP needs a weighted graph")
+    root = _default_root(graph, root)
+    memory = memory or MainMemory()
+    offsets, neighbors = _alloc_graph(memory, graph)
+    weights = memory.alloc_array(graph.weights, name="weights")
+    n = graph.num_nodes
+    dist = alloc_vertex_array(memory, n, "dist")
+    for v in range(n):
+        memory.write_word(dist + (v << VERTEX_STRIDE_SHIFT), _INF)
+    memory.write_word(dist + (root << VERTEX_STRIDE_SHIFT), 0)
+    capacity = max_work or max(16 * graph.num_edges, 1024)
+    queue = memory.alloc_zeros(capacity, name="queue")
+    memory.write_word(queue, root)
+
+    b = ProgramBuilder("sssp")
+    # a0=offsets a1=neighbors a2=weights a3=dist a5=queue a6=capacity
+    b.li("a0", offsets)
+    b.li("a1", neighbors)
+    b.li("a2", weights)
+    b.li("a3", dist)
+    b.li("a5", queue)
+    b.li("a6", capacity - 1)
+    b.li("t0", 0)                    # head
+    b.li("t1", 1)                    # tail
+    b.label("while_queue")
+    b.cmp_lt("t2", "t0", "t1")
+    b.beqz("t2", "done")
+    emit_word_index_load(b, "t3", "a5", "t0", "t2")   # u = queue[head] (striding)
+    b.addi("t0", "t0", 1)
+    emit_vertex_load(b, "s1", "a3", "t3", "t2")       # du = dist[u]
+    b.slli("t4", "t3", 3)
+    b.add("t4", "a0", "t4")
+    b.ld("t5", "t4", 0)              # idx
+    b.ld("t6", "t4", 8)              # end
+    b.label("edge_loop")
+    b.cmp_ge("t7", "t5", "t6")
+    b.bnez("t7", "while_queue")
+    emit_word_index_load(b, "t8", "a1", "t5", "t7")   # v = neighbors[idx]
+    emit_word_index_load(b, "s2", "a2", "t5", "t7")   # w = weights[idx]
+    b.addi("t5", "t5", 1)
+    b.add("s2", "s1", "s2")                            # nd = du + w
+    emit_vertex_load(b, "t9", "a3", "t8", "t10")      # dist[v]   (indirect)
+    b.cmp_lt("t11", "s2", "t9")
+    b.beqz("t11", "edge_loop")                        # no improvement
+    emit_vertex_store(b, "s2", "a3", "t8", "t10")     # dist[v] = nd
+    b.cmp_lt("t11", "t1", "a6")
+    b.beqz("t11", "edge_loop")                        # worklist full
+    emit_word_index_store(b, "t8", "a5", "t1", "t10")  # queue[tail++] = v
+    b.addi("t1", "t1", 1)
+    b.jmp("edge_loop")
+    b.label("done")
+    b.halt()
+
+    return Workload("SSSP", "gap", b.build(), memory, meta={
+        "graph": graph, "dist": dist, "root": root, "inf": _INF,
+        "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })
+
+
+def build_bc(graph: CSRGraph, memory: MainMemory | None = None,
+             root: int | None = None) -> Workload:
+    """Betweenness centrality (Brandes): BFS pass + backward accumulation.
+
+    The backward pass walks the BFS queue with a negative stride and
+    accumulates integer dependency scores (``delta[u] += 1 + delta[v]`` for
+    tree-successor edges — the sigma-ratio of real Brandes needs division,
+    which the mini-ISA lacks; the access pattern, which is what the
+    simulator measures, is identical).
+    """
+    root = _default_root(graph, root)
+    memory = memory or MainMemory()
+    offsets, neighbors = _alloc_graph(memory, graph)
+    n = graph.num_nodes
+    depth = alloc_vertex_array(memory, n, "depth")
+    for v in range(n):
+        memory.write_word(depth + (v << VERTEX_STRIDE_SHIFT), _UNVISITED)
+    memory.write_word(depth + (root << VERTEX_STRIDE_SHIFT), 0)
+    delta = alloc_vertex_array(memory, n, "delta", fill=0)
+    queue = memory.alloc_zeros(n + 1, name="queue")
+    memory.write_word(queue, root)
+
+    b = ProgramBuilder("bc")
+    # a0=offsets a1=neighbors a2=depth a3=queue a4=sentinel a7=delta
+    b.li("a0", offsets)
+    b.li("a1", neighbors)
+    b.li("a2", depth)
+    b.li("a3", queue)
+    b.li("a4", _UNVISITED)
+    b.li("a7", delta)
+    b.li("t0", 0)                    # head
+    b.li("t1", 1)                    # tail
+    # ---- forward BFS with depth labels ----
+    b.label("fwd_while")
+    b.cmp_lt("t2", "t0", "t1")
+    b.beqz("t2", "backward")
+    emit_word_index_load(b, "t3", "a3", "t0", "t2")   # u = queue[head]
+    b.addi("t0", "t0", 1)
+    emit_vertex_load(b, "s1", "a2", "t3", "t2")       # du = depth[u]
+    b.addi("s1", "s1", 1)                              # du + 1
+    b.slli("t4", "t3", 3)
+    b.add("t4", "a0", "t4")
+    b.ld("t5", "t4", 0)
+    b.ld("t6", "t4", 8)
+    b.label("fwd_edges")
+    b.cmp_ge("t7", "t5", "t6")
+    b.bnez("t7", "fwd_while")
+    emit_word_index_load(b, "t8", "a1", "t5", "t7")   # v
+    b.addi("t5", "t5", 1)
+    emit_vertex_load(b, "t9", "a2", "t8", "t10")      # depth[v]
+    b.cmp_eq("t11", "t9", "a4")
+    b.beqz("t11", "fwd_edges")
+    emit_vertex_store(b, "s1", "a2", "t8", "t10")     # depth[v] = du+1
+    emit_word_index_store(b, "t8", "a3", "t1", "t10")
+    b.addi("t1", "t1", 1)
+    b.jmp("fwd_edges")
+    # ---- backward accumulation over the queue, reverse order ----
+    b.label("backward")
+    b.addi("t0", "t1", -1)           # i = tail-1
+    b.label("bwd_loop")
+    b.li("t2", 0)
+    b.cmp_lt("t3", "t0", "t2")
+    b.bnez("t3", "done")
+    emit_word_index_load(b, "t3", "a3", "t0", "t2")   # u = queue[i] (stride -8)
+    emit_vertex_load(b, "s1", "a2", "t3", "t2")       # depth[u]
+    b.addi("s1", "s1", 1)
+    emit_vertex_load(b, "s2", "a7", "t3", "t2")       # delta[u]
+    b.slli("t4", "t3", 3)
+    b.add("t4", "a0", "t4")
+    b.ld("t5", "t4", 0)
+    b.ld("t6", "t4", 8)
+    b.label("bwd_edges")
+    b.cmp_ge("t7", "t5", "t6")
+    b.bnez("t7", "bwd_store")
+    emit_word_index_load(b, "t8", "a1", "t5", "t7")   # v
+    b.addi("t5", "t5", 1)
+    emit_vertex_load(b, "t9", "a2", "t8", "t10")      # depth[v]  (indirect)
+    b.cmp_eq("t11", "t9", "s1")                       # successor?
+    b.beqz("t11", "bwd_edges")
+    emit_vertex_load(b, "t9", "a7", "t8", "t10")      # delta[v]  (indirect)
+    b.addi("t9", "t9", 1)
+    b.add("s2", "s2", "t9")                           # delta[u] += 1+delta[v]
+    b.jmp("bwd_edges")
+    b.label("bwd_store")
+    emit_vertex_store(b, "s2", "a7", "t3", "t2")
+    b.addi("t0", "t0", -1)
+    b.jmp("bwd_loop")
+    b.label("done")
+    b.halt()
+
+    return Workload("BC", "gap", b.build(), memory, meta={
+        "graph": graph, "depth": depth, "delta": delta, "queue": queue,
+        "root": root, "sentinel": _UNVISITED,
+        "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })

@@ -1,0 +1,410 @@
+"""HPC / database workloads: Camel, Graph500 seq-CSR, HashJoin, NAS-CG,
+NAS-IS, Kangaroo and HPCC randacc (Section V, "HPC-DB" group).
+
+Each kernel reproduces the indirection structure that determines how the
+techniques behave on it (paper Section VI-A):
+
+* Camel — two-level stride-indirect gather (IMP covers only one level);
+* Graph500 — level-synchronous seq-CSR BFS (long striding scans);
+* HJ2/HJ8 — hash-join probe with bucket size 2/8: the hashed index defeats
+  IMP, and the data-dependent bucket-scan breaks make HJ8 diverge so badly
+  that SVR's lane masking leaves no speedup (Section VI-D);
+* NAS-CG — fixed-point CSR SpMV (contiguous inner loops, footnote 4 case);
+* NAS-IS — counting-sort histogram with *linear* indexing (IMP works);
+* Kangaroo — NAS-IS derivative with *hashed* indexing (IMP fails);
+* randacc — HPCC RandomAccess: masked-index XOR updates over an 8 MiB
+  table (IMP fails; heavy TLB pressure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa.program import ProgramBuilder
+from repro.memory.main_memory import MainMemory
+from repro.workloads.base import (
+    VERTEX_STRIDE_SHIFT,
+    Workload,
+    alloc_vertex_array,
+    emit_vertex_load,
+    emit_word_index_load,
+    emit_word_index_store,
+)
+from repro.workloads.graphs import CSRGraph, uniform_random_graph
+
+_UNVISITED = (1 << 64) - 1
+_HASH_MULT = 2654435761          # Knuth multiplicative hash
+
+
+def build_camel(memory: MainMemory | None = None, elements: int = 65536,
+                table_nodes: int = 16384, repeats: int = 8,
+                seed: int = 21) -> Workload:
+    """Camel [4]: two-level indirect gather ``sum += C[B[A[i]]]``."""
+    memory = memory or MainMemory()
+    rng = np.random.default_rng(seed)
+    a_vals = rng.integers(0, table_nodes, size=elements, dtype=np.int64)
+    a = memory.alloc_array(a_vals, name="A")
+    b_vals = rng.integers(0, table_nodes, size=table_nodes, dtype=np.int64)
+    b_arr = alloc_vertex_array(memory, table_nodes, "B")
+    for i, val in enumerate(b_vals):
+        memory.write_word(b_arr + (i << VERTEX_STRIDE_SHIFT), int(val))
+    c_arr = alloc_vertex_array(memory, table_nodes, "C")
+    for i in range(table_nodes):
+        memory.write_word(c_arr + (i << VERTEX_STRIDE_SHIFT),
+                          int(rng.integers(1, 1000)))
+
+    bld = ProgramBuilder("camel")
+    # a0=A a1=B a2=C a3=elements a4=repeats
+    bld.li("a0", a)
+    bld.li("a1", b_arr)
+    bld.li("a2", c_arr)
+    bld.li("a3", elements)
+    bld.li("a4", repeats)
+    bld.li("t5", 0)                  # sum
+    bld.li("s0", 0)
+    bld.label("repeat")
+    bld.li("t0", 0)
+    bld.label("loop")
+    emit_word_index_load(bld, "t2", "a0", "t0", "t1")   # x = A[i]  (striding)
+    emit_vertex_load(bld, "t3", "a1", "t2", "t1")       # y = B[x]  (indirect)
+    emit_vertex_load(bld, "t4", "a2", "t3", "t1")       # z = C[y]  (indirect^2)
+    bld.add("t5", "t5", "t4")
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t6", "t0", "a3")
+    bld.bnez("t6", "loop")
+    bld.addi("s0", "s0", 1)
+    bld.cmp_lt("t6", "s0", "a4")
+    bld.bnez("t6", "repeat")
+    emit_word_index_store(bld, "t5", "a0", "x0", "t1")  # A[0] = sum (result)
+    bld.halt()
+
+    return Workload("Camel", "hpc", bld.build(), memory, meta={
+        "a": a, "b": b_arr, "c": c_arr, "elements": elements,
+        "a_vals": a_vals, "b_vals": b_vals, "repeats": repeats,
+    })
+
+
+def build_graph500(graph: CSRGraph | None = None,
+                   memory: MainMemory | None = None, root: int = 0,
+                   nodes: int = 16384, degree: int = 12) -> Workload:
+    """Graph500 seq-CSR: level-synchronous BFS sweeping the level array."""
+    graph = graph or uniform_random_graph(nodes, degree, seed=6)
+    memory = memory or MainMemory()
+    offsets = memory.alloc_array(graph.offsets, name="offsets")
+    neighbors = memory.alloc_array(graph.neighbors, name="neighbors")
+    n = graph.num_nodes
+    level = alloc_vertex_array(memory, n, "level")
+    for v in range(n):
+        memory.write_word(level + (v << VERTEX_STRIDE_SHIFT), _UNVISITED)
+    memory.write_word(level + (root << VERTEX_STRIDE_SHIFT), 0)
+
+    bld = ProgramBuilder("graph500")
+    # a0=offsets a1=neighbors a2=level a3=n a4=sentinel
+    bld.li("a0", offsets)
+    bld.li("a1", neighbors)
+    bld.li("a2", level)
+    bld.li("a3", n)
+    bld.li("a4", _UNVISITED)
+    bld.li("s0", 0)                  # current level
+    bld.label("level_loop")
+    bld.li("s1", 0)                  # changed flag
+    bld.li("t0", 0)                  # u
+    bld.label("scan")
+    emit_vertex_load(bld, "t2", "a2", "t0", "t1")       # level[u] (striding scan)
+    bld.cmp_eq("t3", "t2", "s0")
+    bld.beqz("t3", "next_u")
+    bld.slli("t4", "t0", 3)
+    bld.add("t4", "a0", "t4")
+    bld.ld("t5", "t4", 0)
+    bld.ld("t6", "t4", 8)
+    bld.addi("s2", "s0", 1)          # next level value
+    bld.label("edges")
+    bld.cmp_ge("t7", "t5", "t6")
+    bld.bnez("t7", "next_u")
+    emit_word_index_load(bld, "t8", "a1", "t5", "t7")   # v
+    bld.addi("t5", "t5", 1)
+    emit_vertex_load(bld, "t9", "a2", "t8", "t10")      # level[v] (indirect)
+    bld.cmp_eq("t11", "t9", "a4")
+    bld.beqz("t11", "edges")
+    bld.slli("t10", "t8", VERTEX_STRIDE_SHIFT)
+    bld.add("t10", "a2", "t10")
+    bld.st("s2", "t10", 0)                              # level[v] = cur+1
+    bld.li("s1", 1)
+    bld.jmp("edges")
+    bld.label("next_u")
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t3", "t0", "a3")
+    bld.bnez("t3", "scan")
+    bld.addi("s0", "s0", 1)
+    bld.bnez("s1", "level_loop")
+    bld.halt()
+
+    return Workload("G500", "hpc", bld.build(), memory, meta={
+        "graph": graph, "level": level, "root": root,
+        "sentinel": _UNVISITED, "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })
+
+
+def _hashjoin_builder(bucket_size: int, memory: MainMemory | None = None,
+                      buckets: int = 65536, probes: int = 65536,
+                      seed: int = 31) -> Workload:
+    """Bucketed hash-join probe phase [15]; the build phase runs in Python.
+
+    Buckets are contiguous arrays of *bucket_size* (key, payload) slots,
+    scanned with data-dependent breaks.  Two paper-relevant consequences:
+    the hashed bucket index defeats IMP, and for HJ8 the 8-slot scan is
+    itself a detectable striding loop whose divergent breaks and overfetch
+    past bucket boundaries leave SVR with little to gain (Section VI-D:
+    "HJ8 shows no speedup"), while HJ2's 2-slot buckets never establish an
+    inner stride and keep the probe-level runahead productive.
+    """
+    memory = memory or MainMemory()
+    rng = np.random.default_rng(seed)
+    mask = buckets - 1
+    if buckets & mask:
+        raise ValueError("buckets must be a power of two")
+    slot_words = 2
+    bucket_words = bucket_size * slot_words
+    table_vals = np.zeros(buckets * bucket_words, dtype=np.int64)
+    fill = np.zeros(buckets, dtype=np.int64)
+    build_keys = rng.integers(1, 1 << 40, size=buckets * bucket_size // 2,
+                              dtype=np.int64)
+    kept = []
+    for key in build_keys:
+        h = int((int(key) * _HASH_MULT) & mask)
+        if fill[h] < bucket_size:
+            slot = h * bucket_words + fill[h] * slot_words
+            table_vals[slot] = key
+            table_vals[slot + 1] = int(key) % 997 + 1
+            fill[h] += 1
+            kept.append(int(key))
+    table = memory.alloc_array(table_vals, name="table")
+    hit = rng.choice(np.array(kept, dtype=np.int64), size=probes // 2)
+    miss = rng.integers(1 << 41, 1 << 42, size=probes - probes // 2,
+                        dtype=np.int64)
+    probe_vals = rng.permutation(np.concatenate([hit, miss])).astype(np.int64)
+    probe = memory.alloc_array(probe_vals, name="probe")
+    result = memory.alloc_zeros(1, name="result")
+
+    bld = ProgramBuilder(f"hj{bucket_size}")
+    # a0=probe a1=table a2=mask a3=probes a4=result a5=bucket_size
+    bld.li("a0", probe)
+    bld.li("a1", table)
+    bld.li("a2", mask)
+    bld.li("a3", len(probe_vals))
+    bld.li("a4", result)
+    bld.li("a5", bucket_size)
+    bld.li("s0", 0)                  # match-payload accumulator
+    bld.li("t0", 0)                  # i
+    bld.label("probe_loop")
+    emit_word_index_load(bld, "t2", "a0", "t0", "t1")   # key (striding)
+    bld.muli("t3", "t2", _HASH_MULT)                    # hashed: IMP-proof
+    bld.and_("t3", "t3", "a2")
+    bld.muli("t3", "t3", bucket_words * 8)
+    bld.add("t3", "a1", "t3")                           # bucket base (tainted)
+    bld.li("t4", 0)                  # j
+    bld.label("bucket_scan")
+    bld.ld("t5", "t3", 0)                               # slot key (dependent)
+    bld.cmp_eq("t6", "t5", "t2")
+    bld.bnez("t6", "match")                             # divergent break
+    bld.beqz("t5", "next_probe")                        # empty slot: stop
+    bld.addi("t3", "t3", slot_words * 8)
+    bld.addi("t4", "t4", 1)
+    bld.cmp_lt("t6", "t4", "a5")
+    bld.bnez("t6", "bucket_scan")
+    bld.jmp("next_probe")
+    bld.label("match")
+    bld.ld("t7", "t3", 8)                               # payload
+    bld.add("s0", "s0", "t7")
+    bld.label("next_probe")
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t6", "t0", "a3")
+    bld.bnez("t6", "probe_loop")
+    bld.st("s0", "a4", 0)
+    bld.halt()
+
+    return Workload(f"HJ{bucket_size}", "hpc", bld.build(), memory, meta={
+        "probe_vals": probe_vals, "table_vals": table_vals,
+        "bucket_size": bucket_size, "buckets": buckets,
+        "result": result, "hash_mult": _HASH_MULT, "mask": mask,
+        "slot_words": slot_words,
+    })
+
+
+def build_hj2(memory: MainMemory | None = None, **kwargs) -> Workload:
+    """Hash join with bucket size 2 (short chains — SVR-friendly)."""
+    return _hashjoin_builder(2, memory, **kwargs)
+
+
+def build_hj8(memory: MainMemory | None = None, **kwargs) -> Workload:
+    """Hash join with bucket size 8 (divergent scans — SVR gets masked)."""
+    return _hashjoin_builder(8, memory, **kwargs)
+
+
+def build_nas_cg(memory: MainMemory | None = None, nodes: int = 16384,
+                 degree: int = 12, repeats: int = 8, seed: int = 41) -> Workload:
+    """NAS-CG inner kernel: fixed-point CSR sparse matrix-vector product."""
+    memory = memory or MainMemory()
+    matrix = uniform_random_graph(nodes, degree, seed=seed, weighted=True)
+    offsets = memory.alloc_array(matrix.offsets, name="offsets")
+    cols = memory.alloc_array(matrix.neighbors, name="cols")
+    vals = memory.alloc_array(matrix.weights, name="vals")
+    n = matrix.num_nodes
+    rng = np.random.default_rng(seed + 1)
+    x = alloc_vertex_array(memory, n, "x")
+    for v in range(n):
+        memory.write_word(x + (v << VERTEX_STRIDE_SHIFT),
+                          int(rng.integers(1, 1 << 16)))
+    y = memory.alloc_zeros(n, name="y")
+
+    bld = ProgramBuilder("nas_cg")
+    # a0=offsets a1=cols a2=vals a3=x a4=y a5=n a6=repeats
+    bld.li("a0", offsets)
+    bld.li("a1", cols)
+    bld.li("a2", vals)
+    bld.li("a3", x)
+    bld.li("a4", y)
+    bld.li("a5", n)
+    bld.li("a6", repeats)
+    bld.li("s0", 0)
+    bld.label("repeat")
+    bld.li("t0", 0)                  # row
+    bld.label("rows")
+    bld.slli("t1", "t0", 3)
+    bld.add("t2", "a0", "t1")
+    bld.ld("t3", "t2", 0)            # idx   (striding)
+    bld.ld("t4", "t2", 8)            # end   (striding)
+    bld.li("t5", 0)                  # sum
+    bld.cmp_ge("t6", "t3", "t4")
+    bld.bnez("t6", "row_done")
+    bld.label("inner")
+    emit_word_index_load(bld, "t8", "a1", "t3", "t7")   # col = cols[idx]
+    emit_word_index_load(bld, "t9", "a2", "t3", "t7")   # val = vals[idx]
+    emit_vertex_load(bld, "t10", "a3", "t8", "t7")      # x[col]  (indirect)
+    bld.fmul("t10", "t9", "t10")
+    bld.fadd("t5", "t5", "t10")
+    bld.addi("t3", "t3", 1)
+    bld.cmp_lt("t6", "t3", "t4")
+    bld.bnez("t6", "inner")
+    bld.label("row_done")
+    emit_word_index_store(bld, "t5", "a4", "t0", "t1")  # y[row] = sum
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t6", "t0", "a5")
+    bld.bnez("t6", "rows")
+    bld.addi("s0", "s0", 1)
+    bld.cmp_lt("t6", "s0", "a6")
+    bld.bnez("t6", "repeat")
+    bld.halt()
+
+    return Workload("NAS-CG", "hpc", bld.build(), memory, meta={
+        "matrix": matrix, "y": y, "x": x,
+        "vertex_shift": VERTEX_STRIDE_SHIFT,
+    })
+
+
+def _histogram_kernel(name: str, hashed: bool, memory: MainMemory | None,
+                      keys: int, bins: int, repeats: int,
+                      seed: int) -> Workload:
+    """Shared shape of NAS-IS (linear index) and Kangaroo (hashed index)."""
+    memory = memory or MainMemory()
+    rng = np.random.default_rng(seed)
+    mask = bins - 1
+    if bins & mask:
+        raise ValueError("bins must be a power of two")
+    key_vals = rng.integers(0, 1 << 40, size=keys, dtype=np.int64)
+    if not hashed:
+        key_vals &= mask                  # keys are already bin indices
+    key_arr = memory.alloc_array(key_vals, name="keys")
+    hist = memory.alloc_zeros(bins, name="hist")
+
+    bld = ProgramBuilder(name.lower())
+    # a0=keys a1=hist a2=nkeys a3=mask a4=repeats
+    bld.li("a0", key_arr)
+    bld.li("a1", hist)
+    bld.li("a2", keys)
+    bld.li("a3", mask)
+    bld.li("a4", repeats)
+    bld.li("s0", 0)
+    bld.label("repeat")
+    bld.li("t0", 0)
+    bld.label("loop")
+    emit_word_index_load(bld, "t2", "a0", "t0", "t1")   # k = keys[i] (striding)
+    if hashed:
+        bld.muli("t2", "t2", _HASH_MULT)                # hashed: IMP-proof
+        bld.and_("t2", "t2", "a3")
+    bld.slli("t3", "t2", 3)
+    bld.add("t3", "a1", "t3")
+    bld.ld("t4", "t3", 0)                               # hist[k]   (indirect)
+    bld.addi("t4", "t4", 1)
+    bld.st("t4", "t3", 0)                               # hist[k]++
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t5", "t0", "a2")
+    bld.bnez("t5", "loop")
+    bld.addi("s0", "s0", 1)
+    bld.cmp_lt("t5", "s0", "a4")
+    bld.bnez("t5", "repeat")
+    bld.halt()
+
+    return Workload(name, "hpc", bld.build(), memory, meta={
+        "keys": key_vals, "hist": hist, "bins": bins, "hashed": hashed,
+        "hash_mult": _HASH_MULT, "mask": mask, "repeats": repeats,
+    })
+
+
+def build_nas_is(memory: MainMemory | None = None, keys: int = 65536,
+                 bins: int = 131072, repeats: int = 8,
+                 seed: int = 51) -> Workload:
+    """NAS Integer Sort counting phase: ``hist[keys[i]]++`` (IMP-friendly)."""
+    return _histogram_kernel("NAS-IS", False, memory, keys, bins, repeats, seed)
+
+
+def build_kangaroo(memory: MainMemory | None = None, keys: int = 65536,
+                   bins: int = 131072, repeats: int = 8,
+                   seed: int = 52) -> Workload:
+    """Kangaroo [4]: NAS-IS derivative with a hashed histogram index."""
+    return _histogram_kernel("Kangr", True, memory, keys, bins, repeats, seed)
+
+
+def build_randacc(memory: MainMemory | None = None, updates: int = 65536,
+                  table_words: int = 1 << 20, repeats: int = 8,
+                  seed: int = 61) -> Workload:
+    """HPCC RandomAccess: ``T[r & mask] ^= r`` over an 8 MiB table."""
+    memory = memory or MainMemory()
+    rng = np.random.default_rng(seed)
+    mask = table_words - 1
+    if table_words & mask:
+        raise ValueError("table_words must be a power of two")
+    ran_vals = rng.integers(0, 1 << 63, size=updates, dtype=np.int64)
+    ran = memory.alloc_array(ran_vals, name="ran")
+    table = memory.alloc_zeros(table_words, name="T")
+
+    bld = ProgramBuilder("randacc")
+    # a0=ran a1=T a2=updates a3=mask a4=repeats
+    bld.li("a0", ran)
+    bld.li("a1", table)
+    bld.li("a2", updates)
+    bld.li("a3", mask)
+    bld.li("a4", repeats)
+    bld.li("s0", 0)
+    bld.label("repeat")
+    bld.li("t0", 0)
+    bld.label("loop")
+    emit_word_index_load(bld, "t2", "a0", "t0", "t1")   # r = ran[i] (striding)
+    bld.and_("t3", "t2", "a3")                          # masked: IMP-proof
+    bld.slli("t3", "t3", 3)
+    bld.add("t3", "a1", "t3")
+    bld.ld("t4", "t3", 0)                               # T[idx]   (indirect)
+    bld.xor("t4", "t4", "t2")
+    bld.st("t4", "t3", 0)                               # T[idx] ^= r
+    bld.addi("t0", "t0", 1)
+    bld.cmp_lt("t5", "t0", "a2")
+    bld.bnez("t5", "loop")
+    bld.addi("s0", "s0", 1)
+    bld.cmp_lt("t5", "s0", "a4")
+    bld.bnez("t5", "repeat")
+    bld.halt()
+
+    return Workload("Randacc", "hpc", bld.build(), memory, meta={
+        "ran": ran_vals, "table": table, "table_words": table_words,
+        "mask": mask, "repeats": repeats,
+    })

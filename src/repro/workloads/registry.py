@@ -1,0 +1,109 @@
+"""Workload registry: name -> builder, at test/bench/default scales.
+
+The paper's irregular suite is 33 workloads: 5 GAP kernels x 5 graph inputs
+plus the 8 HPC-DB kernels.  The SPEC surrogate suite adds 23 more for
+Fig 14.  ``build_workload(name, scale)`` reconstructs a fresh workload
+(program + initialised memory) every call — workloads mutate their memory,
+so they are never reused across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads import gap, hpc, spec
+from repro.workloads.base import Workload
+from repro.workloads.graphs import GRAPH_INPUTS, graph_for_input
+
+GAP_KERNELS = ("BC", "BFS", "CC", "PR", "SSSP")
+GAP_WORKLOADS = tuple(f"{k}_{g}" for k in GAP_KERNELS for g in GRAPH_INPUTS)
+HPC_WORKLOADS = ("Camel", "G500", "HJ2", "HJ8", "Kangr", "NAS-CG",
+                 "NAS-IS", "Randacc")
+IRREGULAR_WORKLOADS = GAP_WORKLOADS + HPC_WORKLOADS
+SPEC_WORKLOADS = spec.SPEC_NAMES
+
+_GAP_BUILDERS: dict[str, Callable] = {
+    "BC": gap.build_bc,
+    "BFS": gap.build_bfs,
+    "CC": gap.build_cc,
+    "PR": gap.build_pr,
+    "SSSP": gap.build_sssp,
+}
+
+# HPC kernel size knobs per scale: (elements/keys/probes, table scale divisor)
+_HPC_SCALE = {
+    "tiny": {"elements": 512, "nodes": 256, "keys": 512, "updates": 512,
+             "buckets": 256, "probes": 512, "table_words": 1 << 12,
+             "bins": 1 << 10, "table_nodes": 256, "degree": 6},
+    "bench": {"elements": 16384, "nodes": 8192, "keys": 16384,
+              "updates": 16384, "buckets": 16384, "probes": 16384,
+              "table_words": 1 << 18, "bins": 1 << 16,
+              "table_nodes": 8192, "degree": 10},
+    "default": {"elements": 65536, "nodes": 16384, "keys": 65536,
+                "updates": 65536, "buckets": 65536, "probes": 65536,
+                "table_words": 1 << 20, "bins": 1 << 17,
+                "table_nodes": 16384, "degree": 12},
+}
+
+
+def _build_hpc(name: str, scale: str) -> Workload:
+    s = _HPC_SCALE[scale]
+    if name == "Camel":
+        return hpc.build_camel(elements=s["elements"],
+                               table_nodes=s["table_nodes"])
+    if name == "G500":
+        return hpc.build_graph500(nodes=s["nodes"], degree=s["degree"])
+    if name == "HJ2":
+        return hpc.build_hj2(buckets=s["buckets"], probes=s["probes"])
+    if name == "HJ8":
+        return hpc.build_hj8(buckets=s["buckets"], probes=s["probes"])
+    if name == "Kangr":
+        return hpc.build_kangaroo(keys=s["keys"], bins=s["bins"])
+    if name == "NAS-CG":
+        return hpc.build_nas_cg(nodes=s["nodes"], degree=s["degree"])
+    if name == "NAS-IS":
+        return hpc.build_nas_is(keys=s["keys"], bins=s["bins"])
+    if name == "Randacc":
+        return hpc.build_randacc(updates=s["updates"],
+                                 table_words=s["table_words"])
+    raise ValueError(f"unknown HPC workload: {name!r}")
+
+
+def build_workload(name: str, scale: str = "default") -> Workload:
+    """Construct a fresh workload by registry name.
+
+    GAP names are ``KERNEL_INPUT`` (e.g. ``PR_KR``); HPC and SPEC names are
+    bare.  ``scale`` is 'tiny' (unit tests), 'bench' (benchmark harness) or
+    'default' (paper-shaped runs).
+    """
+    if scale not in _HPC_SCALE:
+        raise ValueError(f"unknown scale: {scale!r}")
+    if "_" in name:
+        kernel, _, input_name = name.partition("_")
+        if kernel not in _GAP_BUILDERS:
+            raise ValueError(f"unknown GAP kernel: {kernel!r}")
+        weighted = kernel == "SSSP"
+        graph = graph_for_input(input_name, scale, weighted=weighted)
+        workload = _GAP_BUILDERS[kernel](graph)
+        workload.name = name
+        return workload
+    if name in HPC_WORKLOADS:
+        return _build_hpc(name, scale)
+    if name in SPEC_WORKLOADS:
+        repeats = {"tiny": 1, "bench": 3, "default": 4}[scale]
+        return spec.build_spec(name, repeats=repeats)
+    raise ValueError(f"unknown workload: {name!r}")
+
+
+def workload_names(suite: str = "irregular") -> tuple[str, ...]:
+    """Names in a suite: 'gap', 'hpc', 'irregular' (both) or 'spec'."""
+    suites = {
+        "gap": GAP_WORKLOADS,
+        "hpc": HPC_WORKLOADS,
+        "irregular": IRREGULAR_WORKLOADS,
+        "spec": SPEC_WORKLOADS,
+    }
+    try:
+        return suites[suite]
+    except KeyError:
+        raise ValueError(f"unknown suite: {suite!r}") from None

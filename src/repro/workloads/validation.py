@@ -1,0 +1,205 @@
+"""Reference validators for the workload kernels.
+
+Each function re-computes a kernel's result in plain Python/numpy from the
+workload's metadata and compares it against the simulated memory image.
+They are used by the test-suite and available to users running custom
+graphs/inputs through the builders — run the workload to completion (the
+functional core is fastest) and then call the matching validator.
+
+All validators raise :class:`ValidationError` with a description on
+mismatch and return quietly on success.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.base import VERTEX_STRIDE_SHIFT, Workload
+
+MASK64 = (1 << 64) - 1
+
+
+class ValidationError(AssertionError):
+    """A kernel's memory image does not match the reference computation."""
+
+
+def _vertex_words(workload: Workload, key: str, n: int) -> list[int]:
+    shift = workload.meta.get("vertex_shift", VERTEX_STRIDE_SHIFT)
+    base = workload.meta[key]
+    memory = workload.memory
+    return [memory.read_word(base + (v << shift)) for v in range(n)]
+
+
+def _fail(kernel: str, detail: str) -> None:
+    raise ValidationError(f"{kernel}: {detail}")
+
+
+def validate_pr(workload: Workload) -> None:
+    """scores[u] == sum(contrib[v] for v in neigh(u))."""
+    graph = workload.meta["graph"]
+    n = graph.num_nodes
+    contrib = _vertex_words(workload, "contrib", n)
+    scores = _vertex_words(workload, "scores", n)
+    for u in range(n):
+        expected = sum(contrib[int(v)] for v in graph.out_neighbors(u)) & MASK64
+        if scores[u] != expected:
+            _fail("PR", f"score[{u}] = {scores[u]}, expected {expected}")
+
+
+def validate_bfs(workload: Workload) -> None:
+    """parent[] marks exactly the reachable set with valid tree edges."""
+    graph = workload.meta["graph"]
+    root = workload.meta["root"]
+    sentinel = workload.meta["sentinel"]
+    n = graph.num_nodes
+    parent = _vertex_words(workload, "parent", n)
+    reachable = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in graph.out_neighbors(u):
+                v = int(v)
+                if v not in reachable:
+                    reachable.add(v)
+                    nxt.append(v)
+        frontier = nxt
+    visited = {v for v in range(n) if parent[v] != sentinel}
+    if visited != reachable:
+        _fail("BFS", f"visited set differs ({len(visited)} vs "
+                     f"{len(reachable)} vertices)")
+    for v in visited:
+        if v == root:
+            if parent[v] != root:
+                _fail("BFS", "root is not its own parent")
+            continue
+        if v not in graph.out_neighbors(int(parent[v])):
+            _fail("BFS", f"parent edge {parent[v]}->{v} not in graph")
+
+
+def validate_cc(workload: Workload) -> None:
+    """Labels match the same number of sequential propagation passes."""
+    graph = workload.meta["graph"]
+    passes = workload.meta["passes"]
+    n = graph.num_nodes
+    comp = list(range(n))
+    for _ in range(passes):
+        for u in range(n):
+            c = comp[u]
+            for v in graph.out_neighbors(u):
+                c = min(c, comp[int(v)])
+            comp[u] = c
+    got = _vertex_words(workload, "comp", n)
+    if got != comp:
+        bad = next(i for i in range(n) if got[i] != comp[i])
+        _fail("CC", f"comp[{bad}] = {got[bad]}, expected {comp[bad]}")
+
+
+def validate_sssp(workload: Workload) -> None:
+    """Distances equal Dijkstra's on the weighted graph."""
+    import heapq
+
+    graph = workload.meta["graph"]
+    root = workload.meta["root"]
+    inf = workload.meta["inf"]
+    n = graph.num_nodes
+    dist = {root: 0}
+    heap = [(0, root)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist.get(u, float("inf")):
+            continue
+        start, end = graph.offsets[u], graph.offsets[u + 1]
+        for idx in range(start, end):
+            v = int(graph.neighbors[idx])
+            nd = d + int(graph.weights[idx])
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    got = _vertex_words(workload, "dist", n)
+    for v in range(n):
+        expected = dist.get(v, inf)
+        if got[v] != expected:
+            _fail("SSSP", f"dist[{v}] = {got[v]}, expected {expected}")
+
+
+def validate_bc(workload: Workload) -> None:
+    """Depths and integer dependency deltas match the kernel's arithmetic."""
+    graph = workload.meta["graph"]
+    root = workload.meta["root"]
+    sentinel = workload.meta["sentinel"]
+    n = graph.num_nodes
+    depth = [sentinel] * n
+    depth[root] = 0
+    queue = [root]
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for v in graph.out_neighbors(u):
+            v = int(v)
+            if depth[v] == sentinel:
+                depth[v] = depth[u] + 1
+                queue.append(v)
+    delta = [0] * n
+    for u in reversed(queue):
+        acc = delta[u]
+        for v in graph.out_neighbors(u):
+            v = int(v)
+            if depth[v] == depth[u] + 1:
+                acc += 1 + delta[v]
+        delta[u] = acc & MASK64
+    if _vertex_words(workload, "depth", n) != depth:
+        _fail("BC", "depth array differs from reference BFS")
+    if _vertex_words(workload, "delta", n) != delta:
+        _fail("BC", "delta array differs from reference accumulation")
+
+
+def validate_histogram(workload: Workload) -> None:
+    """NAS-IS / Kangaroo bin counts match the (hashed) key stream."""
+    meta = workload.meta
+    expected = np.zeros(meta["bins"], dtype=np.int64)
+    for _ in range(meta["repeats"]):
+        for key in meta["keys"]:
+            idx = int(key)
+            if meta["hashed"]:
+                idx = (idx * meta["hash_mult"]) & meta["mask"]
+            expected[idx] += 1
+    got = workload.memory.read_array(meta["hist"], meta["bins"])
+    if not np.array_equal(got, expected):
+        _fail(workload.name, "histogram differs from reference")
+
+
+def validate_randacc(workload: Workload) -> None:
+    """Table XOR state matches the update stream."""
+    meta = workload.meta
+    expected = np.zeros(meta["table_words"], dtype=np.uint64)
+    for _ in range(meta["repeats"]):
+        for r in meta["ran"]:
+            idx = int(r) & meta["mask"]
+            expected[idx] ^= np.uint64(int(r) & MASK64)
+    got = workload.memory.read_array(
+        meta["table"], meta["table_words"]).astype(np.uint64)
+    if not np.array_equal(got, expected):
+        _fail("Randacc", "table differs from reference")
+
+
+VALIDATORS = {
+    "PR": validate_pr,
+    "BFS": validate_bfs,
+    "CC": validate_cc,
+    "SSSP": validate_sssp,
+    "BC": validate_bc,
+    "NAS-IS": validate_histogram,
+    "Kangr": validate_histogram,
+    "Randacc": validate_randacc,
+}
+
+
+def validate(workload: Workload) -> None:
+    """Dispatch on the workload's kernel name (``PR_KR`` -> ``PR``)."""
+    kernel = workload.name.partition("_")[0]
+    validator = VALIDATORS.get(kernel)
+    if validator is None:
+        raise ValueError(f"no validator for workload {workload.name!r}")
+    validator(workload)

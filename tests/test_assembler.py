@@ -1,0 +1,178 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.cores.functional import FunctionalCore
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instructions import Opcode
+from repro.memory.main_memory import MainMemory
+
+
+def run_source(source, memory=None):
+    memory = memory or MainMemory(capacity_bytes=1 << 20)
+    program = assemble(source)
+    core = FunctionalCore(program, memory)
+    core.run(1_000_000)
+    return core, memory
+
+
+class TestParsing:
+    def test_simple_program(self):
+        program = assemble("""
+            li t0, 5
+            addi t0, t0, 2
+            halt
+        """)
+        assert len(program) == 3
+        assert program[0].op is Opcode.LI
+
+    def test_labels_and_branches(self):
+        core, _ = run_source("""
+            li t0, 0
+            li t1, 10
+        loop:
+            addi t0, t0, 1
+            cmp_lt t2, t0, t1
+            bnez t2, loop
+            halt
+        """)
+        assert core.regs.read(20) == 10
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+            # a comment line
+
+            li a0, 1   # trailing comment
+            halt
+        """)
+        assert len(program) == 2
+
+    def test_hex_and_negative_immediates(self):
+        core, _ = run_source("""
+            li t0, 0x10
+            addi t0, t0, -6
+            halt
+        """)
+        assert core.regs.read(20) == 10
+
+    def test_memory_operations(self):
+        memory = MainMemory(capacity_bytes=1 << 20)
+        addr = memory.alloc_array([41])
+        core, memory = run_source(f"""
+            li a0, {addr}
+            ld t0, a0, 0
+            addi t0, t0, 1
+            st t0, a0, 8
+            halt
+        """, memory)
+        assert memory.read_word(addr + 8) == 42
+
+    def test_default_zero_displacement(self):
+        memory = MainMemory(capacity_bytes=1 << 20)
+        addr = memory.alloc_array([7])
+        core, _ = run_source(f"""
+            li a0, {addr}
+            ld t0, a0
+            halt
+        """, memory)
+        assert core.regs.read(20) == 7
+
+    def test_keyword_mnemonics(self):
+        core, _ = run_source("""
+            li t0, 12
+            li t1, 10
+            and t2, t0, t1
+            or  t3, t0, t1
+            min t4, t0, t1
+            max t5, t0, t1
+            halt
+        """)
+        assert core.regs.read(22) == 8
+        assert core.regs.read(23) == 14
+        assert core.regs.read(24) == 10
+        assert core.regs.read(25) == 12
+
+    def test_label_on_same_line_as_instruction(self):
+        core, _ = run_source("""
+            li t0, 3
+        top: addi t0, t0, -1
+            bnez t0, top
+            halt
+        """)
+        assert core.regs.read(20) == 0
+
+    def test_roundtrip_with_disassembler(self):
+        program = assemble("""
+            li t0, 1
+        loop:
+            addi t0, t0, 1
+            jmp loop
+        """)
+        text = program.disassemble()
+        assert "loop:" in text and "-> loop" in text
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate t0, t1")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError, match="unknown register"):
+            assemble("li q9, 1")
+
+    def test_bad_immediate(self):
+        with pytest.raises(AssemblerError, match="expected integer"):
+            assemble("li t0, banana")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects 3 operands"):
+            assemble("add t0, t1")
+
+    def test_undefined_branch_target(self):
+        with pytest.raises(ValueError, match="undefined label"):
+            assemble("jmp nowhere")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("li t0, 1\nbogus t1\nhalt")
+        except AssemblerError as err:
+            assert err.line_no == 2
+        else:  # pragma: no cover
+            pytest.fail("expected AssemblerError")
+
+
+class TestIntegrationWithTimingCore:
+    def test_assembled_gather_triggers_svr(self):
+        import numpy as np
+        from repro.svr.config import SVRConfig
+        from conftest import make_inorder
+
+        memory = MainMemory(capacity_bytes=1 << 22)
+        rng = np.random.default_rng(3)
+        idx = memory.alloc_array(
+            rng.integers(0, 2048, size=512, dtype=np.int64), name="idx")
+        data = memory.alloc(2048 << 6, name="data")
+        program = assemble(f"""
+            li a0, {idx}
+            li a1, {data}
+            li a2, 512
+            li t0, 0
+        loop:
+            slli t1, t0, 3
+            add  t1, a0, t1
+            ld   t2, t1, 0
+            slli t3, t2, 6
+            add  t3, a1, t3
+            ld   t4, t3, 0
+            add  t5, t5, t4
+            addi t0, t0, 1
+            cmp_lt t6, t0, a2
+            bnez t6, loop
+            halt
+        """)
+        core, hierarchy, unit = make_inorder(program, memory,
+                                             svr=SVRConfig())
+        core.run(4_000)
+        assert unit.stats.prm_rounds > 0
+        assert hierarchy.stats.prefetches_issued["svr"] > 0

@@ -1,0 +1,81 @@
+"""Unit tests for the hybrid local/global branch predictor."""
+
+from repro.branch.predictor import HybridBranchPredictor, _SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_initial_state_weakly_not_taken(self):
+        counter = _SaturatingCounter()
+        assert not counter.taken
+
+    def test_trains_toward_taken(self):
+        counter = _SaturatingCounter()
+        counter.update(True)
+        assert counter.taken
+
+    def test_saturates_high(self):
+        counter = _SaturatingCounter()
+        for _ in range(10):
+            counter.update(True)
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = _SaturatingCounter()
+        for _ in range(10):
+            counter.update(False)
+        assert counter.value == 0
+
+
+class TestPredictor:
+    def test_learns_always_taken(self):
+        pred = HybridBranchPredictor()
+        for _ in range(50):
+            pred.predict_and_update(100, True)
+        assert pred.predict_and_update(100, True)
+
+    def test_learns_never_taken(self):
+        pred = HybridBranchPredictor()
+        for _ in range(50):
+            pred.predict_and_update(100, False)
+        assert pred.predict_and_update(100, False)
+
+    def test_learns_loop_backedge_pattern(self):
+        """A loop branch taken N-1 times then not taken once: high accuracy."""
+        pred = HybridBranchPredictor()
+        for _ in range(200):
+            for i in range(8):
+                pred.predict_and_update(100, i != 7)
+        assert pred.accuracy > 0.80
+
+    def test_alternating_pattern_learned_by_history(self):
+        pred = HybridBranchPredictor()
+        outcome = True
+        for _ in range(400):
+            pred.predict_and_update(100, outcome)
+            outcome = not outcome
+        # The last 100 predictions should be essentially perfect.
+        start = pred.mispredictions
+        for _ in range(100):
+            pred.predict_and_update(100, outcome)
+            outcome = not outcome
+        assert pred.mispredictions - start <= 5
+
+    def test_mispredictions_counted(self):
+        pred = HybridBranchPredictor()
+        pred.predict_and_update(100, True)
+        assert pred.predictions == 1
+        assert pred.mispredictions <= 1
+
+    def test_independent_pcs(self):
+        pred = HybridBranchPredictor()
+        for _ in range(50):
+            pred.predict_and_update(100, True)
+            pred.predict_and_update(204, False)
+        assert pred.predict_and_update(100, True)
+        assert pred.predict_and_update(204, False)
+
+    def test_accuracy_starts_at_one(self):
+        assert HybridBranchPredictor().accuracy == 1.0
+
+    def test_penalty_configurable(self):
+        assert HybridBranchPredictor(misprediction_penalty=12.5).penalty == 12.5

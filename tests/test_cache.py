@@ -1,0 +1,136 @@
+"""Unit tests for the set-associative cache and MSHR pool."""
+
+import pytest
+
+from repro.memory.cache import Cache, MshrPool
+
+
+class TestCacheBasics:
+    def test_miss_then_hit(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        assert cache.lookup(10) is None
+        cache.insert(10)
+        assert cache.lookup(10) is not None
+
+    def test_hit_miss_counters(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.lookup(1)
+        cache.insert(1)
+        cache.lookup(1)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_contains_does_not_touch_lru(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)
+        # Two lines in the same set (num_sets = 2).
+        a, b = 0, 2
+        cache.insert(a)
+        cache.insert(b)
+        assert cache.contains(a)
+        cache.insert(4)  # same set: evicts LRU = a
+        assert not cache.contains(a)
+        assert cache.contains(b)
+
+    def test_lookup_touch_updates_lru(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)
+        cache.insert(0)
+        cache.insert(2)
+        cache.lookup(0)          # 0 becomes MRU
+        cache.insert(4)          # evicts 2
+        assert cache.contains(0) and not cache.contains(2)
+
+    def test_eviction_returns_victim_address(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)
+        cache.insert(0)
+        cache.insert(2)
+        victim = cache.insert(4)
+        assert victim is not None
+        assert victim[0] == 0
+
+    def test_insert_present_line_merges_dirty(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(7, dirty=False)
+        assert cache.insert(7, dirty=True) is None
+        meta = cache.lookup(7)
+        assert meta.dirty
+
+    def test_mark_dirty(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(3)
+        cache.mark_dirty(3)
+        assert cache.lookup(3).dirty
+
+    def test_prefetched_flag_and_origin(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(9, prefetched=True, origin="svr")
+        meta = cache.lookup(9)
+        assert meta.prefetched and meta.origin == "svr"
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 1000, assoc=3)
+
+    def test_num_sets(self):
+        cache = Cache("L1", 64 << 10, assoc=4, line_bytes=64)
+        assert cache.num_sets == 256
+
+    def test_reset_stats_keeps_contents(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(5)
+        cache.lookup(5)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert cache.contains(5)
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)  # 2 sets
+        cache.insert(0)
+        cache.insert(1)   # other set
+        cache.insert(2)
+        cache.insert(3)
+        assert cache.contains(1) and cache.contains(3)
+
+
+class TestMshrPool:
+    def test_allocate_when_free_starts_immediately(self):
+        pool = MshrPool(2)
+        slot, start = pool.allocate(5.0)
+        assert start == 5.0
+
+    def test_allocation_blocks_when_full(self):
+        pool = MshrPool(1)
+        slot, start = pool.allocate(0.0)
+        pool.release(slot, 100.0)
+        slot2, start2 = pool.allocate(10.0)
+        assert start2 == 100.0
+        assert pool.full_stalls == 1
+
+    def test_two_entries_overlap_two_misses(self):
+        pool = MshrPool(2)
+        s1, t1 = pool.allocate(0.0)
+        pool.release(s1, 90.0)
+        s2, t2 = pool.allocate(1.0)
+        assert t2 == 1.0     # second MSHR still free
+
+    def test_would_block(self):
+        pool = MshrPool(1)
+        slot, _ = pool.allocate(0.0)
+        pool.release(slot, 50.0)
+        assert pool.would_block(10.0)
+        assert not pool.would_block(60.0)
+
+    def test_earliest_free(self):
+        pool = MshrPool(2)
+        s, _ = pool.allocate(0.0)
+        pool.release(s, 30.0)
+        assert pool.earliest_free() == 0.0   # the other slot
+
+    def test_at_least_one_entry_required(self):
+        with pytest.raises(ValueError):
+            MshrPool(0)
+
+    def test_peak_wait_recorded(self):
+        pool = MshrPool(1)
+        slot, _ = pool.allocate(0.0)
+        pool.release(slot, 200.0)
+        pool.allocate(0.0)
+        assert pool.peak_wait == 200.0

@@ -1,0 +1,83 @@
+"""Calibration microbenchmarks: the model's primitives measure correctly."""
+
+import pytest
+
+from repro.harness.calibration import (
+    calibration_report,
+    measure_bandwidth,
+    measure_dram_latency,
+    measure_issue_width,
+    measure_l1_latency,
+    measure_l2_latency,
+)
+from repro.memory.hierarchy import MemoryConfig
+
+
+class TestLatencies:
+    def test_l1_chase_measures_configured_latency(self):
+        """Steady-state L1 pointer chase = the configured 2 cycles."""
+        assert measure_l1_latency(hops=1000) == pytest.approx(2.0, abs=0.3)
+
+    def test_l2_chase_near_configured(self):
+        """L1-miss/L2-hit path: ~14 cycles plus L1-conflict noise."""
+        latency = measure_l2_latency(hops=1500)
+        assert 13.0 < latency < 30.0
+
+    def test_dram_chase_near_configured(self):
+        """Full miss path: 90-cycle DRAM + cache probe overheads."""
+        latency = measure_dram_latency(hops=800)
+        assert 95.0 < latency < 135.0
+
+    def test_latency_hierarchy_strictly_ordered(self):
+        l1 = measure_l1_latency(hops=500)
+        l2 = measure_l2_latency(hops=800)
+        dram = measure_dram_latency(hops=500)
+        assert l1 < l2 < dram
+
+    def test_dram_latency_tracks_configuration(self):
+        slow = MemoryConfig(stride_prefetcher=False, dram_latency_ns=90.0)
+        fast = MemoryConfig(stride_prefetcher=False, dram_latency_ns=45.0)
+        assert (measure_dram_latency(hops=400, mem_cfg=slow)
+                > measure_dram_latency(hops=400, mem_cfg=fast) + 60)
+
+
+class TestBandwidth:
+    def test_inorder_core_cannot_saturate_the_channel(self):
+        """The paper's premise, measured: even pure streaming leaves most
+        of the 50 GiB/s unused on the little core."""
+        achieved = measure_bandwidth()
+        assert achieved < 0.5 * 50.0
+        assert achieved > 2.0     # but it is not broken either
+
+    def test_bandwidth_scales_with_mshrs(self):
+        few = measure_bandwidth(MemoryConfig(stride_prefetcher=False,
+                                             l1_mshrs=2))
+        many = measure_bandwidth(MemoryConfig(stride_prefetcher=False,
+                                              l1_mshrs=16))
+        assert many > few
+
+    def test_narrow_channel_caps_throughput(self):
+        narrow = measure_bandwidth(MemoryConfig(stride_prefetcher=False,
+                                                dram_bandwidth_gbps=4.0))
+        assert narrow < 4.5
+
+
+class TestIssueWidth:
+    def test_independent_alu_throughput(self):
+        """Near the 3-wide limit minus loop-carried overhead."""
+        width = measure_issue_width()
+        assert 2.0 < width <= 3.0
+
+
+class TestReport:
+    def test_report_structure(self):
+        report = calibration_report()
+        assert set(report) == {
+            "l1_latency_cycles", "l1_configured",
+            "l2_latency_cycles", "l2_configured",
+            "dram_latency_cycles", "dram_configured",
+            "bandwidth_gibps", "bandwidth_configured",
+            "issue_width",
+        }
+        assert report["l1_latency_cycles"] == pytest.approx(
+            report["l1_configured"], abs=0.5)

@@ -1,0 +1,61 @@
+"""Tests for the plain-text chart renderers."""
+
+from repro.harness.charts import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        text = bar_chart({"inorder": 1.0, "svr16": 3.2}, title="T")
+        assert "T" in text and "inorder" in text and "3.20" in text
+
+    def test_longest_bar_is_peak(self):
+        text = bar_chart({"a": 1.0, "b": 4.0}, width=20)
+        lines = text.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_baseline_annotation(self):
+        text = bar_chart({"inorder": 1.0, "svr16": 3.0},
+                         baseline="inorder")
+        assert "(3.00x)" in text and "(1.00x)" in text
+
+    def test_empty_series(self):
+        assert bar_chart({}, title="X") == "X"
+
+    def test_zero_values_render(self):
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "0.00" in text
+
+
+class TestGroupedBarChart:
+    def test_rows_and_columns_present(self):
+        rows = {"PR": {"inorder": 5.0, "svr16": 2.0},
+                "BFS": {"inorder": 4.0, "svr16": 2.1}}
+        text = grouped_bar_chart(rows, title="CPI")
+        assert "PR:" in text and "BFS:" in text
+        assert text.count("inorder") == 2
+
+    def test_global_peak_scaling(self):
+        rows = {"x": {"big": 10.0}, "y": {"small": 1.0}}
+        text = grouped_bar_chart(rows, width=10)
+        big_line = [l for l in text.splitlines() if "big" in l][0]
+        small_line = [l for l in text.splitlines() if "small" in l][0]
+        assert big_line.count("█") == 10
+        assert small_line.count("█") <= 1
+
+    def test_empty(self):
+        assert grouped_bar_chart({}, title="E") == "E"
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(17))) == 17

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import FIGURES, main
+
+
+class TestList:
+    def test_list_prints_inventory(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "svr16" in out
+        assert "PR_KR" in out
+        assert "fig1" in out
+
+    def test_figures_registry_covers_evaluation(self):
+        assert {"fig1", "fig3", "fig11", "fig12", "fig13a", "fig13b",
+                "fig14", "fig15", "fig16", "fig17", "fig18",
+                "table2"} <= set(FIGURES)
+
+
+class TestRun:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "Camel", "svr16", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out and "nJ/instr" in out
+        assert "SVR acc" in out and "PRM rounds" in out
+        assert "mem-dram" in out
+
+    def test_run_without_svr_omits_svr_stats(self, capsys):
+        assert main(["run", "Camel", "ooo", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "PRM rounds" not in out
+
+    def test_bad_technique_raises(self):
+        with pytest.raises(ValueError):
+            main(["run", "Camel", "gpu", "--scale", "tiny"])
+
+
+class TestFigure:
+    def test_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "svr16" in out
+
+    def test_fig1_with_subset(self, capsys):
+        assert main(["figure", "fig1", "--workloads", "Camel",
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "norm_ipc" in out
+
+    def test_unknown_figure_fails(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+
+
+class TestOverhead:
+    def test_default_matches_table2(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "17738" in out and "2.17" in out
+
+    def test_custom_n(self, capsys):
+        assert main(["overhead", "128", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SRF" in out

@@ -1,0 +1,231 @@
+"""Unit and integration tests for the stall-on-use in-order core."""
+
+import pytest
+
+from repro.cores.base import CoreConfig, IssueSlots, StallReason
+from repro.isa.program import ProgramBuilder
+
+from conftest import build_gather_workload, make_inorder, make_memory
+
+
+class TestIssueSlots:
+    def test_width_per_cycle(self):
+        slots = IssueSlots(3)
+        times = [slots.allocate(0.0) for _ in range(4)]
+        assert times[:3] == [0.0, 0.0, 0.0]
+        assert times[3] == 1.0
+
+    def test_requests_in_future_reset_count(self):
+        slots = IssueSlots(2)
+        slots.allocate(0.0)
+        slots.allocate(0.0)
+        assert slots.allocate(5.5) == 5.5
+        assert slots.allocate(5.6) == 5.6
+        assert slots.allocate(5.7) == 6.0   # third in cycle 5
+
+    def test_past_requests_pushed_forward(self):
+        slots = IssueSlots(1)
+        slots.allocate(10.0)
+        assert slots.allocate(0.0) == 11.0
+
+    def test_peek_does_not_reserve(self):
+        slots = IssueSlots(1)
+        assert slots.peek(0.0) == 0.0
+        assert slots.peek(0.0) == 0.0
+        slots.allocate(0.0)
+        assert slots.peek(0.0) == 1.0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            IssueSlots(0)
+
+
+def run_program(build_fn, max_instructions=10_000, **core_kwargs):
+    memory = make_memory()
+    b = ProgramBuilder()
+    build_fn(b, memory)
+    core, hierarchy, _ = make_inorder(b.build(), memory, **core_kwargs)
+    stats = core.run(max_instructions)
+    return core, hierarchy, stats
+
+
+class TestExecution:
+    def test_runs_to_halt(self):
+        def prog(b, mem):
+            b.li("t0", 5)
+            b.addi("t0", "t0", 1)
+            b.halt()
+        core, _, stats = run_program(prog)
+        assert core.halted and stats.halted
+        assert stats.instructions == 3
+        assert core.regs.read(20) == 6
+
+    def test_loop_executes_correct_count(self):
+        def prog(b, mem):
+            b.li("t0", 0)
+            b.li("t1", 10)
+            b.label("loop")
+            b.addi("t0", "t0", 1)
+            b.cmp_lt("t2", "t0", "t1")
+            b.bnez("t2", "loop")
+            b.halt()
+        core, _, stats = run_program(prog)
+        assert core.regs.read(20) == 10
+
+    def test_loads_and_stores_functional(self):
+        def prog(b, mem):
+            addr = mem.alloc_array([7])
+            dst = mem.alloc_zeros(1)
+            b.li("a0", addr)
+            b.li("a1", dst)
+            b.ld("t0", "a0", 0)
+            b.addi("t0", "t0", 1)
+            b.st("t0", "a1", 0)
+            b.halt()
+        core, _, _ = run_program(prog)
+        assert core.regs.read(20) == 8
+
+    def test_max_instructions_caps_run(self):
+        def prog(b, mem):
+            b.label("spin")
+            b.jmp("spin")
+        core, _, stats = run_program(prog, max_instructions=100)
+        assert stats.instructions == 100
+        assert not core.halted
+
+
+class TestStallOnUse:
+    def test_independent_alu_ops_pack_per_cycle(self):
+        def prog(b, mem):
+            for _ in range(30):
+                b.addi("t0", "x0", 1)
+            b.halt()
+        core, _, stats = run_program(prog)
+        # 3-wide: ~10 cycles for 30 independent instructions.
+        assert stats.cpi < 0.6
+
+    def test_load_use_stall_charged_to_dram(self):
+        def prog(b, mem):
+            addr = mem.alloc_array([1])
+            b.li("a0", addr)
+            b.ld("t0", "a0", 0)       # cold miss
+            b.addi("t1", "t0", 1)     # immediate use -> stall
+            b.halt()
+        core, _, stats = run_program(prog)
+        assert stats.stall_cycles[StallReason.MEM_DRAM] > 50
+
+    def test_load_without_use_does_not_stall(self):
+        def prog(b, mem):
+            addr = mem.alloc_array([1])
+            b.li("a0", addr)
+            b.ld("t0", "a0", 0)
+            for _ in range(20):
+                b.addi("t1", "t1", 1)  # independent work
+            b.halt()
+        core, _, stats = run_program(prog)
+        assert stats.stall_cycles[StallReason.MEM_DRAM] == 0
+
+    def test_dependent_misses_serialise(self):
+        """A pointer-chase pays full DRAM latency per hop."""
+        def prog(b, mem):
+            hops = 4
+            # Chain: each cell holds the address of the next (cold lines).
+            addrs = [mem.alloc(64) for _ in range(hops)]
+            for i in range(hops - 1):
+                mem.write_word(addrs[i], addrs[i + 1])
+            b.li("t0", addrs[0])
+            for _ in range(hops - 1):
+                b.ld("t0", "t0", 0)
+            b.halt()
+        core, hier, stats = run_program(prog)
+        assert stats.cycles > 3 * hier.dram.latency_cycles
+
+    def test_independent_misses_overlap(self):
+        def dependent(b, mem):
+            addrs = [mem.alloc(64) for _ in range(4)]
+            for i in range(3):
+                mem.write_word(addrs[i], addrs[i + 1])
+            b.li("t0", addrs[0])
+            for _ in range(3):
+                b.ld("t0", "t0", 0)
+            b.ld("t9", "t0", 0)   # final use forces completion
+            b.addi("t9", "t9", 1)
+            b.halt()
+
+        def independent(b, mem):
+            addrs = [mem.alloc(64) for _ in range(4)]
+            for i, addr in enumerate(addrs):
+                b.li("a0", addr)
+                b.ld(f"t{i}", "a0", 0)
+            b.addi("t8", "t0", 1)   # use them all at the end
+            b.addi("t8", "t1", 1)
+            b.addi("t8", "t2", 1)
+            b.addi("t8", "t3", 1)
+            b.halt()
+
+        _, _, dep_stats = run_program(dependent)
+        _, _, ind_stats = run_program(independent)
+        assert ind_stats.cycles < dep_stats.cycles
+
+    def test_scoreboard_bounds_inflight(self):
+        cfg = CoreConfig(scoreboard_entries=2)
+
+        def prog(b, mem):
+            base = mem.alloc(64 * 64)
+            b.li("a0", base)
+            for i in range(8):
+                b.ld(f"t{i % 8}", "a0", i * 4096)  # independent cold misses
+            b.halt()
+        core, _, small = run_program(prog, core_cfg=cfg)
+        core, _, big = run_program(prog, core_cfg=CoreConfig())
+        assert small.cycles > big.cycles
+
+
+class TestBranches:
+    def test_mispredict_penalty_applied(self):
+        def prog(b, mem):
+            # A data-dependent unpredictable-ish branch executed once.
+            b.li("t0", 1)
+            b.bnez("t0", "skip")
+            b.nop()
+            b.label("skip")
+            b.halt()
+        core, _, stats = run_program(prog)
+        assert stats.branches == 1
+
+    def test_predictable_loop_fast(self):
+        def prog(b, mem):
+            b.li("t0", 0)
+            b.li("t1", 500)
+            b.label("loop")
+            b.addi("t0", "t0", 1)
+            b.cmp_lt("t2", "t0", "t1")
+            b.bnez("t2", "loop")
+            b.halt()
+        core, _, stats = run_program(prog)
+        # Loop branch almost always predicted: CPI near issue-bound.
+        assert stats.cpi < 1.5
+        # The hybrid predictor nails the backedge after warmup.
+        assert stats.mispredicts <= 15
+
+
+class TestMeasurementWindow:
+    def test_reset_stats_starts_fresh_window(self, gather):
+        program, memory = gather
+        core, hierarchy, _ = make_inorder(program, memory)
+        core.run(500)
+        first_cycles = core.stats.cycles
+        core.reset_stats()
+        assert core.stats.instructions == 0
+        core.run(500)
+        assert core.stats.instructions == 500
+        assert core.stats.cycles > 0
+        assert core.stats.start_cycle >= first_cycles - 1
+
+    def test_gather_is_memory_bound(self, gather):
+        program, memory = gather
+        core, hierarchy, _ = make_inorder(program, memory)
+        stats = core.run(2500)
+        stack = stats.cpi_stack()
+        assert stack["mem-dram"] > stack["base"]
+        assert stats.cpi > 3.0

@@ -1,0 +1,159 @@
+"""Unit and integration tests for the out-of-order core model."""
+
+import pytest
+
+from repro.cores.base import CoreConfig
+from repro.isa.program import ProgramBuilder
+
+from conftest import build_gather_workload, make_inorder, make_memory, make_ooo
+
+
+def run_ooo(build_fn, max_instructions=10_000, **core_kwargs):
+    memory = make_memory()
+    b = ProgramBuilder()
+    build_fn(b, memory)
+    core, hierarchy = make_ooo(b.build(), memory, **core_kwargs)
+    stats = core.run(max_instructions)
+    return core, hierarchy, stats
+
+
+class TestExecution:
+    def test_functional_results_match(self):
+        def prog(b, mem):
+            addr = mem.alloc_array([10, 20, 30])
+            b.li("a0", addr)
+            b.ld("t0", "a0", 0)
+            b.ld("t1", "a0", 8)
+            b.add("t2", "t0", "t1")
+            b.halt()
+        core, _, _ = run_ooo(prog)
+        assert core.regs.read(22) == 30
+
+    def test_runs_to_halt(self):
+        def prog(b, mem):
+            b.li("t0", 1)
+            b.halt()
+        core, _, stats = run_ooo(prog)
+        assert core.halted and stats.instructions == 2
+
+
+class TestMlp:
+    def test_independent_misses_overlap(self):
+        """The OoO core's raison d'etre: multiple outstanding misses."""
+        def prog(b, mem):
+            base = mem.alloc(8 * 4096)
+            b.li("a0", base)
+            for i in range(8):
+                b.ld(f"t{i}", "a0", i * 4096)
+            b.add("t8", "t0", "t7")
+            b.halt()
+        core, hier, stats = run_ooo(prog)
+        # Far less than 8 serialised DRAM accesses.
+        assert stats.cycles < 4 * hier.dram.latency_cycles
+
+    def test_dependent_chain_still_serialises(self):
+        def prog(b, mem):
+            addrs = [mem.alloc(64) for _ in range(4)]
+            for i in range(3):
+                mem.write_word(addrs[i], addrs[i + 1])
+            b.li("t0", addrs[0])
+            for _ in range(3):
+                b.ld("t0", "t0", 0)
+            b.halt()
+        core, hier, stats = run_ooo(prog)
+        assert stats.cycles > 2.5 * hier.dram.latency_cycles
+
+    def test_rob_bounds_lookahead(self):
+        def prog(b, mem):
+            base = mem.alloc(64 * 64 * 64)
+            b.li("a0", base)
+            for i in range(48):
+                b.ld(f"t{i % 8}", "a0", i * 4096)
+                b.addi(f"s{i % 4}", f"t{i % 8}", 1)   # consume each load
+            b.halt()
+        _, _, small = run_ooo(prog, core_cfg=CoreConfig(rob_entries=4))
+        _, _, large = run_ooo(prog, core_cfg=CoreConfig(rob_entries=64,
+                                                        lsq_entries=64))
+        assert large.cycles < small.cycles
+
+    def test_lsq_bounds_outstanding_memory_ops(self):
+        def prog(b, mem):
+            base = mem.alloc(64 * 64 * 64)
+            b.li("a0", base)
+            for i in range(32):
+                b.ld(f"t{i % 8}", "a0", i * 4096)
+            b.halt()
+        _, _, small = run_ooo(prog, core_cfg=CoreConfig(lsq_entries=1))
+        _, _, large = run_ooo(prog, core_cfg=CoreConfig(lsq_entries=16))
+        assert large.cycles < small.cycles
+
+    def test_beats_inorder_on_gather(self):
+        program, memory = build_gather_workload()
+        ooo, _ = make_ooo(program, memory)
+        ooo_stats = ooo.run(2500)
+        program2, memory2 = build_gather_workload()
+        ino, _, _ = make_inorder(program2, memory2)
+        ino_stats = ino.run(2500)
+        assert ooo_stats.cpi < ino_stats.cpi / 1.5
+
+
+class TestForwarding:
+    def test_store_to_load_forwarding(self):
+        """A load of a just-stored word should not go to memory."""
+        def prog(b, mem):
+            addr = mem.alloc(64)
+            b.li("a0", addr)
+            b.li("t0", 42)
+            b.st("t0", "a0", 0)
+            b.ld("t1", "a0", 0)
+            b.addi("t2", "t1", 0)
+            b.halt()
+        core, hier, stats = run_ooo(prog)
+        assert core.regs.read(21) == 42
+        # The load was forwarded, so well under a DRAM round trip.
+        assert stats.cycles < hier.dram.latency_cycles
+
+    def test_dependent_load_cannot_bypass_store(self):
+        def prog(b, mem):
+            addr = mem.alloc(64)
+            mem.write_word(addr, 7)
+            b.li("a0", addr)
+            b.li("t0", 99)
+            b.st("t0", "a0", 0)
+            b.ld("t1", "a0", 0)
+            b.halt()
+        core, _, _ = run_ooo(prog)
+        assert core.regs.read(21) == 99     # sees the new value
+
+
+class TestBranches:
+    def test_loop_completes_correctly(self):
+        def prog(b, mem):
+            b.li("t0", 0)
+            b.li("t1", 20)
+            b.label("loop")
+            b.addi("t0", "t0", 1)
+            b.cmp_lt("t2", "t0", "t1")
+            b.bnez("t2", "loop")
+            b.halt()
+        core, _, stats = run_ooo(prog)
+        assert core.regs.read(20) == 20
+        assert stats.branches == 20
+
+    def test_reset_stats_window(self):
+        def prog(b, mem):
+            b.li("t0", 0)
+            b.li("t1", 100000)
+            b.label("loop")
+            b.addi("t0", "t0", 1)
+            b.cmp_lt("t2", "t0", "t1")
+            b.bnez("t2", "loop")
+            b.halt()
+        memory = make_memory()
+        b = ProgramBuilder()
+        prog(b, memory)
+        core, _ = make_ooo(b.build(), memory)
+        core.run(100)
+        core.reset_stats()
+        core.run(300)
+        assert core.stats.instructions == 300

@@ -1,0 +1,43 @@
+"""Tests for the decoupled-context ablation (Section VI-D discussion)."""
+
+from repro.svr.config import SVRConfig
+
+from conftest import build_gather_workload, make_inorder
+
+
+def run_with(cfg, steps=2600):
+    program, memory = build_gather_workload()
+    core, hierarchy, unit = make_inorder(program, memory, svr=cfg)
+    stats = core.run(steps)
+    return stats, hierarchy, unit
+
+
+class TestDecoupledContext:
+    def test_decoupled_never_slower_than_lockstep(self):
+        lock, _, _ = run_with(SVRConfig())
+        dec, _, _ = run_with(SVRConfig(decoupled_context=True))
+        assert dec.cycles <= lock.cycles * 1.01
+
+    def test_decoupling_gain_is_small(self):
+        """Runahead is memory-bound: free issue slots barely help — the
+        paper's case for lockstep coupling on a little core."""
+        lock, _, _ = run_with(SVRConfig())
+        dec, _, _ = run_with(SVRConfig(decoupled_context=True))
+        assert dec.cycles > 0.75 * lock.cycles
+
+    def test_same_prefetch_work_either_way(self):
+        _, h_lock, u_lock = run_with(SVRConfig())
+        _, h_dec, u_dec = run_with(SVRConfig(decoupled_context=True))
+        assert u_dec.stats.prm_rounds == u_lock.stats.prm_rounds
+        lock_pf = h_lock.stats.prefetches_issued["svr"]
+        dec_pf = h_dec.stats.prefetches_issued["svr"]
+        assert abs(lock_pf - dec_pf) <= 0.1 * lock_pf
+
+    def test_flag_off_by_default(self):
+        assert not SVRConfig().decoupled_context
+        _, _, unit = run_with(SVRConfig())
+        assert unit._context_slots is None
+
+    def test_context_slots_created_when_enabled(self):
+        _, _, unit = run_with(SVRConfig(decoupled_context=True))
+        assert unit._context_slots is not None

@@ -1,0 +1,80 @@
+"""Unit tests for the DRAM latency/bandwidth model."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+
+
+class TestLatency:
+    def test_unloaded_access_pays_latency(self):
+        dram = DramModel(latency_ns=45.0, frequency_ghz=2.0)
+        assert dram.access(0.0) == pytest.approx(90.0)
+
+    def test_latency_scales_with_frequency(self):
+        dram = DramModel(latency_ns=50.0, frequency_ghz=1.0)
+        assert dram.access(0.0) == pytest.approx(50.0)
+
+    def test_access_at_later_time_completes_later(self):
+        dram = DramModel()
+        assert dram.access(100.0) == pytest.approx(100.0 + dram.latency_cycles)
+
+
+class TestBandwidth:
+    def test_line_time_from_bandwidth(self):
+        # 50 GiB/s at 2 GHz = 26.84 B/cycle -> 64 B line takes ~2.38 cycles.
+        dram = DramModel(bandwidth_gbps=50.0, frequency_ghz=2.0)
+        expected = 64 / (50 * (1 << 30) / 2e9)
+        assert dram.cycles_per_line == pytest.approx(expected)
+
+    def test_back_to_back_requests_queue(self):
+        dram = DramModel()
+        first = dram.access(0.0)
+        second = dram.access(0.0)
+        assert second == pytest.approx(first + dram.cycles_per_line)
+
+    def test_halving_bandwidth_doubles_queueing(self):
+        fast = DramModel(bandwidth_gbps=100.0)
+        slow = DramModel(bandwidth_gbps=50.0)
+        assert slow.cycles_per_line == pytest.approx(2 * fast.cycles_per_line)
+
+    def test_spaced_requests_do_not_queue(self):
+        dram = DramModel()
+        first = dram.access(0.0)
+        second = dram.access(1000.0)
+        assert second == pytest.approx(1000.0 + dram.latency_cycles)
+        assert second < first + 1000.0 + dram.cycles_per_line
+
+
+class TestStats:
+    def test_access_count(self):
+        dram = DramModel()
+        for _ in range(5):
+            dram.access(0.0)
+        assert dram.accesses == 5
+
+    def test_utilisation(self):
+        dram = DramModel()
+        dram.access(0.0)
+        util = dram.utilisation(dram.cycles_per_line * 2)
+        assert util == pytest.approx(0.5)
+
+    def test_utilisation_capped_at_one(self):
+        dram = DramModel()
+        for _ in range(100):
+            dram.access(0.0)
+        assert dram.utilisation(1.0) == 1.0
+
+    def test_utilisation_of_zero_window(self):
+        assert DramModel().utilisation(0.0) == 0.0
+
+    def test_reset_stats(self):
+        dram = DramModel()
+        dram.access(0.0)
+        dram.reset_stats()
+        assert dram.accesses == 0 and dram.busy_cycles == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel(latency_ns=0)
+        with pytest.raises(ValueError):
+            DramModel(bandwidth_gbps=-1)

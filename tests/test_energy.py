@@ -1,0 +1,104 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, EnergyParams
+
+
+def evaluate(model=None, **overrides):
+    model = model or EnergyModel()
+    kwargs = dict(
+        core_kind="inorder", cycles=2_000_000.0, frequency_ghz=2.0,
+        instructions=200_000, alu_ops=100_000, fp_ops=0, branches=20_000,
+        l1_accesses=80_000, l2_accesses=10_000, dram_lines=5_000,
+    )
+    kwargs.update(overrides)
+    return model.evaluate(**kwargs)
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_parts(self):
+        b = evaluate()
+        assert b.total_j == pytest.approx(
+            b.static_j + b.core_dynamic_j + b.cache_dynamic_j
+            + b.dram_dynamic_j + b.technique_dynamic_j)
+
+    def test_per_instruction_nj(self):
+        b = EnergyBreakdown(static_j=2e-4)
+        assert b.per_instruction_nj(200_000) == pytest.approx(1.0)
+
+    def test_per_instruction_zero_guard(self):
+        assert EnergyBreakdown(static_j=1.0).per_instruction_nj(0) == 0.0
+
+    def test_as_dict_keys(self):
+        d = evaluate().as_dict()
+        assert set(d) == {"static_j", "core_dynamic_j", "cache_dynamic_j",
+                          "dram_dynamic_j", "technique_dynamic_j", "total_j"}
+
+
+class TestCoreKinds:
+    def test_ooo_core_draws_more_power(self):
+        ino = evaluate(core_kind="inorder")
+        ooo = evaluate(core_kind="ooo")
+        assert ooo.static_j > ino.static_j
+        assert ooo.core_dynamic_j > ino.core_dynamic_j
+
+    def test_unknown_core_kind_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate(core_kind="vliw")
+
+    def test_slower_run_pays_more_static(self):
+        fast = evaluate(cycles=1_000_000.0)
+        slow = evaluate(cycles=3_000_000.0)
+        assert slow.static_j == pytest.approx(3 * fast.static_j)
+
+
+class TestTechniqueCosts:
+    def test_svi_ops_cost_energy(self):
+        plain = evaluate()
+        with_svr = evaluate(svi_ops=100_000, svr_table_accesses=50_000,
+                            svr_state_kib=2.17)
+        assert with_svr.technique_dynamic_j > plain.technique_dynamic_j
+        assert with_svr.static_j > plain.static_j
+
+    def test_imp_costs(self):
+        plain = evaluate()
+        with_imp = evaluate(imp_prefetches=50_000, imp_enabled=True)
+        assert with_imp.technique_dynamic_j > 0
+        assert with_imp.static_j > plain.static_j
+
+    def test_dram_dominates_for_miss_heavy_runs(self):
+        b = evaluate(dram_lines=50_000)
+        assert b.dram_dynamic_j > b.core_dynamic_j
+
+
+class TestCalibration:
+    def test_inorder_core_power_magnitude(self):
+        """Core-only power should be near the paper's 0.12 W average."""
+        p = EnergyParams()
+        # A memory-bound run: CPI 10 at 2 GHz.
+        instrs = 100_000
+        cycles = 10.0 * instrs
+        seconds = cycles / 2e9
+        core_j = (p.inorder_core_static_w * seconds
+                  + instrs * p.inorder_instr_j + instrs * p.alu_op_j)
+        watts = core_j / seconds
+        assert 0.05 < watts < 0.25
+
+    def test_ooo_core_power_magnitude(self):
+        """OoO core power should be near the paper's 1.01 W average."""
+        p = EnergyParams()
+        instrs = 100_000
+        cycles = 4.0 * instrs
+        seconds = cycles / 2e9
+        core_j = (p.ooo_core_static_w * seconds
+                  + instrs * p.ooo_instr_j + instrs * p.alu_op_j)
+        watts = core_j / seconds
+        assert 0.7 < watts < 1.4
+
+    def test_average_power_helper(self):
+        model = EnergyModel()
+        b = evaluate(model)
+        watts = model.average_power_w(b, cycles=2_000_000.0,
+                                      frequency_ghz=2.0)
+        assert watts == pytest.approx(b.total_j / 1e-3)

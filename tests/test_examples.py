@@ -1,0 +1,43 @@
+"""The examples directory must stay runnable — each script is executed at
+tiny scale as a subprocess and checked for its expected output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "PR_KR", "tiny")
+        assert "svr16" in out and "CPI stack" in out
+
+    def test_edge_graph_analytics(self):
+        out = run_example("edge_graph_analytics.py", "UR", "tiny")
+        assert "harmonic-mean speedup vs in-order" in out
+        assert "SSSP" in out
+
+    def test_prefetcher_showdown(self):
+        out = run_example("prefetcher_showdown.py", "tiny")
+        assert "Randacc" in out and "IMP speedup" in out
+
+    def test_design_space(self):
+        out = run_example("design_space.py", "Camel", "tiny")
+        assert "Vector length sweep" in out
+        assert "svr128" in out
+
+    def test_timeline(self):
+        out = run_example("timeline.py", "Camel", "12")
+        assert "inorder" in out and "svr16" in out
+        assert "cycles" in out

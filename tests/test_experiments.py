@@ -1,0 +1,133 @@
+"""Tests for the per-figure experiment functions (small-scale shapes)."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.harness.report import format_series, format_table, harmonic_mean
+from repro.svr.config import LoopBoundPolicy
+
+TINY = ("PR_UR", "Camel")
+
+
+class TestHelpers:
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_harmonic_mean_dominated_by_small_values(self):
+        assert harmonic_mean([1.0, 100.0]) < 2.0
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_mean_empty(self):
+        assert harmonic_mean([]) == 0.0
+
+    def test_format_table_renders_all_cells(self):
+        text = format_table({"row1": {"a": 1.0, "b": 2.0}},
+                            title="T")
+        assert "T" in text and "row1" in text
+        assert "1.00" in text and "2.00" in text
+
+    def test_format_table_missing_cell(self):
+        text = format_table({"r": {"a": 1.0}}, columns=["a", "b"])
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series({"x": 1.5}, title="S")
+        assert "S" in text and "1.500" in text
+
+
+class TestGroups:
+    def test_groups_cover_the_suite(self):
+        members = [w for ws in experiments.GROUPS.values() for w in ws]
+        assert len(members) == 33
+
+    def test_fig15_policies_match_paper(self):
+        values = [p.value for p in experiments.FIG15_POLICIES]
+        assert values == ["lbd+wait", "maxlength", "lbd+maxlength",
+                          "lbd+cv", "ewma", "tournament"]
+
+
+class TestFigureFunctions:
+    """Each experiment runs end to end on a tiny subset and produces the
+    figure's row/series structure."""
+
+    def test_fig1_structure_and_baseline(self):
+        out = experiments.fig1(workloads=TINY, scale="tiny",
+                               techniques=("inorder", "svr16"))
+        assert out["inorder"]["norm_ipc"] == pytest.approx(1.0)
+        assert out["inorder"]["norm_energy"] == pytest.approx(1.0)
+        assert out["svr16"]["norm_ipc"] > 1.0
+
+    def test_fig3_has_dram_bucket_and_average(self):
+        out = experiments.fig3(scale="tiny",
+                               groups={"PR": ("PR_UR",), "HPC-DB": ("Camel",)})
+        assert "Avg" in out
+        stack = out["PR"]["inorder"]
+        assert "mem-dram" in stack and stack["mem-dram"] > 0
+
+    def test_fig11_rows(self):
+        out = experiments.fig11(workloads=TINY, scale="tiny",
+                                techniques=("inorder", "svr16"))
+        for workload in TINY:
+            assert out[workload]["inorder"] > out[workload]["svr16"]
+
+    def test_fig12_energy_rows(self):
+        out = experiments.fig12(workloads=TINY, scale="tiny",
+                                techniques=("inorder", "svr16"))
+        for workload in TINY:
+            assert out[workload]["svr16"] > 0
+
+    def test_fig13a_accuracy_in_unit_range(self):
+        out = experiments.fig13a(groups={"PR": ("PR_UR",)}, scale="tiny")
+        for tech, value in out["PR"].items():
+            assert 0.0 <= value <= 1.0, tech
+
+    def test_fig13b_baseline_total_is_one(self):
+        out = experiments.fig13b(groups={"PR": ("PR_UR",)}, scale="tiny")
+        assert out["PR"]["inorder.total"] == pytest.approx(1.0)
+        assert out["PR"]["svr16.total"] > 0
+
+    def test_fig14_includes_hmean(self):
+        out = experiments.fig14(workloads=("namd", "leela"), scale="tiny")
+        assert "H-mean" in out
+        assert 0.5 < out["H-mean"] <= 1.6
+
+    def test_fig15_rows_per_policy(self):
+        out = experiments.fig15(length=8, scale="tiny",
+                                groups={"G": ("Camel",)})
+        assert set(out) == {p.value for p in experiments.FIG15_POLICIES}
+        for row in out.values():
+            assert "H-mean" in row
+
+    def test_fig16_structure(self):
+        out = experiments.fig16(workloads=("Camel",), scale="tiny",
+                                widths=(1, 4), lengths=(8,))
+        assert set(out["svr8"]) == {1, 4}
+
+    def test_fig17_series(self):
+        out = experiments.fig17(workloads=("Camel",), scale="tiny",
+                                mshrs=(1, 16), ptws=(4,), lengths=(8,))
+        series = out["svr8-ptw4"]
+        assert series[16] > series[1] * 0.8   # more MSHRs never much worse
+
+    def test_fig18_series(self):
+        out = experiments.fig18(workloads=("Camel",), scale="tiny",
+                                bandwidths=(12.5, 50.0), lengths=(8,))
+        assert set(out["svr8"]) == {12.5, 50.0}
+
+    def test_table2_matches_overhead_module(self):
+        out = experiments.table2(lengths=(16,))
+        assert out["svr16"]["bits"] == 17738
+
+    def test_dvr_ablation_functions(self):
+        recycling = experiments.dvr_recycling(workloads=("Camel",),
+                                              scale="tiny")
+        assert recycling["svr16-lru-k8"] > 0
+        waiting = experiments.dvr_waiting_mode(workloads=("Camel",),
+                                               scale="tiny")
+        assert waiting["svr16"] > waiting["svr16-no-waiting"] * 0.5
+        copy_cost = experiments.register_copy_cost(workloads=("Camel",),
+                                                   scale="tiny")
+        assert copy_cost["svr16"] >= copy_cost["svr16-regcopy"] * 0.9

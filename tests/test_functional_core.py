@@ -1,0 +1,68 @@
+"""Tests for the timing-free functional interpreter."""
+
+from repro.cores.functional import FunctionalCore
+from repro.isa.program import ProgramBuilder
+from repro.memory.main_memory import MainMemory
+
+
+def build(fn):
+    memory = MainMemory(capacity_bytes=1 << 20)
+    b = ProgramBuilder()
+    fn(b, memory)
+    return FunctionalCore(b.build(), memory), memory
+
+
+class TestExecution:
+    def test_halts_and_counts(self):
+        core, _ = build(lambda b, m: (b.li("t0", 1), b.halt()))
+        assert core.run() == 2
+        assert core.halted
+
+    def test_register_results(self):
+        def prog(b, m):
+            b.li("t0", 6)
+            b.muli("t1", "t0", 7)
+            b.halt()
+        core, _ = build(prog)
+        core.run()
+        assert core.regs.read(21) == 42
+
+    def test_memory_side_effects(self):
+        target = []
+
+        def prog(b, m):
+            addr = m.alloc_zeros(1, name="cell")
+            target.append(addr)
+            b.li("a0", addr)
+            b.li("t0", 99)
+            b.st("t0", "a0", 0)
+            b.halt()
+        core, memory = build(prog)
+        core.run()
+        assert memory.read_word(target[0]) == 99
+
+    def test_loop_control_flow(self):
+        def prog(b, m):
+            b.li("t0", 0)
+            b.li("t1", 25)
+            b.label("loop")
+            b.addi("t0", "t0", 1)
+            b.cmp_lt("t2", "t0", "t1")
+            b.bnez("t2", "loop")
+            b.halt()
+        core, _ = build(prog)
+        core.run()
+        assert core.regs.read(20) == 25
+
+    def test_instruction_cap_stops_runaway(self):
+        def prog(b, m):
+            b.label("spin")
+            b.jmp("spin")
+        core, _ = build(prog)
+        assert core.run(max_instructions=500) == 500
+        assert not core.halted
+
+    def test_running_off_the_end_halts(self):
+        core, _ = build(lambda b, m: b.nop())
+        core.run()
+        assert core.halted

@@ -1,0 +1,85 @@
+"""Additional graph-substrate tests: weighted generation, CSR utilities."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    graph_for_input,
+    kronecker_graph,
+    power_law_graph,
+    uniform_random_graph,
+)
+
+
+class TestWeightedGraphs:
+    @pytest.mark.parametrize("maker", [
+        lambda: uniform_random_graph(128, 4, seed=1, weighted=True),
+        lambda: kronecker_graph(7, 4, seed=2, weighted=True),
+        lambda: power_law_graph(128, 4, alpha=2.2, seed=3, name="w",
+                                weighted=True),
+    ])
+    def test_weights_parallel_to_neighbors(self, maker):
+        g = maker()
+        assert g.weights is not None
+        assert len(g.weights) == len(g.neighbors)
+        assert g.weights.min() >= 1 and g.weights.max() < 64
+
+    def test_weighted_input_builder(self):
+        g = graph_for_input("UR", "tiny", weighted=True)
+        assert g.weights is not None
+
+    def test_unweighted_by_default(self):
+        assert graph_for_input("UR", "tiny").weights is None
+
+
+class TestCsrUtilities:
+    def make(self):
+        offsets = np.array([0, 2, 3, 3], dtype=np.int64)
+        neighbors = np.array([1, 2, 0], dtype=np.int64)
+        return CSRGraph(offsets, neighbors, name="toy")
+
+    def test_counts(self):
+        g = self.make()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+
+    def test_degrees(self):
+        g = self.make()
+        assert [g.degree(u) for u in range(3)] == [2, 1, 0]
+
+    def test_out_neighbors_slicing(self):
+        g = self.make()
+        assert list(g.out_neighbors(0)) == [1, 2]
+        assert list(g.out_neighbors(2)) == []
+
+    def test_average_degree(self):
+        assert self.make().average_degree == 1.0
+
+    def test_degree_skew(self):
+        assert self.make().degree_skew() == 2.0
+
+    def test_degree_skew_empty_graph(self):
+        g = CSRGraph(np.array([0], dtype=np.int64),
+                     np.array([], dtype=np.int64))
+        assert g.degree_skew() == 0.0
+
+
+class TestGeneratorEdges:
+    def test_kronecker_permutation_decorrelates_ids(self):
+        """Without permutation, low vertex ids would hog the edges."""
+        g = kronecker_graph(scale=10, edge_factor=8, seed=2)
+        degrees = np.diff(g.offsets)
+        low_half = degrees[:512].sum()
+        assert low_half < 0.8 * g.num_edges
+
+    def test_power_law_respects_degree_cap(self):
+        g = power_law_graph(512, 8, alpha=1.8, seed=9, name="cap",
+                            max_degree_frac=1 / 16)
+        assert np.diff(g.offsets).max() <= max(16, 512 // 16)
+
+    def test_zipf_graphs_have_hubs(self):
+        g = power_law_graph(1024, 8, alpha=1.9, seed=9, name="hubby",
+                            max_degree_frac=1 / 8)
+        degrees = np.diff(g.offsets)
+        assert degrees.max() > 5 * degrees.mean()

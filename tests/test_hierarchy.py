@@ -1,0 +1,196 @@
+"""Integration tests for the timed memory hierarchy."""
+
+import pytest
+
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+
+
+def make_hierarchy(**overrides):
+    mem = MainMemory(capacity_bytes=1 << 22)
+    cfg = MemoryConfig(stride_prefetcher=False, **overrides)
+    return mem, MemoryHierarchy(mem, cfg)
+
+
+class TestLoadPath:
+    def test_cold_load_goes_to_dram(self):
+        mem, hier = make_hierarchy()
+        out = hier.load(0x10000, 0.0, pc=1)
+        assert out.level == "dram"
+        assert out.completion > hier.dram.latency_cycles
+
+    def test_second_load_hits_l1(self):
+        mem, hier = make_hierarchy()
+        first = hier.load(0x10000, 0.0, pc=1)
+        out = hier.load(0x10000, first.completion + 1, pc=1)
+        assert out.level == "l1"
+        assert out.completion == pytest.approx(
+            first.completion + 1 + hier.config.l1_latency)
+
+    def test_same_line_different_word_hits(self):
+        mem, hier = make_hierarchy()
+        first = hier.load(0x10000, 0.0, pc=1)
+        out = hier.load(0x10008, first.completion + 1, pc=1)
+        assert out.level == "l1"
+
+    def test_l2_hit_after_l1_eviction(self):
+        mem, hier = make_hierarchy(l1_size=4096, l1_assoc=1)
+        first = hier.load(0x10000, 0.0, pc=1)
+        t = first.completion + 1
+        # Evict from the direct-mapped L1 by touching a conflicting line.
+        out2 = hier.load(0x10000 + 4096, t, pc=2)
+        out = hier.load(0x10000, out2.completion + 1, pc=1)
+        assert out.level == "l2"
+
+    def test_inflight_miss_merges(self):
+        """A second access while the line is in flight completes with it."""
+        mem, hier = make_hierarchy()
+        first = hier.load(0x10000, 0.0, pc=1)
+        lines_before = hier.stats.dram_fetches["demand"]
+        second = hier.load(0x10000, 1.0, pc=2)
+        assert second.completion == pytest.approx(first.completion)
+        assert hier.stats.dram_fetches["demand"] == lines_before
+
+    def test_mshr_limit_serialises_misses(self):
+        # Same page (no TLB interference), different cache lines.
+        addr_a, addr_b = 0x40000, 0x40800
+        mem, one = make_hierarchy(l1_mshrs=1)
+        a = one.load(addr_a, 0.0, pc=1)
+        b = one.load(addr_b, 0.0, pc=2)
+        assert b.completion > a.completion  # second miss waited for the MSHR
+
+        mem, many = make_hierarchy(l1_mshrs=8)
+        a2 = many.load(addr_a, 0.0, pc=1)
+        b2 = many.load(addr_b, 0.0, pc=2)
+        assert b2.completion < b.completion  # overlapped
+
+    def test_load_counters(self):
+        mem, hier = make_hierarchy()
+        hier.load(0x10000, 0.0, pc=1)
+        hier.load(0x10000, 500.0, pc=1)
+        stats = hier.stats
+        assert stats.loads == 2
+        assert stats.dram_loads == 1 and stats.l1_load_hits == 1
+
+
+class TestStores:
+    def test_store_allocates_and_dirties(self):
+        mem, hier = make_hierarchy()
+        hier.store(0x10000, 0.0, pc=1)
+        line = 0x10000 // 64
+        assert hier.l1.lookup(line).dirty
+
+    def test_dirty_eviction_writes_back(self):
+        mem, hier = make_hierarchy(l1_size=4096, l1_assoc=1,
+                                   l2_size=8192, l2_assoc=1)
+        hier.store(0x10000, 0.0, pc=1)
+        # Conflict-evict through L1 and then L2.
+        hier.load(0x10000 + 8192, 500.0, pc=2)
+        hier.load(0x10000 + 16384, 1000.0, pc=3)
+        assert hier.stats.writebacks >= 1
+
+
+class TestPrefetch:
+    def test_prefetch_fills_for_later_demand(self):
+        mem, hier = make_hierarchy()
+        done = hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        out = hier.load(0x10000, done + 1, pc=1)
+        assert out.level == "l1"
+        assert out.prefetch_hit
+
+    def test_demand_on_inflight_prefetch_merges(self):
+        mem, hier = make_hierarchy()
+        done = hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        out = hier.load(0x10000, 1.0, pc=1)
+        assert out.completion == pytest.approx(done)
+
+    def test_useful_prefetch_accounting(self):
+        mem, hier = make_hierarchy()
+        hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        hier.load(0x10000, 500.0, pc=1)
+        assert hier.stats.prefetch_useful["svr"] == 1
+        assert hier.stats.accuracy("svr") == 1.0
+
+    def test_useless_prefetch_detected_on_l2_eviction(self):
+        mem, hier = make_hierarchy(l1_size=4096, l1_assoc=1,
+                                   l2_size=8192, l2_assoc=1)
+        hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        # Conflict the line out of both levels without ever touching it.
+        hier.load(0x10000 + 8192, 500.0, pc=2)
+        hier.load(0x10000 + 16384, 1500.0, pc=3)
+        assert hier.stats.prefetch_useless["svr"] == 1
+        assert hier.stats.accuracy("svr") == 0.0
+
+    def test_droppable_prefetch_dropped_when_mshrs_full(self):
+        mem, hier = make_hierarchy(l1_mshrs=1)
+        hier.load(0x40000, 0.0, pc=1)           # occupies the only MSHR
+        # Same page (translation already cached), different line.
+        result = hier.prefetch(0x40800, 1.0, "stride", drop_on_full=True)
+        assert result is None
+        assert hier.stats.prefetches_dropped["stride"] == 1
+
+    def test_svr_prefetch_waits_instead_of_dropping(self):
+        mem, hier = make_hierarchy(l1_mshrs=1)
+        first = hier.load(0x40000, 0.0, pc=1)
+        done = hier.prefetch(0x10000, 1.0, "svr", drop_on_full=False)
+        assert done is not None and done > first.completion
+
+    def test_unknown_origin_rejected(self):
+        mem, hier = make_hierarchy()
+        with pytest.raises(ValueError):
+            hier.prefetch(0x10000, 0.0, "mystery")
+
+    def test_dram_fetch_attribution(self):
+        mem, hier = make_hierarchy()
+        hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        hier.load(0x80000, 0.0, pc=1)
+        assert hier.stats.dram_fetches["svr"] == 1
+        assert hier.stats.dram_fetches["demand"] == 1
+
+    def test_accuracy_listener_notified(self):
+        events = []
+
+        class Listener:
+            def on_useful(self, origin):
+                events.append(("useful", origin))
+
+            def on_useless(self, origin):
+                events.append(("useless", origin))
+
+        mem, hier = make_hierarchy()
+        hier.accuracy_listener = Listener()
+        hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        hier.load(0x10000, 500.0, pc=1)
+        assert ("useful", "svr") in events
+
+
+class TestIntegration:
+    def test_stride_prefetcher_covers_sequential_stream(self):
+        mem = MainMemory(capacity_bytes=1 << 22)
+        hier = MemoryHierarchy(mem, MemoryConfig(stride_prefetcher=True))
+        t = 0.0
+        latencies = []
+        for i in range(64):
+            out = hier.load(0x10000 + i * 64, t, pc=7)
+            latencies.append(out.completion - t)
+            t = out.completion + 1
+        # The tail of the stream should be (at least partially) covered: far
+        # cheaper on average than the full DRAM round trip.
+        tail = latencies[-8:]
+        assert sum(tail) / len(tail) < hier.dram.latency_cycles / 2
+
+    def test_tlb_walk_charged_on_first_touch(self):
+        mem, hier = make_hierarchy()
+        cold = hier.load(0x10000, 0.0, pc=1)
+        mem2, hier2 = make_hierarchy()
+        hier2.tlb.translate(0x10000, 0.0)   # pre-warm the TLB
+        warm = hier2.load(0x10000, 0.0, pc=1)
+        assert cold.completion > warm.completion
+
+    def test_reset_stats_preserves_cache_state(self):
+        mem, hier = make_hierarchy()
+        hier.load(0x10000, 0.0, pc=1)
+        hier.reset_stats()
+        assert hier.stats.loads == 0
+        out = hier.load(0x10000, 1000.0, pc=1)
+        assert out.level == "l1"     # still cached

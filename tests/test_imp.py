@@ -1,0 +1,105 @@
+"""Unit tests for the IMP (indirect memory prefetcher) model."""
+
+import numpy as np
+
+from repro.memory.imp import IndirectMemoryPrefetcher
+from repro.memory.main_memory import MainMemory
+
+
+def make_imp(index_values, shift=3, table_entries=16, degree=4):
+    """Memory with an index array A and a target array B[A[i] << shift]."""
+    mem = MainMemory(capacity_bytes=1 << 22)
+    a = mem.alloc_array(index_values, name="A")
+    b = mem.alloc(1 << 20, name="B")
+    imp = IndirectMemoryPrefetcher(mem, table_entries=table_entries,
+                                   degree=degree)
+    return mem, imp, a, b
+
+
+def drive(imp, a, b, values, shift=3, count=None):
+    """Replay the A[i] stride stream + B[A[i]] indirect misses."""
+    all_requests = []
+    count = count if count is not None else len(values)
+    for i in range(count):
+        addr = a + 8 * i
+        value = int(values[i])
+        all_requests.extend(imp.observe_load(100, addr, value, missed=True))
+        indirect = b + (value << shift)
+        all_requests.extend(imp.observe_load(200, indirect, 0, missed=True))
+    return all_requests
+
+
+class TestLearning:
+    def test_learns_linear_pattern(self):
+        values = np.arange(1000, 1064, dtype=np.int64)[::7]  # irregular values
+        values = np.random.default_rng(0).integers(0, 1 << 14, 64)
+        mem, imp, a, b = make_imp(values)
+        drive(imp, a, b, values)
+        assert imp.patterns_learned >= 1
+
+    def test_prefetches_future_indirect_targets(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1 << 14, 64)
+        mem, imp, a, b = make_imp(values)
+        requests = drive(imp, a, b, values, count=32)
+        future_targets = {b + (int(values[i]) << 3) for i in range(8, 32)}
+        assert future_targets & set(requests), \
+            "IMP should prefetch upcoming indirect addresses"
+
+    def test_learns_cache_line_shift(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1 << 12, 64)
+        mem, imp, a, b = make_imp(values, shift=6)
+        drive(imp, a, b, values, shift=6)
+        assert imp.patterns_learned >= 1
+
+    def test_hashed_indices_never_learned(self):
+        """The masked/hashed patterns of HJ/Kangaroo/randacc defeat IMP."""
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1 << 30, 128)
+        mem = MainMemory(capacity_bytes=1 << 22)
+        a = mem.alloc_array(values, name="A")
+        b = mem.alloc(1 << 20, name="B")
+        imp = IndirectMemoryPrefetcher(mem)
+        for i, v in enumerate(values):
+            imp.observe_load(100, a + 8 * i, int(v), missed=True)
+            hashed = (int(v) * 2654435761) & ((1 << 14) - 1)
+            imp.observe_load(200, b + hashed * 8, 0, missed=True)
+        assert imp.patterns_learned == 0
+
+    def test_no_stride_no_pattern(self):
+        """Without a confident stride stream there is nothing to correlate."""
+        rng = np.random.default_rng(4)
+        mem = MainMemory(capacity_bytes=1 << 22)
+        imp = IndirectMemoryPrefetcher(mem)
+        base = mem.alloc(1 << 16)
+        for i in range(64):
+            addr = base + int(rng.integers(0, 1 << 13)) * 8
+            imp.observe_load(100, addr, i, missed=True)
+        assert imp.patterns_learned == 0
+
+    def test_stride_break_clears_history(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1 << 14, 32)
+        mem, imp, a, b = make_imp(values)
+        drive(imp, a, b, values, count=16)
+        # Discontinuity in the stride stream.
+        imp.observe_load(100, a + 8 * 1000, 0, missed=True)
+        entry = imp._streams[100]
+        assert entry.recent_values == []
+
+    def test_degree_bounds_lookahead(self):
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 1 << 14, 64)
+        mem, imp, a, b = make_imp(values, degree=2)
+        requests = drive(imp, a, b, values, count=32)
+        # Per trigger at most degree index-loads + degree targets.
+        assert imp.issued <= 32 * 4
+
+    def test_table_eviction_on_capacity(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        imp = IndirectMemoryPrefetcher(mem, table_entries=2)
+        imp.observe_load(1, 0x1000, 0, missed=False)
+        imp.observe_load(2, 0x2000, 0, missed=False)
+        imp.observe_load(3, 0x3000, 0, missed=False)
+        assert len(imp._streams) == 2

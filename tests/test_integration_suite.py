@@ -1,0 +1,112 @@
+"""Broad integration sweep: every registry workload simulates sanely on
+every core family at tiny scale."""
+
+import pytest
+
+from repro.harness.runner import run
+from repro.workloads.registry import (
+    GAP_WORKLOADS,
+    HPC_WORKLOADS,
+    build_workload,
+)
+
+
+class TestGapMatrix:
+    @pytest.mark.parametrize("name", GAP_WORKLOADS)
+    def test_runs_on_svr16(self, name):
+        result = run(name, "svr16", scale="tiny", warmup=500, measure=1500)
+        assert result.core.instructions > 0
+        assert 0.1 < result.cpi < 50.0
+        # SVR triggered on every graph kernel/input combination.
+        assert result.svr.prm_rounds > 0, name
+
+    @pytest.mark.parametrize("kernel", ["PR", "CC"])
+    def test_svr_speedup_on_every_input(self, kernel):
+        """The gather-heavy kernels speed up on all five inputs."""
+        for graph_input in ("KR", "UR", "LJN", "TW", "ORK"):
+            name = f"{kernel}_{graph_input}"
+            base = run(name, "inorder", scale="tiny")
+            svr = run(name, "svr16", scale="tiny")
+            assert svr.ipc > base.ipc, name
+
+
+class TestHpcMatrix:
+    @pytest.mark.parametrize("name", HPC_WORKLOADS)
+    def test_runs_on_all_cores(self, name):
+        for tech in ("inorder", "ooo", "svr16"):
+            result = run(name, tech, scale="tiny", warmup=400, measure=1200)
+            assert result.core.instructions == 1200, (name, tech)
+
+    @pytest.mark.parametrize("name", HPC_WORKLOADS)
+    def test_workload_names_consistent(self, name):
+        workload = build_workload(name, "tiny")
+        assert workload.name == name
+        assert workload.category == "hpc"
+
+
+class TestCrossCoreConsistency:
+    """The same program must compute the same values on every core."""
+
+    @pytest.mark.parametrize("name", ["Camel", "NAS-IS", "HJ2"])
+    def test_architectural_state_core_independent(self, name):
+        from repro.cores.functional import FunctionalCore
+        from repro.cores.ooo import OutOfOrderCore
+        from repro.cores.inorder import InOrderCore
+        from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+
+        snapshots = []
+        for kind in ("functional", "inorder", "ooo"):
+            workload = build_workload(name, "tiny")
+            if kind == "functional":
+                core = FunctionalCore(workload.program, workload.memory)
+                core.run(3000)
+            else:
+                hierarchy = MemoryHierarchy(workload.memory, MemoryConfig())
+                cls = InOrderCore if kind == "inorder" else OutOfOrderCore
+                core = cls(workload.program, workload.memory, hierarchy)
+                core.run(3000)
+            snapshots.append((core.pc, core.regs.snapshot()))
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_svr_never_changes_architectural_state(self):
+        from repro.cores.inorder import InOrderCore
+        from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+        from repro.svr.config import SVRConfig
+        from repro.svr.unit import ScalarVectorUnit
+
+        plain_wl = build_workload("NAS-IS", "tiny")
+        hier = MemoryHierarchy(plain_wl.memory, MemoryConfig())
+        plain = InOrderCore(plain_wl.program, plain_wl.memory, hier)
+        plain.run(5000)
+
+        svr_wl = build_workload("NAS-IS", "tiny")
+        hier2 = MemoryHierarchy(svr_wl.memory, MemoryConfig())
+        svr_core = InOrderCore(svr_wl.program, svr_wl.memory, hier2,
+                               svr=ScalarVectorUnit(SVRConfig()))
+        svr_core.run(5000)
+
+        assert plain.pc == svr_core.pc
+        assert plain.regs.snapshot() == svr_core.regs.snapshot()
+        hist = svr_wl.meta["hist"]
+        bins = svr_wl.meta["bins"]
+        assert (plain_wl.memory.read_array(hist, bins).tolist()
+                == svr_wl.memory.read_array(hist, bins).tolist())
+
+
+class TestProgramTools:
+    def test_disassemble_contains_labels_and_ops(self):
+        workload = build_workload("Camel", "tiny")
+        text = workload.program.disassemble()
+        assert "loop:" in text
+        assert "ld" in text and "-> loop" in text
+
+    def test_disassemble_window(self):
+        workload = build_workload("Camel", "tiny")
+        text = workload.program.disassemble(0, 3)
+        assert text.count("\n") <= 3
+
+    def test_summary_text(self):
+        result = run("Camel", "svr16", scale="tiny")
+        text = result.summary()
+        assert "Camel on svr16" in text
+        assert "SVR:" in text and "CPI stack" in text

@@ -1,0 +1,290 @@
+"""Unit tests for the mini-ISA: encoding, registers, assembler, executor."""
+
+import pytest
+
+from repro.isa.executor import (
+    FP_SHIFT,
+    ExecResult,
+    alu_compute,
+    execute,
+    fixed_point,
+    from_fixed_point,
+)
+from repro.isa.instructions import Instruction, OpClass, Opcode, op_class
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import (
+    NUM_REGS,
+    RegisterFile,
+    reg_index,
+    to_signed64,
+    wrap64,
+)
+from repro.memory.main_memory import MainMemory
+
+
+class TestRegisters:
+    def test_x0_is_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_write_read_roundtrip(self):
+        regs = RegisterFile()
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_writes_wrap_to_64_bits(self):
+        regs = RegisterFile()
+        regs.write(3, 1 << 64)
+        assert regs.read(3) == 0
+        regs.write(3, (1 << 64) + 7)
+        assert regs.read(3) == 7
+
+    def test_negative_values_wrap(self):
+        regs = RegisterFile()
+        regs.write(4, -1)
+        assert regs.read(4) == (1 << 64) - 1
+
+    def test_reg_index_by_name(self):
+        assert reg_index("x7") == 7
+        assert reg_index("zero") == 0
+        assert reg_index("a0") == 10
+        assert reg_index("t0") == 20
+        assert reg_index("s0") == 3
+
+    def test_reg_index_by_int_passthrough(self):
+        assert reg_index(13) == 13
+
+    def test_reg_index_none(self):
+        assert reg_index(None) is None
+
+    def test_reg_index_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            reg_index("y9")
+
+    def test_reg_index_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_index(NUM_REGS)
+
+    def test_snapshot_and_load(self):
+        regs = RegisterFile()
+        regs.write(9, 99)
+        snap = regs.snapshot()
+        other = RegisterFile()
+        other.load(snap)
+        assert other.read(9) == 99
+
+    def test_load_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            RegisterFile().load([0] * 5)
+
+    def test_to_signed64(self):
+        assert to_signed64((1 << 64) - 1) == -1
+        assert to_signed64(5) == 5
+        assert to_signed64(1 << 63) == -(1 << 63)
+
+    def test_wrap64(self):
+        assert wrap64(-1) == (1 << 64) - 1
+        assert wrap64(1 << 65) == 0
+
+
+class TestInstruction:
+    def test_opclass_mapping(self):
+        assert op_class(Opcode.LD) is OpClass.LOAD
+        assert op_class(Opcode.ST) is OpClass.STORE
+        assert op_class(Opcode.ADD) is OpClass.ALU
+        assert op_class(Opcode.FADD) is OpClass.FP
+        assert op_class(Opcode.CMP_LT) is OpClass.CMP
+        assert op_class(Opcode.BNEZ) is OpClass.BRANCH
+        assert op_class(Opcode.JMP) is OpClass.JUMP
+        assert op_class(Opcode.HALT) is OpClass.HALT
+
+    def test_sources_for_two_operand(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert inst.sources() == (2, 3)
+
+    def test_sources_for_load(self):
+        inst = Instruction(Opcode.LD, rd=1, rs1=2)
+        assert inst.sources() == (2,)
+
+    def test_is_flags(self):
+        assert Instruction(Opcode.LD, rd=1, rs1=2).is_load
+        assert Instruction(Opcode.ST, rs1=1, rs2=2).is_store
+        assert Instruction(Opcode.BNEZ, rs1=1, target=0).is_branch
+        assert Instruction(Opcode.JMP, target=0).is_control
+        assert not Instruction(Opcode.ADD, rd=1, rs1=1, rs2=1).is_control
+
+
+class TestProgramBuilder:
+    def test_forward_label_resolution(self):
+        b = ProgramBuilder()
+        b.jmp("end")
+        b.nop()
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program[0].target == 2
+
+    def test_backward_label_resolution(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.nop()
+        b.jmp("top")
+        program = b.build()
+        assert program[1].target == 0
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(ValueError, match="undefined label"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("x")
+
+    def test_fresh_labels_are_unique(self):
+        b = ProgramBuilder()
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_register_names_resolved(self):
+        b = ProgramBuilder()
+        b.add("a0", "t0", "x3")
+        program = b.build()
+        inst = program[0]
+        assert (inst.rd, inst.rs1, inst.rs2) == (10, 20, 3)
+
+    def test_pc_of(self):
+        b = ProgramBuilder()
+        b.nop()
+        b.label("here")
+        b.halt()
+        assert b.build().pc_of("here") == 1
+
+    def test_len_tracks_instructions(self):
+        b = ProgramBuilder()
+        assert len(b) == 0
+        b.nop()
+        b.nop()
+        assert len(b) == 2
+
+
+class _Regs:
+    """Callable register stub for execute()."""
+
+    def __init__(self, **values):
+        self.values = {reg_index(k): v for k, v in values.items()}
+
+    def __call__(self, index):
+        return self.values.get(index, 0)
+
+
+class TestExecutor:
+    def setup_method(self):
+        self.memory = MainMemory(capacity_bytes=1 << 20)
+
+    def test_load(self):
+        addr = self.memory.alloc_array([111, 222])
+        inst = Instruction(Opcode.LD, rd=1, rs1=2, imm=8)
+        res = execute(inst, 0, _Regs(x2=addr), self.memory)
+        assert res.value == 222
+        assert res.address == addr + 8
+        assert res.next_pc == 1
+
+    def test_store_commits(self):
+        addr = self.memory.alloc_zeros(1)
+        inst = Instruction(Opcode.ST, rs1=2, rs2=3)
+        execute(inst, 0, _Regs(x2=addr, x3=77), self.memory)
+        assert self.memory.read_word(addr) == 77
+
+    def test_store_suppressed_when_not_committing(self):
+        addr = self.memory.alloc_zeros(1)
+        inst = Instruction(Opcode.ST, rs1=2, rs2=3)
+        execute(inst, 0, _Regs(x2=addr, x3=77), self.memory,
+                commit_stores=False)
+        assert self.memory.read_word(addr) == 0
+
+    def test_branch_taken_and_not_taken(self):
+        bnez = Instruction(Opcode.BNEZ, rs1=1, target=9)
+        res = execute(bnez, 3, _Regs(x1=1), self.memory)
+        assert res.taken and res.next_pc == 9
+        res = execute(bnez, 3, _Regs(x1=0), self.memory)
+        assert not res.taken and res.next_pc == 4
+
+    def test_beqz(self):
+        beqz = Instruction(Opcode.BEQZ, rs1=1, target=7)
+        assert execute(beqz, 0, _Regs(x1=0), self.memory).next_pc == 7
+        assert execute(beqz, 0, _Regs(x1=5), self.memory).next_pc == 1
+
+    def test_branch_records_source_value(self):
+        bnez = Instruction(Opcode.BNEZ, rs1=1, target=9)
+        res = execute(bnez, 0, _Regs(x1=42), self.memory)
+        assert res.src_a == 42
+
+    def test_jmp(self):
+        res = execute(Instruction(Opcode.JMP, target=5), 0, _Regs(),
+                      self.memory)
+        assert res.taken and res.next_pc == 5
+
+    def test_halt(self):
+        res = execute(Instruction(Opcode.HALT), 4, _Regs(), self.memory)
+        assert res.halted and res.next_pc == 4
+
+    def test_alu_records_source_values(self):
+        inst = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        res = execute(inst, 0, _Regs(x2=10, x3=20), self.memory)
+        assert (res.src_a, res.src_b) == (10, 20)
+        assert res.value == 30
+
+    @pytest.mark.parametrize("op,a,b,imm,expected", [
+        (Opcode.ADD, 3, 4, 0, 7),
+        (Opcode.SUB, 3, 4, 0, wrap64(-1)),
+        (Opcode.MUL, 5, 7, 0, 35),
+        (Opcode.AND, 0b110, 0b011, 0, 0b010),
+        (Opcode.OR, 0b110, 0b011, 0, 0b111),
+        (Opcode.XOR, 0b110, 0b011, 0, 0b101),
+        (Opcode.SLL, 1, 4, 0, 16),
+        (Opcode.SRL, 16, 3, 0, 2),
+        (Opcode.MIN, wrap64(-5), 3, 0, wrap64(-5)),
+        (Opcode.MAX, wrap64(-5), 3, 0, 3),
+        (Opcode.ADDI, 10, 0, -3, 7),
+        (Opcode.ANDI, 0b1111, 0, 0b0101, 0b0101),
+        (Opcode.SLLI, 3, 0, 2, 12),
+        (Opcode.SRLI, 12, 0, 2, 3),
+        (Opcode.MULI, 6, 0, 7, 42),
+        (Opcode.LI, 0, 0, 99, 99),
+        (Opcode.MV, 55, 0, 0, 55),
+        (Opcode.CMP_LT, 1, 2, 0, 1),
+        (Opcode.CMP_LT, 2, 1, 0, 0),
+        (Opcode.CMP_LT, wrap64(-1), 0, 0, 1),   # signed compare
+        (Opcode.CMP_LTU, wrap64(-1), 0, 0, 0),  # unsigned compare
+        (Opcode.CMP_EQ, 5, 5, 0, 1),
+        (Opcode.CMP_NE, 5, 5, 0, 0),
+        (Opcode.CMP_GE, 5, 5, 0, 1),
+        (Opcode.CMP_GE, 4, 5, 0, 0),
+    ])
+    def test_alu_compute(self, op, a, b, imm, expected):
+        assert alu_compute(op, a, b, imm) == expected
+
+    def test_alu_compute_rejects_non_alu(self):
+        with pytest.raises(ValueError):
+            alu_compute(Opcode.LD, 0, 0, 0)
+
+    def test_fadd_is_plain_add(self):
+        assert alu_compute(Opcode.FADD, fixed_point(1.5), fixed_point(2.25),
+                           0) == fixed_point(3.75)
+
+    def test_fmul_fixed_point(self):
+        product = alu_compute(Opcode.FMUL, fixed_point(1.5),
+                              fixed_point(2.0), 0)
+        assert from_fixed_point(product) == pytest.approx(3.0)
+
+    def test_fixed_point_roundtrip(self):
+        assert from_fixed_point(fixed_point(3.25)) == pytest.approx(3.25)
+        assert FP_SHIFT == 16
+
+    def test_exec_result_defaults(self):
+        res = ExecResult()
+        assert res.value is None and res.taken is None and not res.halted

@@ -1,0 +1,150 @@
+"""Loop-bound prediction edge cases: down-counting loops, non-unit steps,
+stale-value guards and end-to-end throttling."""
+
+import numpy as np
+
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import wrap64
+from repro.svr.config import LoopBoundPolicy, SVRConfig
+from repro.svr.loop_bound import LoopBoundUnit
+from repro.svr.stride_detector import StrideDetector
+
+from conftest import make_inorder, make_memory
+
+
+class TestDownCountingLoops:
+    def train_down(self, lbu, hslr_pc=10, iters=5, start=100):
+        """i counts down from start; compare is (0, i) with i changing."""
+        for k in range(iters):
+            i_val = start - k
+            lbu.observe_compare(20, 0, i_val, 3, 4, 6)
+            lbu.train_on_branch(22, hslr_pc - 2, taken=True, source_reg=6,
+                                hslr_pc=hslr_pc)
+
+    def test_negative_increment_learned(self):
+        lbu = LoopBoundUnit()
+        self.train_down(lbu, iters=5)
+        entry = lbu.peek(10)
+        assert entry.changing == "b"
+        assert entry.increment == -1
+
+    def test_remaining_iterations_down(self):
+        lbu = LoopBoundUnit()
+        self.train_down(lbu, iters=5, start=100)
+        # i is now 96, bound 0, step -1 -> 96 remaining.
+        assert lbu.predict_lbd(10, require_fresh=True) == 96
+
+    def test_cv_scavenging_down(self):
+        lbu = LoopBoundUnit()
+        self.train_down(lbu, iters=5)
+        lbu.on_loop_reentry(10)
+        regs = {3: 0, 4: 7}
+        assert lbu.predict_cv(10, regs.__getitem__) == 7
+
+
+class TestNonUnitSteps:
+    def test_step_of_four(self):
+        lbu = LoopBoundUnit()
+        for k in range(5):
+            lbu.observe_compare(20, (k + 1) * 4, 400, 3, 4, 6)
+            lbu.train_on_branch(22, 5, taken=True, source_reg=6, hslr_pc=10)
+        # i = 20, bound 400, step 4 -> 95 remaining.
+        assert lbu.predict_lbd(10, require_fresh=True) == 95
+
+    def test_zero_increment_guarded(self):
+        lbu = LoopBoundUnit()
+        entry = lbu.entry_for(10)
+        entry.comp_pc = 20
+        entry.confidence = 3
+        entry.changing = "a"
+        entry.increment = 0
+        entry.fresh = True
+        entry.s_a, entry.s_b = 5, 100
+        assert lbu.predict_lbd(10, require_fresh=True) is None
+
+
+class TestEndToEndDownCountingKernel:
+    def test_svr_speedup_on_down_counting_gather(self):
+        """A loop with `i--; bnez i` — the LBD trains on the down count."""
+        memory = make_memory()
+        rng = np.random.default_rng(47)
+        count = 768
+        idx = memory.alloc_array(
+            rng.integers(0, 4096, size=count, dtype=np.int64), name="idx")
+        data = memory.alloc(4096 << 6, name="data")
+        b = ProgramBuilder()
+        b.li("a0", idx)
+        b.li("a1", data)
+        b.li("t0", count)
+        b.label("loop")
+        b.addi("t0", "t0", -1)
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)
+        b.slli("t3", "t2", 6)
+        b.add("t3", "a1", "t3")
+        b.ld("t4", "t3", 0)
+        b.add("t5", "t5", "t4")
+        b.bnez("t0", "loop")
+        b.halt()
+        program = b.build()
+
+        core, _, _ = make_inorder(program, memory)
+        plain = core.run(5_000)
+        # Rebuild fresh state for the SVR run.
+        memory2 = make_memory()
+        idx2 = memory2.alloc_array(
+            rng.integers(0, 4096, size=count, dtype=np.int64), name="idx")
+        data2 = memory2.alloc(4096 << 6, name="data")
+        b2 = ProgramBuilder()
+        b2.li("a0", idx2)
+        b2.li("a1", data2)
+        b2.li("t0", count)
+        b2.label("loop")
+        b2.addi("t0", "t0", -1)
+        b2.slli("t1", "t0", 3)
+        b2.add("t1", "a0", "t1")
+        b2.ld("t2", "t1", 0)
+        b2.slli("t3", "t2", 6)
+        b2.add("t3", "a1", "t3")
+        b2.add("t5", "t5", "t3")
+        b2.ld("t4", "t3", 0)
+        b2.bnez("t0", "loop")
+        b2.halt()
+        core2, hierarchy, unit = make_inorder(b2.build(), memory2,
+                                              svr=SVRConfig())
+        svr = core2.run(5_000)
+        assert unit.stats.prm_rounds > 0
+        assert svr.cycles < plain.cycles
+
+
+class TestStrideEntryPolicyState:
+    def test_tournament_counter_bounds(self):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        lbu = LoopBoundUnit()
+        for _ in range(10):
+            entry.last_ewma_pred = 1
+            entry.last_lbd_pred = 100
+            lbu.train_tournament(entry, actual=100)
+        assert entry.tournament == 3
+        for _ in range(10):
+            entry.last_ewma_pred = 100
+            entry.last_lbd_pred = 1
+            lbu.train_tournament(entry, actual=100)
+        assert entry.tournament == 0
+
+    def test_tournament_tie_keeps_state(self):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        entry.tournament = 2
+        entry.last_ewma_pred = 10
+        entry.last_lbd_pred = 10
+        LoopBoundUnit().train_tournament(entry, actual=12)
+        assert entry.tournament == 2
+
+    def test_train_without_predictions_is_noop(self):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        LoopBoundUnit().train_tournament(entry, actual=5)
+        assert entry.tournament == 1

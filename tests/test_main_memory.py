@@ -1,0 +1,87 @@
+"""Unit tests for the functional memory and its allocator."""
+
+import numpy as np
+import pytest
+
+from repro.memory.main_memory import MainMemory
+
+
+class TestAccess:
+    def test_read_write_roundtrip(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        mem.write_word(0x100, 42)
+        assert mem.read_word(0x100) == 42
+
+    def test_values_wrap_to_uint64(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        mem.write_word(0x100, -1)
+        assert mem.read_word(0x100) == (1 << 64) - 1
+
+    def test_out_of_range_load_raises(self):
+        mem = MainMemory(capacity_bytes=1 << 12)
+        with pytest.raises(IndexError):
+            mem.read_word(1 << 20)
+
+    def test_out_of_range_store_raises(self):
+        mem = MainMemory(capacity_bytes=1 << 12)
+        with pytest.raises(IndexError):
+            mem.write_word(1 << 20, 1)
+
+    def test_capacity_must_be_word_multiple(self):
+        with pytest.raises(ValueError):
+            MainMemory(capacity_bytes=100)
+
+
+class TestAllocator:
+    def test_alloc_is_line_aligned(self):
+        mem = MainMemory(capacity_bytes=1 << 20, base=0x100)
+        a = mem.alloc(10)
+        b = mem.alloc(10)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 10
+
+    def test_alloc_array_contents(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        addr = mem.alloc_array([1, 2, 3])
+        assert [mem.read_word(addr + 8 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_alloc_array_handles_negative_values(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        addr = mem.alloc_array(np.array([-1], dtype=np.int64))
+        assert mem.read_word(addr) == (1 << 64) - 1
+
+    def test_alloc_zeros(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        addr = mem.alloc_zeros(4)
+        assert all(mem.read_word(addr + 8 * i) == 0 for i in range(4))
+
+    def test_read_array(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        addr = mem.alloc_array([5, 6, 7])
+        np.testing.assert_array_equal(mem.read_array(addr, 3), [5, 6, 7])
+
+    def test_named_allocation_lookup(self):
+        mem = MainMemory(capacity_bytes=1 << 20)
+        addr = mem.alloc(128, name="table")
+        assert mem.allocation("table") == (addr, 128)
+
+    def test_exhaustion_raises_memory_error(self):
+        mem = MainMemory(capacity_bytes=1 << 12, base=0)
+        with pytest.raises(MemoryError):
+            mem.alloc(1 << 13)
+
+    def test_zero_size_alloc_rejected(self):
+        mem = MainMemory(capacity_bytes=1 << 12)
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+
+    def test_footprint_tracks_brk(self):
+        mem = MainMemory(capacity_bytes=1 << 20, base=0x100)
+        assert mem.footprint_bytes == 0
+        mem.alloc(64)
+        assert mem.footprint_bytes >= 64
+
+    def test_base_region_left_unmapped(self):
+        mem = MainMemory(capacity_bytes=1 << 20, base=0x1000)
+        addr = mem.alloc(8)
+        assert addr >= 0x1000

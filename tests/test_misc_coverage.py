@@ -1,0 +1,151 @@
+"""Targeted tests for remaining corner paths across modules."""
+
+import numpy as np
+import pytest
+
+from repro.isa.program import ProgramBuilder
+from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+from repro.memory.main_memory import MainMemory
+from repro.svr.config import SVRConfig
+
+from conftest import make_inorder, make_memory
+
+
+class TestPendingMapHygiene:
+    def test_pending_map_stays_bounded(self):
+        """Thousands of distinct misses must not grow the pending map
+        without bound (the purge path)."""
+        mem = MainMemory(capacity_bytes=1 << 24)
+        hier = MemoryHierarchy(mem, MemoryConfig(stride_prefetcher=False))
+        t = 0.0
+        for i in range(6000):
+            out = hier.load(0x10000 + i * 64, t, pc=1)
+            t = out.completion + 1
+        assert len(hier._pending) < 5000
+
+
+class TestStoreSviPaths:
+    def build_scatter(self, tainted_address: bool):
+        """store with tainted address (scatter) vs tainted data only."""
+        memory = make_memory()
+        rng = np.random.default_rng(53)
+        idx = memory.alloc_array(
+            rng.integers(0, 4096, size=512, dtype=np.int64), name="idx")
+        data = memory.alloc(4096 << 6, name="data")
+        out = memory.alloc_zeros(1024, name="out")
+        b = ProgramBuilder()
+        b.li("a0", idx)
+        b.li("a1", data)
+        b.li("a2", out)
+        b.li("a3", 512)
+        b.li("t0", 0)
+        b.label("loop")
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)              # striding (tainted source)
+        if tainted_address:
+            b.slli("t3", "t2", 6)
+            b.add("t3", "a1", "t3")
+            b.st("t2", "t3", 0)          # scatter: tainted address
+        else:
+            b.andi("t4", "t0", 1023)
+            b.slli("t4", "t4", 3)
+            b.add("t4", "a2", "t4")
+            b.st("t2", "t4", 0)          # tainted data, untainted address
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t6", "t0", "a3")
+        b.bnez("t6", "loop")
+        b.halt()
+        return b.build(), memory
+
+    def test_scatter_stores_prefetch_their_lines(self):
+        program, memory = self.build_scatter(tainted_address=True)
+        core, hierarchy, unit = make_inorder(program, memory,
+                                             svr=SVRConfig())
+        core.run(5_000)
+        assert hierarchy.stats.prefetches_issued["svr"] > 100
+
+    def test_tainted_data_untainted_address_no_store_lanes(self):
+        """Nothing to prefetch: every lane would hit the same address."""
+        program, memory = self.build_scatter(tainted_address=False)
+        core, hierarchy, unit = make_inorder(program, memory,
+                                             svr=SVRConfig())
+        core.run(5_000)
+        # Only the striding index loads themselves prefetch.
+        per_round = (hierarchy.stats.prefetches_issued["svr"]
+                     / max(1, unit.stats.prm_rounds))
+        assert per_round < 20
+
+
+class TestFpChains:
+    def test_fp_ops_vectorize(self):
+        """NAS-CG-style fixed-point multiply inside the indirect chain."""
+        memory = make_memory()
+        rng = np.random.default_rng(59)
+        idx = memory.alloc_array(
+            rng.integers(0, 4096, size=512, dtype=np.int64), name="idx")
+        data = memory.alloc(4096 << 6, name="data")
+        b = ProgramBuilder()
+        b.li("a0", idx)
+        b.li("a1", data)
+        b.li("a2", 512)
+        b.li("t0", 0)
+        b.label("loop")
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)
+        b.slli("t3", "t2", 6)
+        b.add("t3", "a1", "t3")
+        b.ld("t4", "t3", 0)
+        b.fmul("t5", "t4", "t4")         # FP op on tainted value
+        b.fadd("t6", "t6", "t5")
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t7", "t0", "a2")
+        b.bnez("t7", "loop")
+        b.halt()
+        core, hierarchy, unit = make_inorder(b.build(), memory,
+                                             svr=SVRConfig())
+        core.run(4_000)
+        assert unit.stats.prm_rounds > 0
+        assert hierarchy.stats.prefetch_useful["svr"] > 0
+
+
+class TestRunnerWindows:
+    def test_exact_window_sizes_respected(self):
+        from repro.harness.runner import run
+
+        result = run("Camel", "inorder", scale="tiny", warmup=321,
+                     measure=789)
+        assert result.core.instructions == 789
+
+    def test_zero_warmup_allowed(self):
+        from repro.harness.runner import run
+
+        result = run("Camel", "svr16", scale="tiny", warmup=0, measure=500)
+        assert result.core.instructions == 500
+
+
+class TestOooCommitWidth:
+    def test_narrow_commit_limits_throughput(self):
+        from repro.cores.base import CoreConfig
+        from conftest import make_ooo
+
+        def build():
+            memory = make_memory()
+            b = ProgramBuilder()
+            b.li("t8", 2000)
+            b.label("loop")
+            for i in range(6):
+                b.addi(f"t{i}", "x0", i)
+            b.addi("t8", "t8", -1)
+            b.bnez("t8", "loop")
+            b.halt()
+            return b.build(), memory
+
+        program, memory = build()
+        core, _ = make_ooo(program, memory, core_cfg=CoreConfig(width=1))
+        narrow = core.run(10_000)
+        program, memory = build()
+        core, _ = make_ooo(program, memory, core_cfg=CoreConfig(width=3))
+        wide = core.run(10_000)
+        assert wide.cycles < narrow.cycles / 1.8

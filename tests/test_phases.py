@@ -1,0 +1,64 @@
+"""Tests for phase-behaviour sampling."""
+
+import pytest
+
+from repro.harness.phases import PhaseSample, render_phases, run_phases
+
+
+class TestRunPhases:
+    def test_samples_requested_windows(self):
+        samples = run_phases("Camel", "svr16", scale="tiny", warmup=500,
+                             windows=5, window=500)
+        assert len(samples) == 5
+        assert all(s.instructions == 500 for s in samples)
+
+    def test_ipc_positive_in_every_window(self):
+        samples = run_phases("Camel", "inorder", scale="tiny", warmup=500,
+                             windows=4, window=500)
+        assert all(s.ipc > 0 for s in samples)
+
+    def test_svr_activity_visible(self):
+        samples = run_phases("Camel", "svr16", scale="tiny", warmup=500,
+                             windows=4, window=800)
+        assert sum(s.svr_rounds for s in samples) > 0
+        assert sum(s.svr_lanes for s in samples) > 0
+
+    def test_plain_core_has_no_svr_fields(self):
+        samples = run_phases("Camel", "inorder", scale="tiny", warmup=500,
+                             windows=3, window=500)
+        assert all(s.svr_rounds == 0 and not s.svr_banned for s in samples)
+
+    def test_halting_workload_truncates(self):
+        samples = run_phases("Camel", "inorder", scale="tiny", warmup=0,
+                             windows=500, window=2_000)
+        assert len(samples) < 500     # tiny Camel halts well before that
+
+    def test_ooo_rejected(self):
+        with pytest.raises(ValueError):
+            run_phases("Camel", "ooo", scale="tiny")
+
+    def test_svr_keeps_ipc_above_baseline_in_most_windows(self):
+        base = run_phases("Camel", "inorder", scale="tiny", warmup=500,
+                          windows=4, window=500)
+        svr = run_phases("Camel", "svr16", scale="tiny", warmup=500,
+                         windows=4, window=500)
+        wins = sum(1 for b, s in zip(base, svr) if s.ipc > b.ipc)
+        assert wins >= 3
+
+    def test_cpi_property(self):
+        sample = PhaseSample(0, 100, 0.5, 10, 0, 0, False)
+        assert sample.cpi == 2.0
+        zero = PhaseSample(0, 0, 0.0, 0, 0, 0, False)
+        assert zero.cpi == 0.0
+
+
+class TestRender:
+    def test_render_contains_rows_and_sparkline(self):
+        samples = run_phases("Camel", "svr16", scale="tiny", warmup=500,
+                             windows=4, window=500)
+        text = render_phases(samples)
+        assert "IPC trend:" in text
+        assert text.count("\n") >= 5
+
+    def test_render_empty(self):
+        assert "no samples" in render_phases([])

@@ -1,0 +1,198 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.branch.predictor import HybridBranchPredictor
+from repro.cores.base import IssueSlots
+from repro.isa.executor import alu_compute
+from repro.isa.instructions import Opcode
+from repro.isa.registers import to_signed64, wrap64
+from repro.memory.cache import Cache, MshrPool
+from repro.memory.dram import DramModel
+from repro.svr.overhead import overhead_bits
+from repro.svr.srf import SpeculativeRegisterFile
+from repro.svr.stride_detector import StrideDetector
+from repro.svr.taint_tracker import TaintTracker
+
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestArithmeticProperties:
+    @given(u64, u64)
+    def test_add_wraps_like_hardware(self, a, b):
+        assert alu_compute(Opcode.ADD, a, b, 0) == (a + b) % (1 << 64)
+
+    @given(u64, u64)
+    def test_sub_is_add_inverse(self, a, b):
+        s = alu_compute(Opcode.SUB, a, b, 0)
+        assert alu_compute(Opcode.ADD, s, b, 0) == a
+
+    @given(u64)
+    def test_xor_self_is_zero(self, a):
+        assert alu_compute(Opcode.XOR, a, a, 0) == 0
+
+    @given(u64, u64)
+    def test_min_max_partition(self, a, b):
+        lo = alu_compute(Opcode.MIN, a, b, 0)
+        hi = alu_compute(Opcode.MAX, a, b, 0)
+        assert {lo, hi} == {a, b} or lo == hi
+
+    @given(u64)
+    def test_signed_unsigned_roundtrip(self, a):
+        assert wrap64(to_signed64(a)) == a
+
+    @given(u64, u64)
+    def test_cmp_lt_trichotomy(self, a, b):
+        lt = alu_compute(Opcode.CMP_LT, a, b, 0)
+        gt = alu_compute(Opcode.CMP_LT, b, a, 0)
+        eq = alu_compute(Opcode.CMP_EQ, a, b, 0)
+        assert lt + gt + eq == 1
+
+    @given(u64, st.integers(min_value=0, max_value=63))
+    def test_shift_roundtrip_preserves_low_bits(self, a, k):
+        shifted = alu_compute(Opcode.SLLI, a, 0, k)
+        back = alu_compute(Opcode.SRLI, shifted, 0, k)
+        assert back == (a << k) % (1 << 64) >> k
+
+
+class TestIssueSlotsProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_issue_times_monotone_and_bounded(self, requests, width):
+        slots = IssueSlots(width)
+        requests = sorted(requests)
+        times = [slots.allocate(r) for r in requests]
+        # Monotone.
+        assert all(t2 >= t1 for t1, t2 in zip(times, times[1:]))
+        # Never earlier than requested.
+        assert all(t >= r for t, r in zip(times, requests))
+        # Bandwidth: at most `width` issues share one integer cycle.
+        from collections import Counter
+        per_cycle = Counter(int(t) for t in times)
+        assert max(per_cycle.values()) <= width
+
+
+class TestDramProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e5, allow_nan=False),
+                    min_size=1, max_size=100))
+    def test_completion_after_request_plus_latency(self, times):
+        dram = DramModel()
+        for t in times:
+            assert dram.access(t) >= t + dram.latency_cycles
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+                    min_size=2, max_size=60),
+           st.lists(st.floats(min_value=0, max_value=200, allow_nan=False),
+                    min_size=60, max_size=60))
+    def test_bandwidth_never_exceeded(self, times, jitter):
+        """Completions, sorted, are spaced by at least the line time.
+
+        Arrival order is near-monotonic with bounded skew — the model's
+        documented contract (skew in the simulator is bounded by one DRAM
+        round trip; the prune horizon is far larger).
+        """
+        base = sorted(times)
+        arrivals = [max(0.0, t - j) for t, j in zip(base, jitter)]
+        dram = DramModel()
+        completions = sorted(dram.access(t) for t in arrivals)
+        for a, b in zip(completions, completions[1:]):
+            assert b - a >= dram.cycles_per_line - 1e-6
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2000), min_size=1,
+                    max_size=500))
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = Cache("c", 4096, assoc=2, line_bytes=64)  # 64 lines
+        for line in lines:
+            cache.insert(line)
+        total = sum(len(s) for s in cache._sets)
+        assert total <= 64
+        for cache_set in cache._sets:
+            assert len(cache_set) <= 2
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=300))
+    def test_most_recent_insert_always_present(self, lines):
+        cache = Cache("c", 4096, assoc=2, line_bytes=64)
+        for line in lines:
+            cache.insert(line)
+            assert cache.contains(line)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1e4,
+                                        allow_nan=False),
+                              st.floats(min_value=1, max_value=500,
+                                        allow_nan=False)),
+                    min_size=1, max_size=50),
+           st.integers(min_value=1, max_value=8))
+    def test_mshr_never_oversubscribed(self, requests, entries):
+        pool = MshrPool(entries)
+        intervals = []
+        for arrive, hold in sorted(requests):
+            slot, start = pool.allocate(arrive)
+            end = start + hold
+            pool.release(slot, end)
+            intervals.append((start, end))
+        # At any request start, at most `entries` intervals overlap.
+        for probe, _ in intervals:
+            overlapping = sum(1 for s, e in intervals if s <= probe < e)
+            assert overlapping <= entries
+
+
+class TestStrideDetectorProperties:
+    @given(st.integers(min_value=1, max_value=1 << 20),
+           st.integers(min_value=-512, max_value=512).filter(lambda s: s != 0),
+           st.integers(min_value=4, max_value=64))
+    def test_constant_stride_always_detected(self, start, stride, count):
+        det = StrideDetector()
+        last = None
+        for i in range(count):
+            last = det.observe(7, start + i * stride)
+        assert last.is_striding
+        assert last.entry.stride == stride
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 30),
+                    min_size=2, max_size=100))
+    def test_observe_never_crashes_and_confidence_bounded(self, addrs):
+        det = StrideDetector()
+        for addr in addrs:
+            obs = det.observe(3, addr)
+            assert 0 <= obs.entry.confidence <= 3
+            assert obs.entry.iteration >= 0
+
+
+class TestSrfProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=31), min_size=1,
+                    max_size=100),
+           st.integers(min_value=1, max_value=8))
+    def test_mapped_registers_never_exceed_entries(self, regs, entries):
+        taint = TaintTracker()
+        srf = SpeculativeRegisterFile(entries=entries, lanes=4)
+        for reg in regs:
+            srf_id = srf.allocate(reg, taint)
+            if srf_id is not None:
+                taint.map(reg, srf_id, 0)
+            assert len(taint.mapped_registers()) <= entries
+        # All mapped registers point at distinct SRF entries.
+        ids = [taint.srf_of(r) for r in taint.mapped_registers()]
+        assert len(ids) == len(set(ids))
+
+
+class TestOverheadProperties:
+    @given(st.integers(min_value=1, max_value=256),
+           st.integers(min_value=1, max_value=64))
+    def test_overhead_positive_and_monotone_in_srf(self, n, k):
+        assert overhead_bits(n, k) > 0
+        assert overhead_bits(n, k + 1) > overhead_bits(n, k)
+
+
+class TestPredictorProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=300))
+    def test_counters_stay_bounded(self, outcomes):
+        pred = HybridBranchPredictor()
+        for taken in outcomes:
+            pred.predict_and_update(42, taken)
+        assert pred.predictions == len(outcomes)
+        assert 0 <= pred.mispredictions <= pred.predictions
+        assert 0.0 <= pred.accuracy <= 1.0

@@ -1,0 +1,152 @@
+"""Tests for the workload registry and the experiment runner."""
+
+import pytest
+
+from repro.harness.runner import (
+    MAIN_TECHNIQUES,
+    SimResult,
+    TechniqueConfig,
+    run,
+    technique,
+)
+from repro.svr.config import LoopBoundPolicy, RecyclingPolicy
+from repro.workloads.registry import (
+    GAP_WORKLOADS,
+    HPC_WORKLOADS,
+    IRREGULAR_WORKLOADS,
+    SPEC_WORKLOADS,
+    build_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_paper_suite_is_33_workloads(self):
+        """5 GAP kernels x 5 inputs + 8 HPC-DB = the paper's 33."""
+        assert len(IRREGULAR_WORKLOADS) == 33
+        assert len(GAP_WORKLOADS) == 25
+        assert len(HPC_WORKLOADS) == 8
+
+    def test_spec_suite_is_23(self):
+        assert len(SPEC_WORKLOADS) == 23
+
+    @pytest.mark.parametrize("name", ["PR_KR", "BFS_UR", "SSSP_TW",
+                                      "Camel", "NAS-IS", "Randacc",
+                                      "perlbench"])
+    def test_build_workload_names(self, name):
+        workload = build_workload(name, "tiny")
+        assert workload.name == name or workload.category == "spec"
+        assert len(workload.program) > 0
+
+    def test_fresh_builds_are_independent(self):
+        a = build_workload("PR_UR", "tiny")
+        b = build_workload("PR_UR", "tiny")
+        assert a.memory is not b.memory
+
+    def test_sssp_graphs_are_weighted(self):
+        workload = build_workload("SSSP_KR", "tiny")
+        assert workload.meta["graph"].weights is not None
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("FOO_KR", "tiny")
+        with pytest.raises(ValueError):
+            build_workload("FOO", "tiny")
+        with pytest.raises(ValueError):
+            build_workload("PR_KR", "giant")
+
+    def test_workload_names_suites(self):
+        assert workload_names("gap") == GAP_WORKLOADS
+        assert workload_names("hpc") == HPC_WORKLOADS
+        assert workload_names("spec") == SPEC_WORKLOADS
+        with pytest.raises(ValueError):
+            workload_names("games")
+
+
+class TestTechniquePresets:
+    def test_main_techniques_cover_fig1_columns(self):
+        assert MAIN_TECHNIQUES == ("inorder", "imp", "ooo", "svr8", "svr16",
+                                   "svr32", "svr64", "svr128")
+
+    def test_inorder_preset(self):
+        cfg = technique("inorder")
+        assert cfg.core == "inorder" and cfg.svr is None
+        assert not cfg.memory.imp_prefetcher
+
+    def test_imp_preset_enables_prefetcher(self):
+        assert technique("imp").memory.imp_prefetcher
+
+    def test_svr_presets_set_length(self):
+        for n in (8, 16, 32, 64, 128):
+            cfg = technique(f"svr{n}")
+            assert cfg.svr.vector_length == n
+            assert cfg.core == "inorder"
+
+    def test_svr_overrides(self):
+        cfg = technique("svr16", policy=LoopBoundPolicy.MAXLENGTH,
+                        recycling=RecyclingPolicy.DVR, srf_entries=2)
+        assert cfg.svr.policy is LoopBoundPolicy.MAXLENGTH
+        assert cfg.svr.srf_entries == 2
+
+    def test_with_memory_override(self):
+        cfg = technique("svr16").with_memory(l1_mshrs=4,
+                                             dram_bandwidth_gbps=25.0)
+        assert cfg.memory.l1_mshrs == 4
+        assert cfg.memory.dram_bandwidth_gbps == 25.0
+        # Base config untouched (dataclasses.replace semantics).
+        assert technique("svr16").memory.l1_mshrs == 16
+
+    def test_with_svr_requires_svr(self):
+        with pytest.raises(ValueError):
+            technique("inorder").with_svr(vector_length=8)
+
+    def test_unknown_technique(self):
+        with pytest.raises(ValueError):
+            technique("tpu")
+
+
+class TestRun:
+    def test_returns_simresult_with_sane_fields(self):
+        result = run("PR_UR", "inorder", scale="tiny")
+        assert isinstance(result, SimResult)
+        assert result.core.instructions > 0
+        assert result.cpi > 0 and result.ipc > 0
+        assert result.energy_per_instruction_nj > 0
+        assert abs(result.cpi * result.ipc - 1.0) < 1e-9
+
+    def test_accepts_technique_object(self):
+        result = run("PR_UR", technique("svr16"), scale="tiny")
+        assert result.technique == "svr16"
+        assert result.svr is not None
+        assert result.svr_accuracy is not None
+
+    def test_non_svr_run_has_no_svr_stats(self):
+        result = run("PR_UR", "ooo", scale="tiny")
+        assert result.svr is None and result.svr_accuracy is None
+
+    def test_custom_window(self):
+        result = run("PR_UR", "inorder", scale="tiny", warmup=100,
+                     measure=500)
+        assert result.core.instructions == 500
+
+    def test_cpi_stack_covers_cpi(self):
+        """The stack decomposes CPI; overlap between stall causes can make
+        the attributed sum slightly exceed it, never undershoot."""
+        result = run("PR_UR", "inorder", scale="tiny")
+        stack = result.cpi_stack()
+        total = sum(stack.values())
+        assert result.cpi <= total + 1e-9
+        assert total <= result.cpi * 1.15
+
+    def test_svr_beats_inorder_on_gather_workload(self):
+        base = run("Camel", "inorder", scale="tiny")
+        svr = run("Camel", "svr16", scale="tiny")
+        assert svr.ipc > base.ipc
+
+    def test_unknown_core_kind_rejected(self):
+        from repro.memory.hierarchy import MemoryConfig
+        from repro.cores.base import CoreConfig
+
+        bad = TechniqueConfig("bad", core="vliw")
+        with pytest.raises(ValueError):
+            run("PR_UR", bad, scale="tiny")

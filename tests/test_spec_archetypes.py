@@ -1,0 +1,61 @@
+"""Per-archetype timing sanity for the SPEC surrogates (Fig 14 at unit
+scale): SVR must stay within a few percent of the baseline on every
+archetype, and the archetypes must exercise distinct execution profiles."""
+
+import pytest
+
+from repro.harness.runner import run
+
+# One representative per archetype.
+ARCHETYPES = {
+    "stream": "bwaves",
+    "copy": "lbm",
+    "stencil": "roms",
+    "compute": "namd",
+    "cached": "gcc",
+    "short": "xz",
+}
+
+
+class TestOverheadPerArchetype:
+    @pytest.mark.parametrize("archetype,name", sorted(ARCHETYPES.items()))
+    def test_svr_overhead_bounded(self, archetype, name):
+        base = run(name, "inorder", scale="tiny")
+        svr = run(name, "svr16", scale="tiny")
+        ratio = svr.ipc / base.ipc
+        assert ratio > 0.85, (archetype, ratio)
+
+    def test_cached_archetype_never_triggers(self):
+        """Computed indices leave nothing to piggyback on."""
+        result = run("gcc", "svr16", scale="tiny")
+        assert result.svr.prm_rounds == 0
+
+    def test_compute_archetype_is_issue_bound(self):
+        result = run("namd", "inorder", scale="tiny")
+        stack = result.cpi_stack()
+        assert stack["mem-dram"] < 0.2 * result.cpi
+
+    def test_stream_archetype_covered_by_stride_prefetcher(self):
+        result = run("bwaves", "inorder", scale="tiny")
+        assert result.hierarchy.prefetches_issued["stride"] > 0
+
+    def test_short_archetype_stresses_loop_bounds(self):
+        """Tiny trips: SVR triggers but the predictors throttle lanes."""
+        result = run("xz", "svr16", scale="tiny")
+        if result.svr.prm_rounds:
+            lanes_per_round = result.svr.svi_lanes / result.svr.prm_rounds
+            assert lanes_per_round < 16 * 6   # far below maxlength chains
+
+
+class TestArchetypeDiversity:
+    def test_profiles_differ(self):
+        """The six archetypes must not collapse into one behaviour."""
+        cpis = {a: run(n, "inorder", scale="tiny").cpi
+                for a, n in ARCHETYPES.items()}
+        assert max(cpis.values()) > 1.5 * min(cpis.values()), cpis
+
+    def test_memory_intensity_ordering(self):
+        """Streaming archetypes move more DRAM lines than compute ones."""
+        stream = run("bwaves", "inorder", scale="tiny")
+        compute = run("namd", "inorder", scale="tiny")
+        assert stream.dram_lines > 2 * compute.dram_lines

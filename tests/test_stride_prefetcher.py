@@ -1,0 +1,72 @@
+"""Unit tests for the baseline L1 stride prefetcher."""
+
+from repro.memory.stride_prefetcher import StridePrefetcher
+
+
+def train_stream(pf, pc, start, stride, count):
+    requests = []
+    for i in range(count):
+        requests.append(pf.train(pc, start + i * stride))
+    return requests
+
+
+class TestDetection:
+    def test_no_prefetch_before_confidence(self):
+        pf = StridePrefetcher()
+        assert pf.train(1, 0) == []
+        assert pf.train(1, 64) == []     # first stride observation
+        assert pf.train(1, 128) == []    # confidence builds
+
+    def test_confident_stream_prefetches(self):
+        pf = StridePrefetcher()
+        requests = train_stream(pf, 1, 0, 64, 8)
+        assert any(requests), "stream should eventually prefetch"
+
+    def test_requests_are_ahead_of_stream(self):
+        pf = StridePrefetcher(distance=4)
+        requests = train_stream(pf, 1, 0, 64, 8)
+        last_addr = 7 * 64
+        for req in requests[-1]:
+            assert req >= last_addr + 4 * 64
+
+    def test_negative_stride_supported(self):
+        pf = StridePrefetcher()
+        requests = train_stream(pf, 1, 64 * 100, -64, 8)
+        assert any(requests)
+        for req in requests[-1]:
+            assert req < 64 * (100 - 7)
+
+    def test_zero_stride_never_prefetches(self):
+        pf = StridePrefetcher()
+        requests = train_stream(pf, 1, 4096, 0, 10)
+        assert not any(requests)
+
+    def test_stride_change_resets_confidence(self):
+        pf = StridePrefetcher()
+        train_stream(pf, 1, 0, 64, 6)
+        assert pf.train(1, 10_000) == []          # discontinuity
+        assert pf.train(1, 10_000 + 8) == []      # new stride, low conf
+
+    def test_small_stride_dedupes_lines(self):
+        pf = StridePrefetcher(degree=2)
+        requests = train_stream(pf, 1, 0, 8, 12)
+        lines = [r // 64 for r in requests[-1]]
+        assert len(lines) == len(set(lines))
+
+    def test_independent_pcs_tracked_separately(self):
+        pf = StridePrefetcher()
+        train_stream(pf, 1, 0, 64, 8)
+        assert pf.train(2, 1 << 20) == []   # fresh PC starts cold
+
+    def test_table_capacity_evicts(self):
+        pf = StridePrefetcher(table_entries=2)
+        train_stream(pf, 1, 0, 64, 6)
+        pf.train(2, 0)
+        pf.train(3, 0)                      # evicts PC 1
+        # PC 1 must retrain from scratch: no immediate prefetch.
+        assert pf.train(1, 64 * 100) == []
+
+    def test_issued_counter(self):
+        pf = StridePrefetcher()
+        train_stream(pf, 1, 0, 64, 10)
+        assert pf.issued > 0

@@ -1,0 +1,75 @@
+"""Unit tests for the SVR accuracy monitor (Section IV-A7)."""
+
+from repro.svr.accuracy import AccuracyMonitor
+
+
+def feed(monitor, useful, useless):
+    for _ in range(useful):
+        monitor.on_useful("svr")
+    for _ in range(useless):
+        monitor.on_useless("svr")
+
+
+class TestGate:
+    def test_allows_by_default(self):
+        assert AccuracyMonitor().allow_trigger()
+
+    def test_no_ban_during_warmup(self):
+        monitor = AccuracyMonitor(warmup_events=100)
+        feed(monitor, 10, 80)      # 90 events: still warming up
+        assert monitor.allow_trigger()
+
+    def test_bans_below_threshold_after_warmup(self):
+        monitor = AccuracyMonitor(threshold=0.5, warmup_events=100)
+        feed(monitor, 30, 80)
+        assert not monitor.allow_trigger()
+        assert monitor.bans == 1
+
+    def test_accurate_prefetching_never_banned(self):
+        monitor = AccuracyMonitor(threshold=0.5, warmup_events=100)
+        feed(monitor, 150, 20)
+        assert monitor.allow_trigger()
+
+    def test_exactly_at_threshold_allowed(self):
+        monitor = AccuracyMonitor(threshold=0.5, warmup_events=10)
+        feed(monitor, 50, 50)
+        assert monitor.allow_trigger()
+
+    def test_ignores_other_origins(self):
+        monitor = AccuracyMonitor(warmup_events=10)
+        for _ in range(100):
+            monitor.on_useless("imp")
+        assert monitor.allow_trigger()
+        assert monitor.useless == 0
+
+    def test_disabled_monitor_never_bans(self):
+        monitor = AccuracyMonitor(warmup_events=10, enabled=False)
+        feed(monitor, 0, 100)
+        assert monitor.allow_trigger()
+
+
+class TestPeriodicReset:
+    def test_ban_lifts_after_reset_interval(self):
+        monitor = AccuracyMonitor(threshold=0.5, warmup_events=10,
+                                  reset_interval=1000)
+        feed(monitor, 1, 20)
+        assert not monitor.allow_trigger()
+        monitor.tick(1000)
+        assert monitor.allow_trigger()
+        assert monitor.useful == 0 and monitor.useless == 0
+
+    def test_tick_accumulates(self):
+        monitor = AccuracyMonitor(threshold=0.5, warmup_events=10,
+                                  reset_interval=100)
+        feed(monitor, 0, 20)
+        for _ in range(99):
+            monitor.tick()
+        assert not monitor.allow_trigger()
+        monitor.tick()
+        assert monitor.allow_trigger()
+
+    def test_accuracy_property(self):
+        monitor = AccuracyMonitor()
+        assert monitor.accuracy == 1.0
+        feed(monitor, 3, 1)
+        assert monitor.accuracy == 0.75

@@ -1,0 +1,188 @@
+"""SVR edge cases beyond the happy path: negative strides, SRF churn,
+timeouts interacting with waiting mode, lane validity through chains."""
+
+import numpy as np
+
+from repro.isa.program import ProgramBuilder
+from repro.svr.config import LoopBoundPolicy, SVRConfig
+
+from conftest import build_gather_workload, make_inorder, make_memory
+
+
+class TestNegativeStride:
+    def build_reverse_gather(self, count=512):
+        """Walks the index array backwards (BC's backward pass shape)."""
+        memory = make_memory()
+        rng = np.random.default_rng(41)
+        idx = rng.integers(0, 4096, size=count, dtype=np.int64)
+        idx_base = memory.alloc_array(idx, name="idx")
+        data = memory.alloc(4096 << 6, name="data")
+        b = ProgramBuilder()
+        b.li("a0", idx_base)
+        b.li("a1", data)
+        b.li("t0", count - 1)
+        b.label("loop")
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)              # striding, stride -8
+        b.slli("t3", "t2", 6)
+        b.add("t3", "a1", "t3")
+        b.ld("t4", "t3", 0)              # indirect
+        b.add("t5", "t5", "t4")
+        b.addi("t0", "t0", -1)
+        b.li("t7", 0)
+        b.cmp_ge("t6", "t0", "t7")
+        b.bnez("t6", "loop")
+        b.halt()
+        return b.build(), memory
+
+    def test_negative_stride_triggers_runahead(self):
+        program, memory = self.build_reverse_gather()
+        core, hierarchy, unit = make_inorder(program, memory,
+                                             svr=SVRConfig())
+        core.run(6_000)
+        assert unit.stats.prm_rounds > 0
+        assert hierarchy.stats.prefetches_issued["svr"] > 0
+
+    def test_negative_stride_prefetches_are_useful(self):
+        program, memory = self.build_reverse_gather()
+        core, hierarchy, unit = make_inorder(program, memory,
+                                             svr=SVRConfig())
+        core.run(6_000)
+        stats = hierarchy.stats
+        assert stats.prefetch_useful["svr"] > 5 * stats.prefetch_useless["svr"]
+
+    def test_negative_stride_speedup(self):
+        program, memory = self.build_reverse_gather()
+        core, _, _ = make_inorder(program, memory)
+        plain = core.run(5_000)
+        program2, memory2 = self.build_reverse_gather()
+        core2, _, _ = make_inorder(program2, memory2, svr=SVRConfig())
+        svr = core2.run(5_000)
+        assert svr.cycles < plain.cycles / 1.4
+
+
+class TestSrfChurn:
+    def test_single_srf_entry_still_works(self):
+        """K=1: the head mapping is stolen by the first dependent write,
+        but the stride prefetches themselves still land."""
+        program, memory = build_gather_workload()
+        core, hierarchy, unit = make_inorder(
+            program, memory, svr=SVRConfig(srf_entries=1))
+        core.run(3_000)
+        assert unit.stats.prm_rounds > 0
+        assert hierarchy.stats.prefetches_issued["svr"] > 0
+        assert unit.srf.recycles > 0
+
+    def test_vector_length_one(self):
+        program, memory = build_gather_workload()
+        core, hierarchy, unit = make_inorder(
+            program, memory, svr=SVRConfig(vector_length=1))
+        core.run(3_000)
+        assert unit.stats.prm_rounds > 0
+        # One lane per SVI at most.
+        assert all(len(unit.mask) == 1 for _ in [0])
+
+    def test_vector_length_128(self):
+        program, memory = build_gather_workload(count=2048)
+        core, hierarchy, unit = make_inorder(
+            program, memory, svr=SVRConfig(vector_length=128))
+        core.run(5_000)
+        assert unit.stats.prm_rounds > 0
+        assert hierarchy.stats.prefetches_issued["svr"] > 200
+
+
+class TestTimeoutInteraction:
+    def test_timeout_does_not_record_waiting_range_twice(self):
+        """After a timeout the stride entry's range stays from generation
+        time; the next in-range access must not re-trigger."""
+        program, memory = build_gather_workload()
+        cfg = SVRConfig(timeout_instructions=4)   # force timeouts
+        core, _, unit = make_inorder(program, memory, svr=cfg)
+        core.run(3_000)
+        assert unit.stats.terminations["timeout"] > 0
+        # Rounds remain spaced by waiting mode even with constant timeouts.
+        iterations = core.stats.loads // 2
+        assert unit.stats.prm_rounds < iterations / 4
+
+    def test_tiny_timeout_still_prefetches_head(self):
+        program, memory = build_gather_workload()
+        core, hierarchy, unit = make_inorder(
+            program, memory, svr=SVRConfig(timeout_instructions=1))
+        core.run(3_000)
+        assert hierarchy.stats.prefetches_issued["svr"] > 0
+
+
+class TestPolicyEdges:
+    def test_lbd_wait_eventually_runs(self):
+        """LBD+Wait skips early rounds but engages once the loop branch
+        trains the detector."""
+        program, memory = build_gather_workload(count=1024)
+        cfg = SVRConfig(policy=LoopBoundPolicy.LBD_WAIT)
+        core, hierarchy, unit = make_inorder(program, memory, svr=cfg)
+        core.run(10_000)
+        assert unit.stats.prm_rounds > 0
+
+    def test_ewma_throttles_short_loops(self):
+        memory = make_memory()
+        total = 1 << 14
+        data = memory.alloc_array(list(range(total)), name="A")
+        b = ProgramBuilder()
+        b.li("a0", data)
+        b.li("a1", 2048)
+        b.li("a2", 3)
+        b.li("t9", 0)
+        b.label("rows")
+        b.muli("t1", "t9", 509)
+        b.andi("t1", "t1", total - 8)
+        b.li("t2", 0)
+        b.label("inner")
+        b.add("t3", "t1", "t2")
+        b.slli("t3", "t3", 3)
+        b.add("t3", "a0", "t3")
+        b.ld("t4", "t3", 0)
+        b.addi("t2", "t2", 1)
+        b.cmp_lt("t6", "t2", "a2")
+        b.bnez("t6", "inner")
+        b.addi("t9", "t9", 1)
+        b.cmp_lt("t6", "t9", "a1")
+        b.bnez("t6", "rows")
+        b.halt()
+
+        ewma_cfg = SVRConfig(policy=LoopBoundPolicy.EWMA,
+                             accuracy_enabled=False)
+        core, ewma_hier, unit = make_inorder(b.build(), memory, svr=ewma_cfg)
+        core.run(20_000)
+
+        memory2 = make_memory()
+        data2 = memory2.alloc_array(list(range(total)), name="A")
+        # identical program against fresh memory
+        b2 = ProgramBuilder()
+        b2.li("a0", data2)
+        b2.li("a1", 2048)
+        b2.li("a2", 3)
+        b2.li("t9", 0)
+        b2.label("rows")
+        b2.muli("t1", "t9", 509)
+        b2.andi("t1", "t1", total - 8)
+        b2.li("t2", 0)
+        b2.label("inner")
+        b2.add("t3", "t1", "t2")
+        b2.slli("t3", "t3", 3)
+        b2.add("t3", "a0", "t3")
+        b2.ld("t4", "t3", 0)
+        b2.addi("t2", "t2", 1)
+        b2.cmp_lt("t6", "t2", "a2")
+        b2.bnez("t6", "inner")
+        b2.addi("t9", "t9", 1)
+        b2.cmp_lt("t6", "t9", "a1")
+        b2.bnez("t6", "rows")
+        b2.halt()
+        max_cfg = SVRConfig(policy=LoopBoundPolicy.MAXLENGTH,
+                            accuracy_enabled=False)
+        core2, max_hier, _ = make_inorder(b2.build(), memory2, svr=max_cfg)
+        core2.run(20_000)
+
+        # EWMA issues far fewer (wasted) prefetches on 2-iteration runs.
+        assert (ewma_hier.stats.prefetches_issued["svr"]
+                < 0.6 * max_hier.stats.prefetches_issued["svr"])

@@ -1,0 +1,201 @@
+"""Unit tests for loop-bound prediction: LC, LBD, CV scavenging, tournament."""
+
+from repro.svr.config import LoopBoundPolicy
+from repro.svr.loop_bound import LoopBoundUnit
+from repro.svr.stride_detector import StrideDetector
+
+
+def train_loop(lbu, hslr_pc=10, comp_pc=20, branch_pc=22, iters=5,
+               bound=100, step=1, dest=6, reg_a=3, reg_b=4):
+    """Simulate `i` counting to `bound`: cmp (i, bound) then backward branch."""
+    for k in range(iters):
+        i_val = (k + 1) * step
+        lbu.observe_compare(comp_pc, i_val, bound, reg_a, reg_b, dest)
+        lbu.train_on_branch(branch_pc, hslr_pc - 2, taken=True,
+                            source_reg=dest, hslr_pc=hslr_pc)
+
+
+class TestLastCompare:
+    def test_compare_sets_lc(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 5, 100, 3, 4, 6)
+        assert lbu.lc.valid and lbu.lc.pc == 20
+        assert (lbu.lc.val_a, lbu.lc.val_b) == (5, 100)
+
+    def test_other_write_to_dest_resets_lc(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 5, 100, 3, 4, 6)
+        lbu.observe_write(21, 6, is_compare=False)
+        assert not lbu.lc.valid
+
+    def test_unrelated_write_keeps_lc(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 5, 100, 3, 4, 6)
+        lbu.observe_write(21, 7, is_compare=False)
+        assert lbu.lc.valid
+
+
+class TestLbdTraining:
+    def test_learns_increment_and_changing_operand(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=4)
+        entry = lbu.peek(10)
+        assert entry is not None
+        assert entry.changing == "a"
+        assert entry.increment == 1
+        assert entry.fresh
+
+    def test_learns_non_unit_increment(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=4, step=4)
+        assert lbu.peek(10).increment == 4
+
+    def test_forward_branch_ignored(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 1, 100, 3, 4, 6)
+        lbu.train_on_branch(22, 30, taken=True, source_reg=6, hslr_pc=10)
+        assert lbu.peek(10) is None or lbu.peek(10).comp_pc == -1
+
+    def test_not_taken_branch_ignored(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 1, 100, 3, 4, 6)
+        lbu.train_on_branch(22, 5, taken=False, source_reg=6, hslr_pc=10)
+        assert lbu.trainings == 0
+
+    def test_wrong_source_register_ignored(self):
+        lbu = LoopBoundUnit()
+        lbu.observe_compare(20, 1, 100, 3, 4, 6)
+        lbu.train_on_branch(22, 5, taken=True, source_reg=9, hslr_pc=10)
+        assert lbu.trainings == 0
+
+    def test_compare_replacement_needs_confidence_drain(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=4, comp_pc=20)
+        entry = lbu.peek(10)
+        assert entry.comp_pc == 20
+        # A different compare now feeds the branch; needs repeated evidence.
+        lbu.observe_compare(40, 1, 50, 3, 4, 6)
+        lbu.train_on_branch(22, 5, taken=True, source_reg=6, hslr_pc=10)
+        assert entry.comp_pc == 20   # one hit is not enough
+        for _ in range(5):
+            lbu.observe_compare(40, 1, 50, 3, 4, 6)
+            lbu.train_on_branch(22, 5, taken=True, source_reg=6, hslr_pc=10)
+        assert lbu.peek(10).comp_pc == 40
+
+
+class TestPredictions:
+    def test_lbd_remaining_iterations(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=5, bound=100)
+        # After 5 iterations i=5; remaining = 100 - 5 = 95.
+        assert lbu.predict_lbd(10, require_fresh=True) == 95
+
+    def test_lbd_requires_freshness_after_reentry(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=5)
+        lbu.on_loop_reentry(10)
+        assert lbu.predict_lbd(10, require_fresh=True) is None
+        assert lbu.predict_lbd(10, require_fresh=False) is not None
+
+    def test_cv_scavenging_reads_current_registers(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=5, bound=100, reg_a=3, reg_b=4)
+        lbu.on_loop_reentry(10)
+        regs = {3: 90, 4: 100}
+        assert lbu.predict_cv(10, regs.__getitem__) == 10
+
+    def test_cv_returns_none_without_training(self):
+        lbu = LoopBoundUnit()
+        assert lbu.predict_cv(10, lambda r: 0) is None
+
+    def test_negative_remaining_rejected(self):
+        lbu = LoopBoundUnit()
+        train_loop(lbu, iters=5, bound=100)
+        regs = {3: 200, 4: 100}    # induction past the bound
+        assert lbu.predict_cv(10, regs.__getitem__) is None
+
+
+class TestPolicies:
+    def make_stride(self, ewma=None, iteration=0):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        if ewma is not None:
+            entry.ewma = ewma
+            entry.ewma_trained = True
+        entry.iteration = iteration
+        return entry
+
+    def test_maxlength_always_max(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride()
+        n = lbu.decide_length(LoopBoundPolicy.MAXLENGTH, entry,
+                              lambda r: 0, 16)
+        assert n == 16
+
+    def test_ewma_untrained_optimistic(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride(ewma=None)
+        assert lbu.decide_length(LoopBoundPolicy.EWMA, entry,
+                                 lambda r: 0, 16) == 16
+
+    def test_ewma_remaining_formula(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride(ewma=10.0, iteration=4)
+        # min(EWMA - Iteration, N) = 6.
+        assert lbu.decide_length(LoopBoundPolicy.EWMA, entry,
+                                 lambda r: 0, 16) == 6
+
+    def test_ewma_past_average_falls_back(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride(ewma=10.0, iteration=12)
+        # Negative remaining: min(EWMA, N) = 10.
+        assert lbu.decide_length(LoopBoundPolicy.EWMA, entry,
+                                 lambda r: 0, 16) == 10
+
+    def test_lbd_wait_returns_zero_until_trained(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride()
+        assert lbu.decide_length(LoopBoundPolicy.LBD_WAIT, entry,
+                                 lambda r: 0, 16) == 0
+
+    def test_lbd_maxlength_falls_back_to_max(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride()
+        assert lbu.decide_length(LoopBoundPolicy.LBD_MAXLENGTH, entry,
+                                 lambda r: 0, 16) == 16
+
+    def test_lbd_cv_uses_scavenged_values(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride()
+        train_loop(lbu, hslr_pc=entry.pc, iters=4, bound=100)
+        lbu.on_loop_reentry(entry.pc)
+        regs = {3: 95, 4: 100}
+        n = lbu.decide_length(LoopBoundPolicy.LBD_CV, entry,
+                              regs.__getitem__, 16)
+        assert n == 5
+
+    def test_tournament_prefers_better_predictor(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride(ewma=4.0)
+        entry.last_ewma_pred = 4
+        entry.last_lbd_pred = 12
+        lbu.train_tournament(entry, actual=12)
+        assert entry.tournament == 2    # moved toward LBD
+        entry.last_ewma_pred = 4
+        entry.last_lbd_pred = 12
+        lbu.train_tournament(entry, actual=4)
+        assert entry.tournament == 1    # back toward EWMA
+
+    def test_tournament_decision_routing(self):
+        lbu = LoopBoundUnit()
+        entry = self.make_stride(ewma=4.0)
+        train_loop(lbu, hslr_pc=entry.pc, iters=4, bound=100)
+        lbu.on_loop_reentry(entry.pc)   # stale LBD -> CV scavenging path
+        entry.tournament = 3            # trust LBD
+        n = lbu.decide_length(LoopBoundPolicy.TOURNAMENT, entry,
+                              lambda r: {3: 98, 4: 100}.get(r, 0), 16)
+        assert n == 2                   # LBD+CV says 2 remaining
+        entry.tournament = 0            # trust EWMA
+        n = lbu.decide_length(LoopBoundPolicy.TOURNAMENT, entry,
+                              lambda r: {3: 98, 4: 100}.get(r, 0), 16)
+        assert n == 4

@@ -1,0 +1,86 @@
+"""Table II (hardware overhead) and Table I (feature matrix) tests."""
+
+import pytest
+
+from repro.svr.overhead import (
+    feature_matrix,
+    overhead_bits,
+    overhead_breakdown,
+    overhead_kib,
+)
+
+
+class TestTable2Exact:
+    """The paper's Table II numbers, bit for bit."""
+
+    def test_total_bits_default(self):
+        assert overhead_bits(16, 8) == 17738
+
+    def test_total_kib_default(self):
+        assert overhead_kib(16, 8) == pytest.approx(2.17, abs=0.01)
+
+    def test_stride_detector_bits(self):
+        assert overhead_breakdown(16, 8).stride_detector == 5536
+
+    def test_taint_tracker_bits(self):
+        assert overhead_breakdown(16, 8).taint_tracker == 416
+
+    def test_hslr_bits(self):
+        assert overhead_breakdown(16, 8).hslr == 64
+
+    def test_srf_bits(self):
+        assert overhead_breakdown(16, 8).srf == 8192
+
+    def test_lc_bits(self):
+        assert overhead_breakdown(16, 8).lc == 186
+
+    def test_lbd_bits(self):
+        assert overhead_breakdown(16, 8).lbd == 2160
+
+    def test_scoreboard_bits(self):
+        assert overhead_breakdown(16, 8).scoreboard == 160
+
+    def test_prefetch_tag_bits(self):
+        assert overhead_breakdown(16, 8).l1_prefetch_tags == 1024
+
+
+class TestScaling:
+    def test_svr128_is_about_9_kib(self):
+        """Abstract: 'Increasing the overhead to 9 KiB ... 128 length'."""
+        assert 8.0 < overhead_kib(128, 8) < 10.0
+
+    def test_srf_grows_linearly_with_n(self):
+        assert (overhead_breakdown(32, 8).srf
+                == 2 * overhead_breakdown(16, 8).srf)
+
+    def test_overhead_monotone_in_n(self):
+        values = [overhead_bits(n) for n in (8, 16, 32, 64, 128)]
+        assert values == sorted(values)
+
+    def test_scoreboard_counter_width(self):
+        # ceil(log2(N+1)) bits per scoreboard entry.
+        assert overhead_breakdown(16, 8).scoreboard == 32 * 5
+        assert overhead_breakdown(8, 8).scoreboard == 32 * 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            overhead_bits(0, 8)
+        with pytest.raises(ValueError):
+            overhead_bits(16, 0)
+
+
+class TestFeatureMatrix:
+    def test_table1_contents(self):
+        matrix = feature_matrix()
+        assert matrix["Based on existing vector ISAs"] == {
+            "VR": True, "DVR": True, "SVR": False}
+        assert matrix["Runahead synchronous with main thread"]["SVR"]
+        assert not matrix["Stalls the main thread"]["SVR"]
+        assert matrix["Needs a discovery pass"]["DVR"]
+
+    def test_all_rows_cover_three_techniques(self):
+        for row in feature_matrix().values():
+            assert set(row) == {"VR", "DVR", "SVR"}
+
+    def test_seven_rows(self):
+        assert len(feature_matrix()) == 7

@@ -1,0 +1,139 @@
+"""Unit tests for the SVR stride detector (Fig 6 fields)."""
+
+from repro.svr.stride_detector import StrideDetector
+
+
+def feed(detector, pc, addrs):
+    return [detector.observe(pc, a) for a in addrs]
+
+
+class TestDetection:
+    def test_first_observation_not_striding(self):
+        det = StrideDetector()
+        obs = det.observe(1, 1000)
+        assert not obs.is_striding and not obs.continued
+
+    def test_confidence_builds_with_constant_stride(self):
+        det = StrideDetector(confidence_threshold=2)
+        observations = feed(det, 1, [0, 8, 16, 24])
+        assert not observations[1].is_striding   # first stride sample
+        assert observations[3].is_striding
+
+    def test_negative_stride_detected(self):
+        det = StrideDetector()
+        observations = feed(det, 1, [800, 792, 784, 776])
+        assert observations[3].is_striding
+        assert observations[3].entry.stride == -8
+
+    def test_zero_stride_never_confident(self):
+        det = StrideDetector()
+        observations = feed(det, 1, [100, 100, 100, 100, 100])
+        assert not observations[-1].is_striding
+
+    def test_discontinuity_lowers_confidence(self):
+        det = StrideDetector()
+        feed(det, 1, [0, 8, 16, 24, 32])
+        obs = det.observe(1, 5000)
+        entry = obs.entry
+        before = entry.confidence
+        det.observe(1, 9000)   # stride 4000, mismatch again
+        assert entry.confidence <= before
+
+    def test_independent_pcs(self):
+        det = StrideDetector()
+        feed(det, 1, [0, 8, 16, 24])
+        obs = det.observe(2, 64)
+        assert not obs.is_striding
+
+    def test_capacity_eviction_lru(self):
+        det = StrideDetector(entries=2)
+        det.observe(1, 0)
+        det.observe(2, 0)
+        det.observe(1, 8)    # touch 1
+        det.observe(3, 0)    # evicts 2
+        assert det.get(2) is None
+        assert det.get(1) is not None
+
+
+class TestWaitingRange:
+    def test_range_recorded_and_detected(self):
+        det = StrideDetector()
+        observations = feed(det, 1, [0, 8, 16])
+        entry = observations[-1].entry
+        det.record_prefetch_range(entry, 16, 16 + 16 * 8)
+        obs = det.observe(1, 24)
+        assert obs.in_waiting_range
+        obs = det.observe(1, 16 + 17 * 8)
+        assert not obs.in_waiting_range
+
+    def test_negative_stride_range(self):
+        det = StrideDetector()
+        observations = feed(det, 1, [800, 792, 784])
+        entry = observations[-1].entry
+        det.record_prefetch_range(entry, 784, 784 - 16 * 8)
+        assert det.observe(1, 776).in_waiting_range
+        assert not det.observe(1, 784 - 17 * 8).in_waiting_range
+
+    def test_no_range_before_first_round(self):
+        det = StrideDetector()
+        observations = feed(det, 1, [0, 8, 16, 24])
+        assert not observations[-1].in_waiting_range
+
+
+class TestEwma:
+    def test_run_end_updates_ewma(self):
+        det = StrideDetector()
+        # 5 addresses: the first pair trains the stride, 3 continuations.
+        feed(det, 1, [0, 8, 16, 24, 32])
+        obs = det.observe(1, 100000)        # discontinuity
+        assert obs.ended_run and obs.run_length == 3
+        assert obs.entry.ewma_trained
+        assert obs.entry.ewma == 3.0        # cold start seeds directly
+
+    def test_ewma_moving_average(self):
+        det = StrideDetector()
+        feed(det, 1, [0, 8, 16, 24, 32])    # run 3 -> ewma 3
+        # Hysteresis keeps stride 8 across the jump, so the second run
+        # counts 11 continuations (100008 onward).
+        feed(det, 1, [100000, 100008] + [100016 + 8 * i for i in range(10)])
+        obs = det.observe(1, 999000)
+        expected = 7 * 3.0 / 8 + 11 / 8
+        assert abs(obs.entry.ewma - expected) < 1e-9
+
+    def test_cap_forces_update(self):
+        det = StrideDetector(ewma_cap=8)
+        observations = feed(det, 1, [i * 8 for i in range(12)])
+        capped = [o for o in observations if o.ended_run]
+        assert capped and capped[0].run_length == 8
+        assert observations[-1].entry.iteration < 8
+
+
+class TestSeenAndLil:
+    def test_clear_seen_except(self):
+        det = StrideDetector()
+        a = det.observe(1, 0).entry
+        b = det.observe(2, 0).entry
+        a.seen = True
+        b.seen = True
+        det.clear_seen_except(1)
+        assert a.seen and not b.seen
+
+    def test_lil_training_confidence(self):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        det.record_lil(entry, 5)      # mismatch with 0 -> replace
+        assert entry.lil_offset == 5 and entry.lil_confidence == 0
+        det.record_lil(entry, 5)
+        det.record_lil(entry, 5)
+        assert entry.lil_confidence == 2
+
+    def test_lil_change_needs_confidence_drain(self):
+        det = StrideDetector()
+        entry = det.observe(1, 0).entry
+        for _ in range(3):
+            det.record_lil(entry, 5)
+        det.record_lil(entry, 9)      # one mismatch: keep old offset
+        assert entry.lil_offset == 5
+        for _ in range(4):
+            det.record_lil(entry, 9)
+        assert entry.lil_offset == 9

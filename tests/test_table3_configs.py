@@ -1,0 +1,72 @@
+"""Table III conformance: the default configurations must encode the
+paper's evaluated machines exactly."""
+
+from repro.cores.base import CoreConfig
+from repro.memory.hierarchy import MemoryConfig
+from repro.svr.config import SVRConfig
+
+
+class TestCoreConfig:
+    def test_width_and_frequency(self):
+        cfg = CoreConfig()
+        assert cfg.width == 3                      # 3 instr/cycle
+        assert cfg.frequency_ghz == 2.0            # 2.0 GHz
+
+    def test_inorder_window(self):
+        assert CoreConfig().scoreboard_entries == 32
+
+    def test_ooo_window(self):
+        cfg = CoreConfig()
+        assert cfg.rob_entries == 32               # same in-flight count
+        assert cfg.lsq_entries == 16
+
+    def test_mispredict_penalty(self):
+        assert CoreConfig().mispredict_penalty == 10.0
+
+
+class TestMemoryConfig:
+    def test_l1(self):
+        cfg = MemoryConfig()
+        assert cfg.l1_size == 64 << 10             # 64 KiB
+        assert cfg.l1_assoc == 4
+        assert cfg.line_bytes == 64
+        assert cfg.l1_mshrs == 16
+
+    def test_l2(self):
+        cfg = MemoryConfig()
+        assert cfg.l2_size == 512 << 10            # 512 KiB
+        assert cfg.l2_assoc == 8
+
+    def test_dram(self):
+        cfg = MemoryConfig()
+        assert cfg.dram_latency_ns == 45.0
+        assert cfg.dram_bandwidth_gbps == 50.0
+
+    def test_tlbs_and_walkers(self):
+        cfg = MemoryConfig()
+        assert cfg.dtlb_entries == 16
+        assert cfg.stlb_entries == 2048
+        assert cfg.page_table_walkers == 4
+
+    def test_stride_prefetcher_on_by_default(self):
+        assert MemoryConfig().stride_prefetcher
+        assert not MemoryConfig().imp_prefetcher
+
+
+class TestSvrConfig:
+    def test_paper_defaults(self):
+        cfg = SVRConfig()
+        assert cfg.vector_length == 16             # N = 16 default
+        assert cfg.srf_entries == 8                # K = 8
+        assert cfg.stride_detector_entries == 32
+        assert cfg.timeout_instructions == 256
+        assert cfg.ewma_cap == 512
+        assert cfg.waiting_mode
+        assert cfg.accuracy_threshold == 0.5
+        assert cfg.accuracy_warmup_events == 100
+
+    def test_tournament_is_default_policy(self):
+        from repro.svr.config import LoopBoundPolicy, RecyclingPolicy
+
+        assert SVRConfig().policy is LoopBoundPolicy.TOURNAMENT
+        assert SVRConfig().recycling is RecyclingPolicy.LRU

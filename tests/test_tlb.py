@@ -1,0 +1,78 @@
+"""Unit tests for the TLB hierarchy and page-table walkers."""
+
+import pytest
+
+from repro.memory.dram import DramModel
+from repro.memory.tlb import PAGE_BYTES, TlbHierarchy
+
+
+def make_tlb(**kwargs):
+    return TlbHierarchy(DramModel(), **kwargs)
+
+
+class TestTranslation:
+    def test_dtlb_hit_is_free(self):
+        tlb = make_tlb()
+        tlb.translate(0x1000, 0.0)          # fill
+        assert tlb.translate(0x1000, 10.0) == 10.0
+
+    def test_same_page_different_offset_hits(self):
+        tlb = make_tlb()
+        tlb.translate(0x1000, 0.0)
+        assert tlb.translate(0x1FF8, 5.0) == 5.0
+
+    def test_first_access_walks(self):
+        tlb = make_tlb()
+        done = tlb.translate(0x1000, 0.0)
+        assert done > 0.0
+        assert tlb.walks == 1
+
+    def test_stlb_refill_cheaper_than_walk(self):
+        tlb = make_tlb(dtlb_entries=1)
+        tlb.translate(0 * PAGE_BYTES, 0.0)
+        tlb.translate(1 * PAGE_BYTES, 0.0)   # evicts page 0 from D-TLB
+        t = tlb.translate(0 * PAGE_BYTES, 1000.0)
+        assert t == pytest.approx(1000.0 + TlbHierarchy.STLB_HIT_CYCLES)
+        assert tlb.stlb_refills == 1
+
+    def test_walker_contention_serialises(self):
+        tlb = make_tlb(walkers=1)
+        t1 = tlb.translate(0 * PAGE_BYTES, 0.0)
+        t2 = tlb.translate(100 * PAGE_BYTES, 0.0)
+        assert t2 > t1
+
+    def test_more_walkers_overlap_walks(self):
+        serial = make_tlb(walkers=1)
+        a = serial.translate(0 * PAGE_BYTES, 0.0)
+        b = serial.translate(100 * PAGE_BYTES, 0.0)
+        serial_done = max(a, b)
+
+        parallel = make_tlb(walkers=4)
+        a = parallel.translate(0 * PAGE_BYTES, 0.0)
+        b = parallel.translate(100 * PAGE_BYTES, 0.0)
+        parallel_done = max(a, b)
+        assert parallel_done < serial_done
+
+    def test_dtlb_capacity_eviction(self):
+        tlb = make_tlb(dtlb_entries=2)
+        for page in range(3):
+            tlb.translate(page * PAGE_BYTES, 0.0)
+        misses_before = tlb.dtlb_misses
+        tlb.translate(0 * PAGE_BYTES, 0.0)    # page 0 was evicted
+        assert tlb.dtlb_misses == misses_before + 1
+
+    def test_lru_keeps_hot_page(self):
+        tlb = make_tlb(dtlb_entries=2)
+        tlb.translate(0 * PAGE_BYTES, 0.0)
+        tlb.translate(1 * PAGE_BYTES, 0.0)
+        tlb.translate(0 * PAGE_BYTES, 0.0)    # touch page 0
+        tlb.translate(2 * PAGE_BYTES, 0.0)    # evicts page 1
+        hits_before = tlb.dtlb_hits
+        tlb.translate(0 * PAGE_BYTES, 0.0)
+        assert tlb.dtlb_hits == hits_before + 1
+
+    def test_walks_share_dram_bandwidth(self):
+        dram = DramModel()
+        tlb = TlbHierarchy(dram, walkers=4)
+        tlb.translate(0, 0.0)
+        assert dram.accesses == 1

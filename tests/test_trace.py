@@ -1,0 +1,85 @@
+"""Tests for the instruction-trace capture facility."""
+
+import pytest
+
+from repro.harness.trace import TraceRecord, capture, render, summarize
+
+
+class TestCapture:
+    def test_captures_requested_count(self):
+        records = capture("Camel", "inorder", scale="tiny", warmup=200,
+                          count=150)
+        assert len(records) == 150
+        assert records[0].index == 0
+
+    def test_issue_times_monotone(self):
+        records = capture("Camel", "inorder", scale="tiny", count=150)
+        issues = [r.issue for r in records]
+        assert all(b >= a for a, b in zip(issues, issues[1:]))
+
+    def test_completion_after_issue(self):
+        records = capture("Camel", "inorder", scale="tiny", count=150)
+        assert all(r.completion >= r.issue for r in records)
+
+    def test_memory_ops_carry_level(self):
+        records = capture("Camel", "inorder", scale="tiny", count=200)
+        loads = [r for r in records if r.op == "ld"]
+        assert loads
+        assert all(r.level in ("l1", "l2", "dram") for r in loads)
+
+    def test_svr_trace_shows_lanes_and_prm(self):
+        records = capture("Camel", "svr16", scale="tiny", count=300)
+        assert sum(r.svi_lanes for r in records) > 0
+        assert any(r.in_prm for r in records)
+
+    def test_plain_core_has_no_svr_activity(self):
+        records = capture("Camel", "inorder", scale="tiny", count=150)
+        assert all(r.svi_lanes == 0 and not r.in_prm for r in records)
+
+    def test_ooo_rejected(self):
+        with pytest.raises(ValueError):
+            capture("Camel", "ooo", scale="tiny")
+
+
+class TestRender:
+    def test_render_contains_all_rows(self):
+        records = capture("Camel", "svr16", scale="tiny", count=40)
+        text = render(records)
+        assert text.count("\n") == 40      # header + one line each
+        assert "#" in text
+
+    def test_render_empty(self):
+        assert "empty" in render([])
+
+    def test_latency_property(self):
+        record = TraceRecord(0, 0, "ld", 10.0, 110.0, "dram", 0, False)
+        assert record.latency == 100.0
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        records = capture("Camel", "svr16", scale="tiny", count=300)
+        summary = summarize(records)
+        assert summary["instructions"] == 300
+        assert summary["memory_ops"] > 0
+        assert summary["svi_lanes"] > 0
+        assert 0.0 <= summary["prm_share"] <= 1.0
+
+    def test_dram_latency_reported_when_missing(self):
+        records = capture("Randacc", "inorder", scale="tiny", count=400)
+        summary = summarize(records)
+        if summary["dram_ops"]:
+            assert summary["mean_dram_latency"] > 50.0
+
+    def test_empty_summary(self):
+        assert summarize([]) == {}
+
+    def test_svr_compresses_dram_time(self):
+        """The whole point: with SVR the same window has fewer demand DRAM
+        round trips."""
+        plain = summarize(capture("Camel", "inorder", scale="tiny",
+                                  warmup=800, count=400))
+        svr = summarize(capture("Camel", "svr16", scale="tiny",
+                                warmup=800, count=400))
+        assert svr["span_cycles"] < plain["span_cycles"]
+        assert svr["dram_ops"] <= plain["dram_ops"]

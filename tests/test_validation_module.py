@@ -1,0 +1,90 @@
+"""Tests for the reference-validator library module."""
+
+import pytest
+
+from repro.cores.functional import FunctionalCore
+from repro.workloads.registry import build_workload
+from repro.workloads.validation import (
+    ValidationError,
+    validate,
+    validate_pr,
+)
+
+
+def complete(name, scale="tiny"):
+    workload = build_workload(name, scale)
+    core = FunctionalCore(workload.program, workload.memory)
+    core.run(30_000_000)
+    assert core.halted
+    return workload
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", ["PR_UR", "BFS_UR", "CC_UR", "SSSP_UR",
+                                      "BC_UR", "NAS-IS", "Kangr", "Randacc"])
+    def test_validates_completed_run(self, name):
+        workload = complete(name)
+        validate(workload)    # must not raise
+
+    def test_unknown_workload_rejected(self):
+        workload = build_workload("Camel", "tiny")
+        with pytest.raises(ValueError, match="no validator"):
+            validate(workload)
+
+    def test_gap_name_dispatch_strips_input(self):
+        workload = complete("PR_KR")
+        validate(workload)    # dispatched via the "PR" kernel prefix
+
+
+class TestDetection:
+    def test_detects_corrupted_pr_scores(self):
+        workload = complete("PR_UR")
+        shift = workload.meta["vertex_shift"]
+        base = workload.meta["scores"]
+        value = workload.memory.read_word(base)
+        workload.memory.write_word(base, value + 1)
+        with pytest.raises(ValidationError, match="PR"):
+            validate_pr(workload)
+
+    def test_detects_unfinished_run(self):
+        """A half-finished kernel fails validation (scores still zero)."""
+        workload = build_workload("PR_UR", "tiny")
+        core = FunctionalCore(workload.program, workload.memory)
+        core.run(500)     # nowhere near completion
+        with pytest.raises(ValidationError):
+            validate(workload)
+
+    def test_detects_corrupted_histogram(self):
+        workload = complete("NAS-IS")
+        base = workload.meta["hist"]
+        workload.memory.write_word(base, 999_999)
+        with pytest.raises(ValidationError):
+            validate(workload)
+
+    def test_detects_corrupted_randacc_table(self):
+        workload = complete("Randacc")
+        base = workload.meta["table"]
+        value = workload.memory.read_word(base + 8)
+        workload.memory.write_word(base + 8, value ^ 0xFF)
+        with pytest.raises(ValidationError):
+            validate(workload)
+
+
+class TestSvrPreservesValidity:
+    """The deepest end-to-end property: a full SVR-simulated run produces
+    exactly the memory image the reference computation demands."""
+
+    @pytest.mark.parametrize("name", ["PR_UR", "NAS-IS", "Kangr"])
+    def test_timing_run_with_svr_validates(self, name):
+        from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy
+        from repro.cores.inorder import InOrderCore
+        from repro.svr.config import SVRConfig
+        from repro.svr.unit import ScalarVectorUnit
+
+        workload = build_workload(name, "tiny")
+        hierarchy = MemoryHierarchy(workload.memory, MemoryConfig())
+        core = InOrderCore(workload.program, workload.memory, hierarchy,
+                           svr=ScalarVectorUnit(SVRConfig()))
+        core.run(5_000_000)
+        assert core.halted
+        validate(workload)

@@ -1,0 +1,84 @@
+"""Tests for the Vector Runahead baseline on the out-of-order core."""
+
+import pytest
+
+from repro.harness.runner import run, technique
+from repro.svr.vr import VectorRunaheadUnit
+
+
+class TestTriggering:
+    def test_vr_fires_on_memory_bound_workload(self):
+        result = run("Camel", "vr64", scale="tiny")
+        assert result.vr is not None
+        assert result.vr.episodes > 0
+        assert result.vr.prefetches > 0
+
+    def test_vr_prefetch_origin_tracked(self):
+        result = run("Camel", "vr64", scale="tiny")
+        assert result.hierarchy.prefetches_issued["vr"] > 0
+
+    def test_no_vr_on_plain_ooo(self):
+        result = run("Camel", "ooo", scale="tiny")
+        assert result.vr is None
+        assert result.hierarchy.prefetches_issued["vr"] == 0
+
+    def test_short_stalls_do_not_trigger(self):
+        """ALU-bound code never fills the window behind a DRAM load."""
+        result = run("namd", "vr64", scale="tiny")
+        assert result.vr.episodes <= 2
+
+    def test_cooldown_limits_episode_rate(self):
+        frequent = VectorRunaheadUnit(cooldown_instructions=1)
+        sparse = VectorRunaheadUnit(cooldown_instructions=1000)
+        assert frequent.cooldown < sparse.cooldown  # config plumbed
+
+
+class TestBehaviour:
+    def test_vr_speeds_up_the_ooo_core(self):
+        """The headline of the VR line of work: big-core runahead wins big
+        on stride-indirect workloads."""
+        plain = run("Camel", "ooo", scale="bench")
+        vr = run("Camel", "vr64", scale="bench")
+        assert vr.cpi < plain.cpi * 0.75
+
+    def test_vr_never_changes_architectural_state(self):
+        plain = run("NAS-IS", "ooo", scale="tiny")
+        vr = run("NAS-IS", "vr64", scale="tiny")
+        # Same committed work over the same window.
+        assert vr.core.instructions == plain.core.instructions
+        assert vr.core.loads == plain.core.loads
+        assert vr.core.branches == plain.core.branches
+
+    def test_transient_instructions_counted(self):
+        result = run("Camel", "vr64", scale="tiny")
+        assert result.vr.transient_instructions >= result.vr.prefetches
+
+    def test_length_bounds_episode_depth(self):
+        short = run("Camel", "vr8", scale="tiny")
+        deep = run("Camel", "vr64", scale="tiny")
+        assert (deep.vr.transient_instructions / max(1, deep.vr.episodes)
+                > short.vr.transient_instructions / max(1, short.vr.episodes))
+
+    def test_vr_preset_parsing(self):
+        assert technique("vr").vr_length == 64
+        assert technique("vr8").vr_length == 8
+        assert technique("vr64").core == "ooo"
+
+
+class TestPaperTradeoff:
+    def test_svr_on_little_core_wins_energy(self):
+        """The paper's pitch, quantified: VR's big-core speed costs energy
+        that SVR's little core does not pay."""
+        for w in ("Camel", "Kangr"):
+            vr = run(w, "vr64", scale="bench")
+            svr = run(w, "svr16", scale="bench")
+            assert (svr.energy_per_instruction_nj
+                    < vr.energy_per_instruction_nj), w
+
+    def test_table1_quantified_structure(self):
+        from repro.harness.experiments import table1_quantified
+
+        out = table1_quantified(workloads=("Camel",), scale="tiny")
+        assert set(out) == {"inorder", "ooo", "vr64", "svr16"}
+        assert out["vr64"]["norm_ipc"] > out["ooo"]["norm_ipc"]
+        assert out["inorder"]["norm_ipc"] == pytest.approx(1.0)

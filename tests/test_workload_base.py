@@ -1,0 +1,98 @@
+"""Tests for the shared kernel-builder helpers."""
+
+import pytest
+
+from repro.cores.functional import FunctionalCore
+from repro.isa.program import ProgramBuilder
+from repro.memory.main_memory import MainMemory
+from repro.workloads.base import (
+    VERTEX_STRIDE_SHIFT,
+    Workload,
+    alloc_vertex_array,
+    emit_vertex_load,
+    emit_vertex_store,
+    emit_word_index_load,
+    emit_word_index_store,
+)
+
+
+def run_snippet(fn):
+    memory = MainMemory(capacity_bytes=1 << 20)
+    b = ProgramBuilder()
+    ctx = fn(b, memory)
+    b.halt()
+    core = FunctionalCore(b.build(), memory)
+    core.run()
+    return core, memory, ctx
+
+
+class TestWordIndexHelpers:
+    def test_load_scales_index_by_word(self):
+        def prog(b, m):
+            base = m.alloc_array([10, 20, 30])
+            b.li("a0", base)
+            b.li("t0", 2)
+            emit_word_index_load(b, "t2", "a0", "t0", "t1")
+            return base
+        core, _, _ = run_snippet(prog)
+        assert core.regs.read(22) == 30
+
+    def test_store_roundtrip(self):
+        def prog(b, m):
+            base = m.alloc_zeros(4)
+            b.li("a0", base)
+            b.li("t0", 3)
+            b.li("t2", 77)
+            emit_word_index_store(b, "t2", "a0", "t0", "t1")
+            return base
+        _, memory, base = run_snippet(prog)
+        assert memory.read_word(base + 24) == 77
+
+
+class TestVertexHelpers:
+    def test_vertex_records_are_64_bytes(self):
+        assert VERTEX_STRIDE_SHIFT == 6
+
+    def test_vertex_load_uses_record_stride(self):
+        def prog(b, m):
+            base = alloc_vertex_array(m, 4, "vd")
+            m.write_word(base + (3 << VERTEX_STRIDE_SHIFT), 1234)
+            b.li("a0", base)
+            b.li("t0", 3)
+            emit_vertex_load(b, "t2", "a0", "t0", "t1")
+            return base
+        core, _, _ = run_snippet(prog)
+        assert core.regs.read(22) == 1234
+
+    def test_vertex_store(self):
+        def prog(b, m):
+            base = alloc_vertex_array(m, 4, "vd")
+            b.li("a0", base)
+            b.li("t0", 2)
+            b.li("t2", 55)
+            emit_vertex_store(b, "t2", "a0", "t0", "t1")
+            return base
+        _, memory, base = run_snippet(prog)
+        assert memory.read_word(base + (2 << VERTEX_STRIDE_SHIFT)) == 55
+
+    def test_alloc_vertex_array_fill(self):
+        memory = MainMemory(capacity_bytes=1 << 20)
+        base = alloc_vertex_array(memory, 8, "vd", fill=7)
+        for v in range(8):
+            assert memory.read_word(base + (v << VERTEX_STRIDE_SHIFT)) == 7
+
+    def test_vertex_records_never_share_cache_lines(self):
+        memory = MainMemory(capacity_bytes=1 << 20)
+        base = alloc_vertex_array(memory, 16, "vd")
+        lines = {(base + (v << VERTEX_STRIDE_SHIFT)) // 64 for v in range(16)}
+        assert len(lines) == 16
+
+
+class TestWorkloadContainer:
+    def test_fresh_copy_not_supported(self):
+        memory = MainMemory(capacity_bytes=1 << 20)
+        b = ProgramBuilder()
+        b.halt()
+        workload = Workload("w", "hpc", b.build(), memory)
+        with pytest.raises(NotImplementedError):
+            workload.fresh_copy()

@@ -1,0 +1,198 @@
+"""Functional-correctness tests for the GAP kernels.
+
+Each kernel runs to completion on a tiny graph under the timing-free
+functional core and is checked against a Python reference implementing the
+same algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cores.functional import FunctionalCore
+from repro.workloads.gap import build_bc, build_bfs, build_cc, build_pr, build_sssp
+from repro.workloads.graphs import uniform_random_graph
+
+MASK64 = (1 << 64) - 1
+
+
+def complete(workload, cap=20_000_000):
+    core = FunctionalCore(workload.program, workload.memory)
+    core.run(cap)
+    assert core.halted, "kernel must reach HALT"
+    return core
+
+
+def vertex_words(workload, base_key, n):
+    shift = workload.meta["vertex_shift"]
+    base = workload.meta[base_key]
+    memory = workload.memory
+    return [memory.read_word(base + (v << shift)) for v in range(n)]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(96, 5, seed=13)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    return uniform_random_graph(96, 5, seed=14, weighted=True)
+
+
+class TestPageRank:
+    def test_scores_match_reference(self, graph):
+        workload = build_pr(graph, passes=1)
+        complete(workload)
+        n = graph.num_nodes
+        contrib = vertex_words(workload, "contrib", n)
+        scores = vertex_words(workload, "scores", n)
+        for u in range(n):
+            expected = sum(contrib[v] for v in graph.out_neighbors(u)) & MASK64
+            assert scores[u] == expected
+
+    def test_multiple_passes_idempotent(self, graph):
+        """contrib is static, so every pass writes the same scores."""
+        one = build_pr(graph, passes=1)
+        complete(one)
+        three = build_pr(graph, passes=3)
+        complete(three)
+        n = graph.num_nodes
+        assert (vertex_words(one, "scores", n)
+                == vertex_words(three, "scores", n))
+
+
+class TestBfs:
+    def reference_reachable(self, graph, root):
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in graph.out_neighbors(u):
+                    if int(v) not in seen:
+                        seen.add(int(v))
+                        nxt.append(int(v))
+            frontier = nxt
+        return seen
+
+    def test_visits_exactly_reachable_set(self, graph):
+        workload = build_bfs(graph, root=0)
+        complete(workload)
+        n = graph.num_nodes
+        parent = vertex_words(workload, "parent", n)
+        sentinel = workload.meta["sentinel"]
+        visited = {v for v in range(n) if parent[v] != sentinel}
+        assert visited == self.reference_reachable(graph, 0)
+
+    def test_parent_edges_valid(self, graph):
+        workload = build_bfs(graph, root=0)
+        complete(workload)
+        n = graph.num_nodes
+        parent = vertex_words(workload, "parent", n)
+        sentinel = workload.meta["sentinel"]
+        for v in range(n):
+            p = parent[v]
+            if p == sentinel or v == 0:
+                continue
+            assert v in graph.out_neighbors(int(p))
+
+    def test_root_is_own_parent(self, graph):
+        workload = build_bfs(graph, root=0)
+        complete(workload)
+        assert vertex_words(workload, "parent", 1)[0] == 0
+
+
+class TestCc:
+    def reference(self, graph, passes):
+        comp = list(range(graph.num_nodes))
+        for _ in range(passes):
+            for u in range(graph.num_nodes):
+                c = comp[u]
+                for v in graph.out_neighbors(u):
+                    c = min(c, comp[int(v)])
+                comp[u] = c
+        return comp
+
+    def test_labels_match_reference(self, graph):
+        workload = build_cc(graph, passes=3)
+        complete(workload)
+        got = vertex_words(workload, "comp", graph.num_nodes)
+        assert got == self.reference(graph, 3)
+
+    def test_labels_only_decrease(self, graph):
+        workload = build_cc(graph, passes=3)
+        complete(workload)
+        got = vertex_words(workload, "comp", graph.num_nodes)
+        assert all(got[v] <= v for v in range(graph.num_nodes))
+
+
+class TestSssp:
+    def reference_dijkstra(self, graph, root):
+        import heapq
+        dist = {root: 0}
+        heap = [(0, root)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            start, end = graph.offsets[u], graph.offsets[u + 1]
+            for idx in range(start, end):
+                v = int(graph.neighbors[idx])
+                nd = d + int(graph.weights[idx])
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def test_distances_match_dijkstra(self, weighted_graph):
+        workload = build_sssp(weighted_graph, root=0)
+        complete(workload)
+        n = weighted_graph.num_nodes
+        got = vertex_words(workload, "dist", n)
+        inf = workload.meta["inf"]
+        expected = self.reference_dijkstra(weighted_graph, 0)
+        for v in range(n):
+            if v in expected:
+                assert got[v] == expected[v], f"node {v}"
+            else:
+                assert got[v] == inf
+
+    def test_requires_weights(self, graph):
+        with pytest.raises(ValueError):
+            build_sssp(graph)
+
+
+class TestBc:
+    def reference(self, graph, root):
+        """Replicates the kernel's integer dependency accumulation."""
+        sentinel = MASK64
+        n = graph.num_nodes
+        depth = [sentinel] * n
+        depth[root] = 0
+        queue = [root]
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            head += 1
+            for v in graph.out_neighbors(u):
+                v = int(v)
+                if depth[v] == sentinel:
+                    depth[v] = depth[u] + 1
+                    queue.append(v)
+        delta = [0] * n
+        for u in reversed(queue):
+            acc = delta[u]
+            for v in graph.out_neighbors(u):
+                v = int(v)
+                if depth[v] == depth[u] + 1:
+                    acc += 1 + delta[v]
+            delta[u] = acc & MASK64
+        return depth, delta
+
+    def test_depths_and_deltas_match(self, graph):
+        workload = build_bc(graph, root=0)
+        complete(workload)
+        n = graph.num_nodes
+        depth, delta = self.reference(graph, 0)
+        assert vertex_words(workload, "depth", n) == depth
+        assert vertex_words(workload, "delta", n) == delta

@@ -1,0 +1,95 @@
+"""Unit tests for CSR graphs and the paper's five input generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    GRAPH_INPUTS,
+    graph_for_input,
+    kronecker_graph,
+    power_law_graph,
+    uniform_random_graph,
+)
+
+
+class TestCsrInvariants:
+    @pytest.mark.parametrize("name", GRAPH_INPUTS)
+    def test_offsets_monotone_and_bounded(self, name):
+        g = graph_for_input(name, "tiny")
+        offsets = g.offsets
+        assert offsets[0] == 0
+        assert np.all(np.diff(offsets) >= 0)
+        assert offsets[-1] == len(g.neighbors)
+
+    @pytest.mark.parametrize("name", GRAPH_INPUTS)
+    def test_neighbors_in_range(self, name):
+        g = graph_for_input(name, "tiny")
+        if len(g.neighbors):
+            assert g.neighbors.min() >= 0
+            assert g.neighbors.max() < g.num_nodes
+
+    @pytest.mark.parametrize("name", GRAPH_INPUTS)
+    def test_no_self_loops(self, name):
+        g = graph_for_input(name, "tiny")
+        for u in range(g.num_nodes):
+            assert u not in g.out_neighbors(u)
+
+    def test_degree_accessor(self):
+        g = uniform_random_graph(64, 4, seed=1)
+        for u in range(g.num_nodes):
+            assert g.degree(u) == len(g.out_neighbors(u))
+
+    def test_weighted_graph_has_positive_weights(self):
+        g = uniform_random_graph(64, 4, seed=1, weighted=True)
+        assert g.weights is not None
+        assert len(g.weights) == g.num_edges
+        assert g.weights.min() >= 1
+
+
+class TestGenerators:
+    def test_uniform_deterministic_by_seed(self):
+        a = uniform_random_graph(128, 4, seed=7)
+        b = uniform_random_graph(128, 4, seed=7)
+        np.testing.assert_array_equal(a.neighbors, b.neighbors)
+
+    def test_different_seeds_differ(self):
+        a = uniform_random_graph(128, 4, seed=7)
+        b = uniform_random_graph(128, 4, seed=8)
+        assert not np.array_equal(a.neighbors, b.neighbors)
+
+    def test_kronecker_size(self):
+        g = kronecker_graph(scale=8, edge_factor=4, seed=2)
+        assert g.num_nodes == 256
+        assert g.num_edges > 0
+
+    def test_kronecker_is_skewed(self):
+        """R-MAT graphs concentrate edges: skew far above uniform."""
+        kron = kronecker_graph(scale=10, edge_factor=8, seed=2)
+        uni = uniform_random_graph(1024, 8, seed=1)
+        assert kron.degree_skew() > uni.degree_skew()
+
+    def test_power_law_skew_parameter_orders(self):
+        """Lower alpha = heavier tail = more skew."""
+        heavy = power_law_graph(1024, 8, alpha=1.9, seed=4, name="h")
+        light = power_law_graph(1024, 8, alpha=2.9, seed=4, name="l")
+        assert heavy.degree_skew() > light.degree_skew()
+
+    def test_surrogate_ordering_matches_real_graphs(self):
+        """TW most skewed; ORK densest (per the real datasets)."""
+        graphs = {n: graph_for_input(n, "tiny") for n in ("LJN", "TW", "ORK")}
+        assert graphs["TW"].degree_skew() >= graphs["LJN"].degree_skew()
+        assert graphs["ORK"].average_degree > graphs["LJN"].average_degree
+
+    def test_scales(self):
+        tiny = graph_for_input("UR", "tiny")
+        bench = graph_for_input("UR", "bench")
+        assert bench.num_nodes > tiny.num_nodes
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            graph_for_input("FACEBOOK")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            graph_for_input("UR", scale="huge")

@@ -1,0 +1,173 @@
+"""Functional-correctness tests for the HPC/DB kernels."""
+
+import numpy as np
+import pytest
+
+from repro.cores.functional import FunctionalCore
+from repro.workloads.base import VERTEX_STRIDE_SHIFT
+from repro.workloads.hpc import (
+    build_camel,
+    build_graph500,
+    build_hj2,
+    build_hj8,
+    build_kangaroo,
+    build_nas_cg,
+    build_nas_is,
+    build_randacc,
+)
+
+MASK64 = (1 << 64) - 1
+
+
+def complete(workload, cap=30_000_000):
+    core = FunctionalCore(workload.program, workload.memory)
+    core.run(cap)
+    assert core.halted
+    return core
+
+
+class TestCamel:
+    def test_two_level_gather_sum(self):
+        workload = build_camel(elements=256, table_nodes=128, repeats=2)
+        complete(workload)
+        meta = workload.meta
+        memory = workload.memory
+        b_vals = meta["b_vals"]
+        expected = 0
+        for _ in range(2):
+            for x in meta["a_vals"]:
+                y = int(b_vals[int(x)])
+                expected += memory.read_word(
+                    meta["c"] + (y << VERTEX_STRIDE_SHIFT))
+        # Kernel stores the sum into A[0].
+        assert memory.read_word(meta["a"]) == expected & MASK64
+
+
+class TestGraph500:
+    def test_levels_match_bfs_depths(self):
+        workload = build_graph500(nodes=96, degree=5)
+        complete(workload)
+        graph = workload.meta["graph"]
+        memory = workload.memory
+        base = workload.meta["level"]
+        sentinel = workload.meta["sentinel"]
+        # Reference BFS depths.
+        depth = {0: 0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in graph.out_neighbors(u):
+                    v = int(v)
+                    if v not in depth:
+                        depth[v] = depth[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        for v in range(graph.num_nodes):
+            got = memory.read_word(base + (v << VERTEX_STRIDE_SHIFT))
+            assert got == depth.get(v, sentinel)
+
+
+class TestHashJoin:
+    @pytest.mark.parametrize("builder,bucket_size", [(build_hj2, 2),
+                                                     (build_hj8, 8)])
+    def test_match_sum_against_reference(self, builder, bucket_size):
+        workload = builder(buckets=256, probes=512)
+        complete(workload)
+        meta = workload.meta
+        table = meta["table_vals"]
+        mask = meta["mask"]
+        mult = meta["hash_mult"]
+        slot_words = meta["slot_words"]
+        bucket_words = bucket_size * slot_words
+        expected = 0
+        for key in meta["probe_vals"]:
+            key = int(key)
+            h = (key * mult) & mask
+            for j in range(bucket_size):
+                slot = h * bucket_words + j * slot_words
+                slot_key = int(table[slot])
+                if slot_key == key:
+                    expected += int(table[slot + 1])
+                    break
+                if slot_key == 0:
+                    break
+        got = workload.memory.read_word(meta["result"])
+        assert got == expected & MASK64
+
+    def test_roughly_half_probes_match(self):
+        workload = build_hj2(buckets=256, probes=512)
+        complete(workload)
+        assert workload.memory.read_word(workload.meta["result"]) > 0
+
+
+class TestHistograms:
+    def test_nas_is_counts(self):
+        workload = build_nas_is(keys=512, bins=1024, repeats=2)
+        complete(workload)
+        meta = workload.meta
+        expected = np.zeros(meta["bins"], dtype=np.int64)
+        for _ in range(2):
+            for key in meta["keys"]:
+                expected[int(key)] += 1
+        got = workload.memory.read_array(meta["hist"], meta["bins"])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_kangaroo_hashed_counts(self):
+        workload = build_kangaroo(keys=512, bins=1024, repeats=1)
+        complete(workload)
+        meta = workload.meta
+        expected = np.zeros(meta["bins"], dtype=np.int64)
+        for key in meta["keys"]:
+            idx = (int(key) * meta["hash_mult"]) & meta["mask"]
+            expected[idx] += 1
+        got = workload.memory.read_array(meta["hist"], meta["bins"])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_is_and_kangaroo_differ(self):
+        """Same shape, different indexing — they must not be aliases."""
+        is_wl = build_nas_is(keys=256, bins=512, repeats=1, seed=5)
+        kg_wl = build_kangaroo(keys=256, bins=512, repeats=1, seed=5)
+        complete(is_wl)
+        complete(kg_wl)
+        a = is_wl.memory.read_array(is_wl.meta["hist"], 512)
+        b = kg_wl.memory.read_array(kg_wl.meta["hist"], 512)
+        assert not np.array_equal(a, b)
+
+
+class TestNasCg:
+    def test_spmv_matches_reference(self):
+        workload = build_nas_cg(nodes=64, degree=4, repeats=1)
+        complete(workload)
+        matrix = workload.meta["matrix"]
+        memory = workload.memory
+        x_base = workload.meta["x"]
+        y_base = workload.meta["y"]
+        for row in range(matrix.num_nodes):
+            acc = 0
+            start, end = matrix.offsets[row], matrix.offsets[row + 1]
+            for idx in range(start, end):
+                col = int(matrix.neighbors[idx])
+                val = int(matrix.weights[idx])
+                x = memory.read_word(x_base + (col << VERTEX_STRIDE_SHIFT))
+                acc = (acc + ((val * x) >> 16)) & MASK64
+            assert memory.read_word(y_base + row * 8) == acc
+
+
+class TestRandacc:
+    def test_xor_updates_match_reference(self):
+        workload = build_randacc(updates=512, table_words=1024, repeats=2)
+        complete(workload)
+        meta = workload.meta
+        expected = np.zeros(meta["table_words"], dtype=np.uint64)
+        for _ in range(2):
+            for r in meta["ran"]:
+                idx = int(r) & meta["mask"]
+                expected[idx] ^= np.uint64(int(r) & MASK64)
+        got = workload.memory.read_array(meta["table"],
+                                         meta["table_words"]).astype(np.uint64)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_power_of_two_table_required(self):
+        with pytest.raises(ValueError):
+            build_randacc(table_words=1000)
