@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Observability tour: capture PRM episodes and export a Perfetto trace.
+
+Runs one workload on SVR-16 with a :class:`repro.obs.RunObservation`
+attached, then shows the three outputs the observability layer gives you
+for free: the run summary, the issued vector-length histogram from the
+metrics registry, and a Chrome trace-event file with every piggyback-
+runahead episode as a zoomable slice (open it at https://ui.perfetto.dev).
+
+Usage::
+
+    python examples/observe_prm.py [workload] [scale] [trace.json]
+
+    workload  any registry name (default Camel) — try PR_KR, BFS_UR, HJ2
+    scale     tiny | bench | default (default bench)
+    output    Chrome trace path (default results/observe_prm.json)
+"""
+
+import sys
+
+from repro import run, technique
+from repro.obs import RunObservation, validate_trace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "Camel"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "bench"
+    out_path = sys.argv[3] if len(sys.argv) > 3 else "results/observe_prm.json"
+
+    obs = RunObservation(chrome_trace=out_path)
+    result = run(workload, technique("svr16"), scale=scale, obs=obs)
+    print(result.summary())
+
+    snapshot = obs.metrics_snapshot()
+    hist = snapshot["svr.prm.vector_length"]
+    print(f"\nissued vector lengths ({hist['count']} PRM rounds, "
+          f"mean {hist['mean']:.1f} lanes):")
+    peak = max(hist["buckets"].values(), default=1)
+    for label, count in hist["buckets"].items():
+        bar = "#" * max(1, round(30 * count / peak))
+        print(f"  {label:<10} {count:>5} {bar}")
+
+    prm_slices = sum(1 for ev in obs.trace.to_dict()["traceEvents"]
+                     if ev.get("cat") == "svr" and ev.get("ph") == "X")
+    problems = validate_trace(obs.trace.to_dict())
+    print(f"\nChrome trace: {out_path} "
+          f"({prm_slices} PRM slices, "
+          f"{'well-formed' if not problems else problems})")
+    print("open it at https://ui.perfetto.dev to zoom into each episode")
+
+
+if __name__ == "__main__":
+    main()

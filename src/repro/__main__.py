@@ -4,13 +4,22 @@ Commands
 --------
 ``list``                          show workloads, techniques and figures
 ``run WORKLOAD TECH [options]``   simulate one pair and print the result
+``stats WORKLOAD [TECH]``         run fully instrumented; print the metric
+                                  registry and the wall-clock self-profile
 ``figure NAME [options]``         regenerate one paper figure
 ``trace WORKLOAD [TECH]``         instruction-level ASCII timeline
 ``overhead [N] [K]``              print the Table II budget
 
+``run`` and ``stats`` accept ``--json`` (print ``SimResult.to_dict()`` as
+JSON), ``--jsonl PATH`` (append a structured run record) and
+``--chrome-trace PATH`` (export a Perfetto-viewable trace); ``figure``
+accepts ``--jsonl PATH``.
+
 Examples::
 
     python -m repro run PR_KR svr16 --scale bench
+    python -m repro run PR_KR svr16 --chrome-trace /tmp/t.json
+    python -m repro stats Camel svr16 --scale tiny
     python -m repro figure fig1 --workloads PR_KR,Camel --scale bench
     python -m repro overhead 128 8
 """
@@ -18,17 +27,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.harness import experiments
 from repro.harness.report import format_series, format_table
 from repro.harness.runner import MAIN_TECHNIQUES, run, technique
 from repro.svr.overhead import overhead_breakdown
-from repro.workloads.registry import (
-    IRREGULAR_WORKLOADS,
-    SPEC_WORKLOADS,
-    workload_names,
-)
+from repro.workloads.registry import IRREGULAR_WORKLOADS, SPEC_WORKLOADS
 
 FIGURES = {
     "fig1": experiments.fig1,
@@ -57,8 +64,26 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _make_obs(args):
+    """Build a RunObservation when any obs flag is set; else None."""
+    jsonl = getattr(args, "jsonl", None)
+    chrome = getattr(args, "chrome_trace", None)
+    if not (jsonl or chrome):
+        return None
+    from repro.obs import RunObservation
+
+    return RunObservation(jsonl=jsonl or None, chrome_trace=chrome or None)
+
+
 def _cmd_run(args) -> int:
-    result = run(args.workload, technique(args.technique), scale=args.scale)
+    obs = _make_obs(args)
+    result = run(args.workload, technique(args.technique), scale=args.scale,
+                 obs=obs)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True,
+                         default=str))
+        _report_obs_outputs(args)
+        return 0
     print(f"workload   {result.workload}")
     print(f"technique  {result.technique}")
     print(f"instructions {result.core.instructions}")
@@ -77,6 +102,54 @@ def _cmd_run(args) -> int:
                                 key=lambda kv: -kv[1]):
         if value > 0.001:
             print(f"  {bucket:<10} {value:6.3f}")
+    _report_obs_outputs(args)
+    return 0
+
+
+def _report_obs_outputs(args) -> None:
+    if getattr(args, "chrome_trace", None):
+        print(f"chrome trace written to {args.chrome_trace} "
+              "(open in https://ui.perfetto.dev)", file=sys.stderr)
+    if getattr(args, "jsonl", None):
+        print(f"run record appended to {args.jsonl}", file=sys.stderr)
+
+
+def _render_histogram(name: str, hist: dict, indent: str = "  ") -> str:
+    lines = [f"{name}  count={hist['count']} mean={hist['mean']:.2f} "
+             f"min={hist['min']} max={hist['max']}"]
+    buckets = hist["buckets"]
+    peak = max(buckets.values(), default=1)
+    for label, count in buckets.items():
+        bar = "#" * max(1, round(24 * count / peak))
+        lines.append(f"{indent}{label:<16} {count:>8} {bar}")
+    return "\n".join(lines)
+
+
+def _cmd_stats(args) -> int:
+    from repro.obs import RunObservation
+
+    obs = RunObservation(jsonl=args.jsonl or None,
+                         chrome_trace=args.chrome_trace or None)
+    result = run(args.workload, technique(args.technique), scale=args.scale,
+                 obs=obs)
+    if args.json:
+        print(json.dumps(obs.record, indent=2, sort_keys=True, default=str))
+        _report_obs_outputs(args)
+        return 0
+    print(result.summary())
+    snapshot = obs.metrics_snapshot()
+    counters = {k: v for k, v in snapshot.items() if not isinstance(v, dict)}
+    histograms = {k: v for k, v in snapshot.items() if isinstance(v, dict)}
+    print("\ncounters:")
+    for name, value in counters.items():
+        print(f"  {name:<36} {value}")
+    print("\nhistograms (log2 buckets):")
+    for name, hist in histograms.items():
+        print("  " + _render_histogram(name, hist, indent="    "))
+    print("\nwall-clock self-profile (seconds):")
+    for section, seconds in obs.profile.snapshot().items():
+        print(f"  {section:<12} {seconds:.3f}")
+    _report_obs_outputs(args)
     return 0
 
 
@@ -93,7 +166,15 @@ def _cmd_figure(args) -> int:
                                         "fig16", "fig17", "fig18",
                                         "table1"):
         kwargs["workloads"] = tuple(args.workloads.split(","))
+    start = time.perf_counter()
     out = fn(**kwargs)
+    elapsed = time.perf_counter() - start
+    if args.jsonl:
+        from repro.obs import RunLog, make_record
+
+        RunLog(args.jsonl).append(make_record(
+            "figure", name=args.name, arguments=kwargs, output=out,
+            profile={"figure": round(elapsed, 6)}))
     first = next(iter(out.values()))
     if isinstance(first, dict):
         inner = next(iter(first.values()))
@@ -152,11 +233,28 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="show workloads, techniques and figures")
 
+    def _obs_flags(p) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="print machine-readable JSON instead of text")
+        p.add_argument("--jsonl", default="", metavar="PATH",
+                       help="append a structured run record to PATH")
+        p.add_argument("--chrome-trace", default="", metavar="PATH",
+                       help="export a Perfetto-viewable Chrome trace")
+
     run_p = sub.add_parser("run", help="simulate one workload/technique")
     run_p.add_argument("workload")
     run_p.add_argument("technique")
     run_p.add_argument("--scale", default="bench",
                        choices=("tiny", "bench", "default"))
+    _obs_flags(run_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="instrumented run: metric registry + self-profile")
+    stats_p.add_argument("workload")
+    stats_p.add_argument("technique", nargs="?", default="svr16")
+    stats_p.add_argument("--scale", default="bench",
+                         choices=("tiny", "bench", "default"))
+    _obs_flags(stats_p)
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
     fig_p.add_argument("name")
@@ -164,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
                        choices=("tiny", "bench", "default"))
     fig_p.add_argument("--workloads", default="",
                        help="comma-separated subset")
+    fig_p.add_argument("--jsonl", default="", metavar="PATH",
+                       help="append the figure output as a JSONL record")
 
     trace_p = sub.add_parser("trace", help="instruction-level timeline")
     trace_p.add_argument("workload")
@@ -178,8 +278,9 @@ def main(argv: list[str] | None = None) -> int:
     ovh_p.add_argument("k", nargs="?", type=int, default=8)
 
     args = parser.parse_args(argv)
-    handlers = {"list": _cmd_list, "run": _cmd_run, "figure": _cmd_figure,
-                "trace": _cmd_trace, "overhead": _cmd_overhead}
+    handlers = {"list": _cmd_list, "run": _cmd_run, "stats": _cmd_stats,
+                "figure": _cmd_figure, "trace": _cmd_trace,
+                "overhead": _cmd_overhead}
     return handlers[args.command](args)
 
 

@@ -27,6 +27,7 @@ from repro.cores.base import (
 from repro.isa.executor import execute
 from repro.isa.instructions import OpClass, Opcode
 from repro.isa.registers import NUM_REGS, RegisterFile
+from repro.obs.probes import default_bus
 
 
 class InOrderCore:
@@ -35,10 +36,12 @@ class InOrderCore:
     kind = "inorder"
 
     def __init__(self, program, memory, hierarchy, config: CoreConfig | None = None,
-                 svr=None) -> None:
+                 svr=None, bus=None) -> None:
         self.program = program
         self.memory = memory
         self.hierarchy = hierarchy
+        self.bus = bus if bus is not None else default_bus()
+        self._p_commit = self.bus.probe("core.commit")
         self.config = config or CoreConfig()
         self.regs = RegisterFile()
         self.predictor = HybridBranchPredictor(
@@ -170,6 +173,11 @@ class InOrderCore:
 
         if self.svr is not None and not self.halted:
             self.svr.after_issue(self.pc, inst, issue, result, outcome)
+        if self._p_commit.enabled:
+            self._p_commit.emit(
+                pc=self.pc, op=inst.op.value, opclass=opclass.name,
+                issue=issue, completion=completion,
+                level=outcome.level if outcome is not None else None)
         if self.trace is not None:
             self.trace(self.pc, inst, issue, completion, outcome)
 

@@ -34,6 +34,7 @@ from repro.cores.base import (
 from repro.isa.executor import execute
 from repro.isa.instructions import OpClass, Opcode
 from repro.isa.registers import NUM_REGS, RegisterFile
+from repro.obs.probes import default_bus
 
 
 class OutOfOrderCore:
@@ -42,10 +43,14 @@ class OutOfOrderCore:
     kind = "ooo"
 
     def __init__(self, program, memory, hierarchy,
-                 config: CoreConfig | None = None, vr=None) -> None:
+                 config: CoreConfig | None = None, vr=None,
+                 bus=None) -> None:
         self.program = program
         self.memory = memory
         self.hierarchy = hierarchy
+        self.bus = bus if bus is not None else default_bus()
+        self._p_commit = self.bus.probe("core.commit")
+        self._p_window = self.bus.probe("core.window_stall")
         # Optional Vector-Runahead unit (repro.svr.vr), triggered on
         # full-window stalls.
         self.vr = vr
@@ -99,6 +104,9 @@ class OutOfOrderCore:
             release = self._rob.popleft()
             if release > dispatch_earliest:
                 # Full-window stall: the VR trigger condition.
+                if self._p_window.enabled:
+                    self._p_window.emit(pc=self.pc, time=dispatch_earliest,
+                                        cycles=release - dispatch_earliest)
                 if self.vr is not None:
                     self.vr.on_window_stall(self.pc, dispatch_earliest,
                                             release - dispatch_earliest,
@@ -183,6 +191,11 @@ class OutOfOrderCore:
         self._index += 1
         if commit + 1.0 > stats.end_cycle:
             stats.end_cycle = commit + 1.0
+        if self._p_commit.enabled:
+            self._p_commit.emit(
+                pc=self.pc, op=inst.op.value, opclass=opclass.name,
+                issue=exec_start, completion=completion,
+                level=level if opclass is OpClass.LOAD else None)
 
         self.pc = result.next_pc
         return not self.halted

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cores.base import CoreConfig
 from repro.cores.inorder import InOrderCore
 from repro.isa.program import ProgramBuilder
 from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy

@@ -8,14 +8,13 @@ runtime.  The full-suite defaults regenerate the complete figures.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.harness.report import harmonic_mean
 from repro.harness.runner import MAIN_TECHNIQUES, SimResult, run, technique
 from repro.svr.config import LoopBoundPolicy, RecyclingPolicy
 from repro.svr.overhead import overhead_bits, overhead_kib
 from repro.workloads.registry import (
-    GAP_KERNELS,
     HPC_WORKLOADS,
     IRREGULAR_WORKLOADS,
     SPEC_WORKLOADS,

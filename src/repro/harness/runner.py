@@ -10,7 +10,8 @@ energy numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from contextlib import nullcontext
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
 from repro.cores.base import CoreConfig, CoreStats
@@ -47,6 +48,14 @@ class TechniqueConfig:
         if self.svr is None:
             raise ValueError(f"{self.name} has no SVR to override")
         return replace(self, svr=replace(self.svr, **overrides))
+
+    def to_dict(self) -> dict:
+        """JSON-ready export of the full configuration (run-log records)."""
+        out = asdict(self)
+        if self.svr is not None:
+            out["svr"]["policy"] = self.svr.policy.name
+            out["svr"]["recycling"] = self.svr.recycling.name
+        return out
 
 
 def technique(name: str, **svr_overrides: Any) -> TechniqueConfig:
@@ -157,10 +166,12 @@ class SimResult:
             f"branch accuracy {self.branch_accuracy:.1%}",
         ]
         if self.svr is not None:
+            accuracy = ("n/a" if self.svr_accuracy is None
+                        else f"{self.svr_accuracy:.1%}")
             lines.append(
                 f"  SVR: {self.svr.prm_rounds} rounds, "
                 f"{self.svr.svi_lanes} SVI lanes, "
-                f"accuracy {self.svr_accuracy:.1%}")
+                f"accuracy {accuracy}")
         stack = ", ".join(f"{k}={v:.2f}" for k, v in self.cpi_stack().items()
                           if v > 0.005)
         lines.append(f"  CPI stack: {stack}")
@@ -174,41 +185,60 @@ _WINDOWS = {"tiny": (1_000, 4_000), "bench": (8_000, 25_000),
 
 def run(workload: str | Workload, tech: TechniqueConfig | str,
         scale: str = "bench", warmup: int | None = None,
-        measure: int | None = None) -> SimResult:
-    """Simulate one (workload, technique) pair and return its result."""
+        measure: int | None = None, obs=None) -> SimResult:
+    """Simulate one (workload, technique) pair and return its result.
+
+    Pass a :class:`repro.obs.RunObservation` as *obs* to instrument the
+    run: components emit on the observation's private probe bus, metric /
+    trace collectors attach when the measured window starts (warmup stays
+    unobserved, matching the stats), and the observation's JSONL record /
+    Chrome trace are finalised before returning.
+    """
     if isinstance(tech, str):
         tech = technique(tech)
-    if isinstance(workload, str):
-        workload = build_workload(workload, scale)
-    default_warmup, default_measure = _WINDOWS.get(scale, _WINDOWS["bench"])
-    warmup = default_warmup if warmup is None else warmup
-    measure = default_measure if measure is None else measure
 
-    hierarchy = MemoryHierarchy(workload.memory, tech.memory)
-    svr_unit = None
-    if tech.core == "inorder":
-        if tech.svr is not None:
-            svr_unit = ScalarVectorUnit(tech.svr)
-        core = InOrderCore(workload.program, workload.memory, hierarchy,
-                           tech.core_config, svr=svr_unit)
-    elif tech.core == "ooo":
-        vr_unit = (VectorRunaheadUnit(tech.vr_length)
-                   if tech.vr_length is not None else None)
-        core = OutOfOrderCore(workload.program, workload.memory, hierarchy,
-                              tech.core_config, vr=vr_unit)
-    else:
-        raise ValueError(f"unknown core kind: {tech.core!r}")
+    def _section(name: str):
+        return obs.section(name) if obs is not None else nullcontext()
+
+    bus = obs.bus if obs is not None else None
+    with _section("build"):
+        if isinstance(workload, str):
+            workload = build_workload(workload, scale)
+        default_warmup, default_measure = _WINDOWS.get(scale,
+                                                       _WINDOWS["bench"])
+        warmup = default_warmup if warmup is None else warmup
+        measure = default_measure if measure is None else measure
+
+        hierarchy = MemoryHierarchy(workload.memory, tech.memory, bus=bus)
+        svr_unit = None
+        if tech.core == "inorder":
+            if tech.svr is not None:
+                svr_unit = ScalarVectorUnit(tech.svr, bus=bus)
+            core = InOrderCore(workload.program, workload.memory, hierarchy,
+                               tech.core_config, svr=svr_unit, bus=bus)
+        elif tech.core == "ooo":
+            vr_unit = (VectorRunaheadUnit(tech.vr_length)
+                       if tech.vr_length is not None else None)
+            core = OutOfOrderCore(workload.program, workload.memory,
+                                  hierarchy, tech.core_config, vr=vr_unit,
+                                  bus=bus)
+        else:
+            raise ValueError(f"unknown core kind: {tech.core!r}")
 
     vr_unit = getattr(core, "vr", None)
-    if warmup > 0:
-        core.run(warmup)
+    with _section("warmup"):
+        if warmup > 0:
+            core.run(warmup)
     core.reset_stats()
     hierarchy.reset_stats()
     if svr_unit is not None:
         svr_unit.reset_stats()
     if vr_unit is not None:
         vr_unit.reset_stats()
-    core.run(measure)
+    if obs is not None:
+        obs.begin_measure()
+    with _section("measure"):
+        core.run(measure)
 
     stats = core.stats
     hstats = hierarchy.stats
@@ -236,7 +266,7 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
         imp_prefetches=hstats.prefetches_issued["imp"],
         imp_enabled=tech.memory.imp_prefetcher,
     )
-    return SimResult(
+    result = SimResult(
         workload=workload.name,
         technique=tech.name,
         core=stats,
@@ -248,3 +278,11 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
         dram_lines=hierarchy.dram.accesses,
         svr_accuracy=hstats.accuracy("svr") if svr_unit is not None else None,
     )
+    if obs is not None:
+        obs.end_measure()
+        obs.finalize(
+            {"workload": workload.name, "technique": tech.name,
+             "scale": scale, "warmup": warmup, "measure": measure,
+             "config": tech.to_dict()},
+            result=result)
+    return result

@@ -6,6 +6,13 @@ completion time, the memory level that served it, and the SVR activity it
 triggered.  ``render`` turns a window of records into a readable timeline,
 which is how the examples and docs illustrate where SVR's overlap comes
 from.
+
+Since the observability layer landed this module is a thin renderer over
+the probe bus (:mod:`repro.obs.probes`): records are assembled from
+``core.commit`` / ``svr.svi`` / ``svr.prm_enter`` / ``svr.prm_exit``
+events on a private bus rather than from a core-specific callback.  For
+timeline views beyond ASCII — any core, every component, zoomable — use
+the Chrome-trace exporter (:mod:`repro.obs.export`) instead.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from dataclasses import dataclass
 from repro.cores.inorder import InOrderCore
 from repro.harness.runner import TechniqueConfig, technique
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.probes import ProbeBus
 from repro.svr.unit import ScalarVectorUnit
 from repro.workloads.registry import build_workload
 
@@ -46,31 +54,48 @@ def capture(workload_name: str, tech: TechniqueConfig | str = "svr16",
     if tech.core != "inorder":
         raise ValueError("tracing supports the in-order core only")
     workload = build_workload(workload_name, scale)
-    hierarchy = MemoryHierarchy(workload.memory, tech.memory)
-    svr = ScalarVectorUnit(tech.svr) if tech.svr is not None else None
+    bus = ProbeBus()
+    hierarchy = MemoryHierarchy(workload.memory, tech.memory, bus=bus)
+    svr = (ScalarVectorUnit(tech.svr, bus=bus)
+           if tech.svr is not None else None)
     core = InOrderCore(workload.program, workload.memory, hierarchy,
-                       tech.core_config, svr=svr)
+                       tech.core_config, svr=svr, bus=bus)
     core.run(warmup)
 
     records: list[TraceRecord] = []
-    lanes_before = [svr.stats.svi_lanes if svr else 0]
+    # SVI / PRM state accumulated between commits; the SVR unit emits its
+    # events *before* the core's commit event for the same instruction.
+    state = {"lanes": 0, "in_prm": False}
 
-    def observer(pc, inst, issue, completion, outcome):
-        lanes_now = svr.stats.svi_lanes if svr else 0
+    def on_svi(_name, ev):
+        state["lanes"] += ev["lanes"]
+
+    def on_prm_enter(_name, _ev):
+        state["in_prm"] = True
+
+    def on_prm_exit(_name, _ev):
+        state["in_prm"] = False
+
+    def on_commit(_name, ev):
         records.append(TraceRecord(
             index=len(records),
-            pc=pc,
-            op=inst.op.value,
-            issue=issue,
-            completion=completion,
-            level=outcome.level if outcome is not None else None,
-            svi_lanes=lanes_now - lanes_before[0],
-            in_prm=bool(svr.in_prm) if svr else False,
+            pc=ev["pc"],
+            op=ev["op"],
+            issue=ev["issue"],
+            completion=ev["completion"],
+            level=ev["level"],
+            svi_lanes=state["lanes"],
+            in_prm=state["in_prm"],
         ))
-        lanes_before[0] = lanes_now
+        state["lanes"] = 0
 
-    core.trace = observer
+    subs = [bus.subscribe("svr.svi", on_svi),
+            bus.subscribe("svr.prm_enter", on_prm_enter),
+            bus.subscribe("svr.prm_exit", on_prm_exit),
+            bus.subscribe("core.commit", on_commit)]
     core.run(count)
+    for sub in subs:
+        sub.cancel()
     return records
 
 
@@ -84,8 +109,9 @@ def render(records: list[TraceRecord], width: int = 60) -> str:
     lines = [f"cycles {start:.0f}..{end:.0f} "
              f"({span:.0f} cycles, {len(records)} instructions)"]
     for r in records:
-        left = int((r.issue - start) / span * width)
-        right = max(left + 1, int((r.completion - start) / span * width))
+        left = min(int((r.issue - start) / span * width), width - 1)
+        right = max(left + 1,
+                    min(int((r.completion - start) / span * width), width))
         bar = " " * left + "#" * (right - left)
         level = r.level or ""
         svr_mark = f" +{r.svi_lanes}sv" if r.svi_lanes else ""

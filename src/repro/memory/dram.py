@@ -53,6 +53,8 @@ class DramModel:
         self._newest = 0.0
         self.accesses = 0
         self.busy_cycles = 0.0
+        # Optional obs probe ("dram.access"), wired by the hierarchy.
+        self.probe = None
 
     def _prune(self) -> None:
         cutoff = self._newest - _PRUNE_HORIZON
@@ -88,7 +90,10 @@ class DramModel:
         self._prune()
         self.accesses += 1
         self.busy_cycles += need
-        return start + self.latency_cycles
+        completion = start + self.latency_cycles
+        if self.probe is not None and self.probe.enabled:
+            self.probe.emit(time=time, start=start, completion=completion)
+        return completion
 
     def utilisation(self, elapsed_cycles: float) -> float:
         """Fraction of *elapsed_cycles* the memory pipe was busy."""

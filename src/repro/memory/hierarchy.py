@@ -22,6 +22,7 @@ from repro.memory.dram import DramModel
 from repro.memory.imp import IndirectMemoryPrefetcher
 from repro.memory.stride_prefetcher import StridePrefetcher
 from repro.memory.tlb import TlbHierarchy
+from repro.obs.probes import default_bus
 
 PREFETCH_ORIGINS = ("stride", "imp", "svr", "vr")
 
@@ -124,17 +125,26 @@ class _ImpHook(PrefetcherHook):
 class MemoryHierarchy:
     """Timed L1/L2/DRAM with MSHRs, TLBs and attached prefetchers."""
 
-    def __init__(self, memory, config: MemoryConfig | None = None) -> None:
+    def __init__(self, memory, config: MemoryConfig | None = None,
+                 bus=None) -> None:
         self.config = config or MemoryConfig()
         cfg = self.config
         self.memory = memory
+        self.bus = bus if bus is not None else default_bus()
+        self._p_load = self.bus.probe("mem.load")
+        self._p_store = self.bus.probe("mem.store")
+        self._p_prefetch = self.bus.probe("mem.prefetch")
+        self._p_useful = self.bus.probe("mem.pf_useful")
+        self._p_useless = self.bus.probe("mem.pf_useless")
         self.l1 = Cache("L1-D", cfg.l1_size, cfg.l1_assoc, cfg.line_bytes)
         self.l2 = Cache("L2", cfg.l2_size, cfg.l2_assoc, cfg.line_bytes)
         self.mshrs = MshrPool(cfg.l1_mshrs)
         self.dram = DramModel(cfg.dram_latency_ns, cfg.dram_bandwidth_gbps,
                               cfg.frequency_ghz, cfg.line_bytes)
+        self.dram.probe = self.bus.probe("dram.access")
         self.tlb = TlbHierarchy(self.dram, cfg.dtlb_entries,
                                 cfg.stlb_entries, cfg.page_table_walkers)
+        self.tlb.probe_walk = self.bus.probe("tlb.walk")
         self.stride_pf = (StridePrefetcher(degree=cfg.stride_degree,
                                            line_bytes=cfg.line_bytes)
                           if cfg.stride_prefetcher else None)
@@ -176,6 +186,8 @@ class MemoryHierarchy:
         if origin is not None:
             self.stats.prefetch_useful[origin] += 1
             outcome.prefetch_hit = True
+            if self._p_useful.enabled:
+                self._p_useful.emit(origin=origin, line=line)
             if self.accuracy_listener is not None:
                 self.accuracy_listener.on_useful(origin)
 
@@ -186,6 +198,8 @@ class MemoryHierarchy:
         origin = self._pf_outstanding.pop(victim_line, None)
         if origin is not None:
             self.stats.prefetch_useless[origin] += 1
+            if self._p_useless.enabled:
+                self._p_useless.emit(origin=origin, line=victim_line)
             if self.accuracy_listener is not None:
                 self.accuracy_listener.on_useless(origin)
 
@@ -282,6 +296,11 @@ class MemoryHierarchy:
             self.stats.l2_load_hits += 1
         else:
             self.stats.dram_loads += 1
+        if self._p_load.enabled:
+            self._p_load.emit(addr=addr, pc=pc, time=time,
+                              level=outcome.level,
+                              completion=outcome.completion,
+                              latency=outcome.completion - time)
 
         if self._hooks:
             value = None
@@ -300,6 +319,11 @@ class MemoryHierarchy:
         outcome = self._access(addr, time, pc, is_store=True,
                                prefetched=False, origin="", drop_on_full=False)
         assert outcome is not None
+        if self._p_store.enabled:
+            self._p_store.emit(addr=addr, pc=pc, time=time,
+                               level=outcome.level,
+                               completion=outcome.completion,
+                               latency=outcome.completion - time)
         return outcome
 
     def prefetch(self, addr: int, time: float, origin: str,
@@ -315,4 +339,9 @@ class MemoryHierarchy:
         self.stats.prefetches_issued[origin] += 1
         outcome = self._access(addr, time, 0, is_store=False, prefetched=True,
                                origin=origin, drop_on_full=drop_on_full)
+        if self._p_prefetch.enabled:
+            self._p_prefetch.emit(
+                addr=addr, origin=origin, time=time,
+                dropped=outcome is None,
+                completion=None if outcome is None else outcome.completion)
         return None if outcome is None else outcome.completion

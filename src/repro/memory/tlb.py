@@ -53,6 +53,8 @@ class TlbHierarchy:
         self._walker_free = [0.0] * max(1, walkers)
         self.walks = 0
         self.stlb_refills = 0
+        # Optional obs probe ("tlb.walk"), wired by the hierarchy.
+        self.probe_walk = None
 
     @property
     def walkers(self) -> int:
@@ -78,6 +80,8 @@ class TlbHierarchy:
         self._stlb.fill(page)
         self._dtlb.fill(page)
         self.walks += 1
+        if self.probe_walk is not None and self.probe_walk.enabled:
+            self.probe_walk.emit(page=page, time=time, completion=done)
         return done
 
     @property

@@ -1,0 +1,127 @@
+"""Simulator-wide observability: probe bus, metrics, run logs, traces.
+
+The four pieces (design rationale in ``docs/observability.md``):
+
+* :mod:`repro.obs.probes`  — named probe points with near-zero-cost no-op
+  dispatch when nothing subscribes;
+* :mod:`repro.obs.metrics` — hierarchical counters / gauges / log2
+  histograms that subscribe to probes and snapshot to plain dicts;
+* :mod:`repro.obs.runlog`  — JSONL run records plus a wall-clock
+  self-profile of the simulator itself;
+* :mod:`repro.obs.export`  — Chrome trace-event JSON for Perfetto.
+
+:class:`RunObservation` bundles them for one simulator run and is what
+``harness.runner.run(..., obs=...)`` and the CLI flags
+(``--jsonl`` / ``--chrome-trace``, ``python -m repro stats``) drive.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.export import ChromeTraceBuilder, validate_trace
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    install_standard_metrics,
+)
+from repro.obs.probes import Probe, ProbeBus, Subscription, default_bus
+from repro.obs.runlog import (
+    RunLog,
+    SelfProfile,
+    make_record,
+    session_log_path,
+)
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Probe",
+    "ProbeBus",
+    "RunLog",
+    "RunObservation",
+    "SelfProfile",
+    "Subscription",
+    "default_bus",
+    "install_standard_metrics",
+    "make_record",
+    "session_log_path",
+    "validate_trace",
+]
+
+
+class RunObservation:
+    """Observability bundle for one simulator run.
+
+    Create one, pass it to :func:`repro.harness.runner.run` via ``obs=``;
+    the runner wires its private probe bus into every component, attaches
+    the collectors when the *measured* window starts (warmup stays
+    unobserved, matching the stats windows), and finalises outputs when
+    the run ends.  After the run::
+
+        obs.metrics_snapshot()   # deterministic metric dict
+        obs.record               # the JSONL record that was (or would be)
+                                 # appended
+    """
+
+    def __init__(self, *, metrics: bool = True,
+                 chrome_trace: str | None = None,
+                 jsonl: str | None = None,
+                 include_commits: bool = False) -> None:
+        self.bus = ProbeBus()
+        self.registry = MetricsRegistry() if metrics else None
+        self.chrome_trace_path = chrome_trace
+        self.trace = (ChromeTraceBuilder(include_commits=include_commits)
+                      if chrome_trace is not None else None)
+        self.jsonl_path = jsonl
+        self.profile = SelfProfile()
+        self.record: dict[str, Any] | None = None
+        self._subs: list[Subscription] = []
+        self._attached = False
+
+    def section(self, name: str):
+        """Wall-clock profiling context for one simulator phase."""
+        return self.profile.section(name)
+
+    def begin_measure(self) -> None:
+        """Attach collectors; called by the runner after warmup."""
+        if self._attached:
+            return
+        self._attached = True
+        if self.registry is not None:
+            self._subs = install_standard_metrics(self.bus, self.registry)
+        if self.trace is not None:
+            self.trace.attach(self.bus)
+
+    def end_measure(self) -> None:
+        for sub in self._subs:
+            sub.cancel()
+        self._subs = []
+        if self.trace is not None:
+            self.trace.detach()
+        self._attached = False
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        return self.registry.snapshot() if self.registry is not None else {}
+
+    def finalize(self, context: dict[str, Any],
+                 result: Any = None) -> dict[str, Any]:
+        """Build the run record and write any requested outputs."""
+        if self.trace is not None and self.chrome_trace_path is not None:
+            self.trace.write(self.chrome_trace_path)
+        record = make_record(
+            "run",
+            **context,
+            result=(result.to_dict() if result is not None else None),
+            metrics=self.metrics_snapshot(),
+            profile=self.profile.snapshot(),
+        )
+        if self.jsonl_path is not None:
+            RunLog(self.jsonl_path).append(record)
+        self.record = record
+        return record

@@ -1,0 +1,219 @@
+"""Chrome trace-event export: probe streams → Perfetto-viewable JSON.
+
+Subscribes to the probe bus and renders simulated time onto the Chrome
+trace-event timeline (open the output at https://ui.perfetto.dev or in
+``chrome://tracing``).  One simulated cycle is rendered as one
+microsecond of trace time.
+
+Mapping
+-------
+* ``svr.prm_enter`` / ``svr.prm_exit``   → complete slices (``ph: "X"``)
+  on the *svr* track: one slice per piggyback-runahead episode, named by
+  its termination cause, with lane count / HSLR PC in ``args``;
+* ``dram.access``                        → async begin/end pairs
+  (``ph: "b"`` / ``"e"``) on the *dram* track, so overlapping line fills
+  are visible as stacked arcs;
+* ``mem.load`` at DRAM level             → complete slices on the
+  *memory* track (demand misses, the thing SVR exists to overlap);
+* ``svr.svi``                            → instant events (``ph: "i"``)
+  marking where transient lanes are generated;
+* ``core.commit`` (off by default)       → per-instruction slices on the
+  *core* track, for microscopic single-loop views.
+
+Unlike the ASCII renderer in :mod:`repro.harness.trace` (now a thin
+consumer of the same bus), this works for every core model and every
+component that emits probes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.probes import ProbeBus, Subscription
+
+# Trace-time scale: one simulated cycle rendered as one microsecond.
+TICKS_PER_CYCLE = 1.0
+
+_PID = 1
+_TRACKS = {
+    "core": 1,
+    "svr": 2,
+    "memory": 3,
+    "dram": 4,
+    "tlb": 5,
+}
+
+
+class ChromeTraceBuilder:
+    """Collects trace events from a probe bus; writes trace-event JSON."""
+
+    def __init__(self, *, include_memory: bool = True,
+                 include_commits: bool = False,
+                 max_events: int = 500_000) -> None:
+        self.include_memory = include_memory
+        self.include_commits = include_commits
+        self.max_events = max_events
+        self.events: list[dict[str, Any]] = []
+        self.dropped = 0
+        self._subs: list[Subscription] = []
+        self._dram_seq = 0
+        self._prm_open: tuple[float, dict[str, Any]] | None = None
+        self._max_ts = 0.0
+
+    # -- collection ---------------------------------------------------------
+
+    def _push(self, event: dict[str, Any]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    def _note_ts(self, ts: float) -> None:
+        if ts > self._max_ts:
+            self._max_ts = ts
+
+    def attach(self, bus: ProbeBus) -> None:
+        """Subscribe to the probes this exporter renders."""
+        wiring: dict[str, Any] = {
+            "svr.prm_enter": self._on_prm_enter,
+            "svr.prm_exit": self._on_prm_exit,
+            "dram.access": self._on_dram,
+            "svr.svi": self._on_svi,
+        }
+        if self.include_memory:
+            wiring["mem.load"] = self._on_load
+        if self.include_commits:
+            wiring["core.commit"] = self._on_commit
+        self._subs = [bus.subscribe(name, fn)
+                      for name, fn in wiring.items()]
+
+    def detach(self) -> None:
+        for sub in self._subs:
+            sub.cancel()
+        self._subs = []
+
+    def _on_prm_enter(self, _name: str, ev: dict) -> None:
+        ts = ev["time"] * TICKS_PER_CYCLE
+        self._note_ts(ts)
+        self._prm_open = (ts, {"pc": ev["pc"], "length": ev["length"],
+                               "stride": ev.get("stride")})
+
+    def _on_prm_exit(self, _name: str, ev: dict) -> None:
+        ts = ev["time"] * TICKS_PER_CYCLE
+        self._note_ts(ts)
+        if self._prm_open is None:
+            return  # episode opened before this exporter attached
+        start, args = self._prm_open
+        self._prm_open = None
+        args = dict(args, cause=ev["cause"],
+                    instructions=ev.get("instructions"))
+        self._push({"name": f"PRM ({ev['cause']})", "cat": "svr",
+                    "ph": "X", "ts": start,
+                    "dur": max(ts - start, 0.01),
+                    "pid": _PID, "tid": _TRACKS["svr"], "args": args})
+
+    def _on_dram(self, _name: str, ev: dict) -> None:
+        start = ev["start"] * TICKS_PER_CYCLE
+        end = ev["completion"] * TICKS_PER_CYCLE
+        self._note_ts(end)
+        self._dram_seq += 1
+        ident = str(self._dram_seq)
+        common = {"name": "dram line", "cat": "dram", "id": ident,
+                  "pid": _PID, "tid": _TRACKS["dram"]}
+        self._push(dict(common, ph="b", ts=start))
+        self._push(dict(common, ph="e", ts=max(end, start + 0.01)))
+
+    def _on_load(self, _name: str, ev: dict) -> None:
+        if ev["level"] != "dram":
+            return
+        ts = ev["time"] * TICKS_PER_CYCLE
+        end = ev["completion"] * TICKS_PER_CYCLE
+        self._note_ts(end)
+        self._push({"name": "load (dram)", "cat": "mem", "ph": "X",
+                    "ts": ts, "dur": max(end - ts, 0.01),
+                    "pid": _PID, "tid": _TRACKS["memory"],
+                    "args": {"addr": ev["addr"], "pc": ev.get("pc")}})
+
+    def _on_svi(self, _name: str, ev: dict) -> None:
+        ts = ev["time"] * TICKS_PER_CYCLE
+        self._note_ts(ts)
+        self._push({"name": f"svi x{ev['lanes']}", "cat": "svr",
+                    "ph": "i", "s": "t", "ts": ts,
+                    "pid": _PID, "tid": _TRACKS["svr"],
+                    "args": {"lanes": ev["lanes"], "pc": ev.get("pc")}})
+
+    def _on_commit(self, _name: str, ev: dict) -> None:
+        ts = ev["issue"] * TICKS_PER_CYCLE
+        end = ev["completion"] * TICKS_PER_CYCLE
+        self._note_ts(end)
+        self._push({"name": ev["op"], "cat": "core", "ph": "X",
+                    "ts": ts, "dur": max(end - ts, 0.01),
+                    "pid": _PID, "tid": _TRACKS["core"],
+                    "args": {"pc": ev["pc"], "level": ev.get("level")}})
+
+    # -- output -------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        events = list(self.events)
+        if self._prm_open is not None:
+            # Episode still open at window end: close it at the last
+            # timestamp seen so the slice is not lost.
+            start, args = self._prm_open
+            events.append({"name": "PRM (open)", "cat": "svr", "ph": "X",
+                           "ts": start,
+                           "dur": max(self._max_ts - start, 0.01),
+                           "pid": _PID, "tid": _TRACKS["svr"],
+                           "args": dict(args, cause="window-end")})
+        meta: list[dict[str, Any]] = [
+            {"name": "process_name", "ph": "M", "pid": _PID,
+             "args": {"name": "repro-sim"}},
+        ]
+        for track, tid in _TRACKS.items():
+            meta.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                         "tid": tid, "args": {"name": track}})
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ns",
+            "otherData": {
+                "generator": "repro.obs.export",
+                "ticks_per_cycle": TICKS_PER_CYCLE,
+                "dropped_events": self.dropped,
+            },
+        }
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict()), encoding="utf-8")
+        return path
+
+
+def validate_trace(trace: dict[str, Any]) -> list[str]:
+    """Cheap structural validation against the trace-event format; returns
+    a list of problems (empty = well-formed).  Used by tests and by users
+    sanity-checking exported files."""
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("X", "B", "E", "b", "e", "n", "i", "I", "M", "C"):
+            problems.append(f"event {i}: bad ph {ph!r}")
+            continue
+        if "pid" not in ev:
+            problems.append(f"event {i}: missing pid")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i}: missing/bad ts")
+        if "tid" not in ev:
+            problems.append(f"event {i}: missing tid")
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"event {i}: X without dur")
+        if ph in ("b", "e", "n") and "id" not in ev:
+            problems.append(f"event {i}: async event without id")
+    return problems

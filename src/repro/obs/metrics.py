@@ -1,0 +1,250 @@
+"""Metrics registry: hierarchical counters, gauges and log2 histograms.
+
+Metric names are dotted paths (``mem.load.latency``, ``svr.prm.rounds``);
+the registry is flat but the naming scheme is hierarchical so snapshots
+group naturally.  Histograms bucket by powers of two, which suits the
+quantities this simulator cares about (load latencies spanning 2..200
+cycles, vector lengths 1..128) and keeps snapshots small and deterministic.
+
+``install_standard_metrics`` subscribes a canonical metric set to the
+probe catalogue — attach it to a :class:`~repro.obs.probes.ProbeBus` and
+every run gets CPI-stack-adjacent counters, prefetch accounting and
+latency/vector-length distributions for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.probes import ProbeBus, Subscription
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (e.g. an occupancy sampled at snapshot time)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log2-bucketed histogram: bucket *k* holds values in [2^(k-1), 2^k),
+    bucket 0 holds values below 1."""
+
+    __slots__ = ("buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        if value < 1:
+            return 0
+        return int(value).bit_length()
+
+    @staticmethod
+    def bucket_label(index: int) -> str:
+        if index == 0:
+            return "[0,1)"
+        return f"[{1 << (index - 1)},{1 << index})"
+
+    def observe(self, value: float) -> None:
+        idx = self.bucket_of(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {self.bucket_label(i): self.buckets[i]
+                        for i in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and dict snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind()
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(f"metric {name!r} is {type(metric).__name__}, "
+                            f"not {kind.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict export, sorted by name: counters and gauges become
+        numbers, histograms become their bucket dicts."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out
+
+
+def install_standard_metrics(bus: ProbeBus,
+                             registry: MetricsRegistry) -> list[Subscription]:
+    """Subscribe the canonical metric set to *bus*; returns the
+    subscriptions so a caller can detach them when its window closes."""
+    counter = registry.counter
+    histogram = registry.histogram
+
+    instructions = counter("core.instructions")
+    window_stalls = counter("core.window_stalls")
+    window_stall_hist = histogram("core.window_stall.cycles")
+    loads = counter("mem.loads")
+    stores = counter("mem.stores")
+    load_latency = histogram("mem.load.latency")
+    dram_accesses = counter("dram.accesses")
+    dram_wait = histogram("dram.queue_wait")
+    tlb_walks = counter("tlb.walks")
+    tlb_walk_latency = histogram("tlb.walk.latency")
+    prm_rounds = counter("svr.prm.rounds")
+    vector_length = histogram("svr.prm.vector_length")
+    prm_duration = histogram("svr.prm.duration_cycles")
+    svi_lanes = counter("svr.svi.lanes")
+    svi_group = histogram("svr.svi.group_lanes")
+    waiting_skips = counter("svr.waiting_skips")
+    gate_blocks = counter("svr.gate_blocks")
+    accuracy_bans = counter("svr.accuracy_bans")
+    run_length = histogram("predictor.stride.run_length")
+    lb_decisions = counter("predictor.loop_bound.decisions")
+    lb_length = histogram("predictor.loop_bound.length")
+
+    def on_commit(_name: str, _ev: dict) -> None:
+        instructions.inc()
+
+    def on_window_stall(_name: str, ev: dict) -> None:
+        window_stalls.inc()
+        window_stall_hist.observe(ev["cycles"])
+
+    def on_load(_name: str, ev: dict) -> None:
+        loads.inc()
+        counter("mem.loads." + ev["level"]).inc()
+        load_latency.observe(ev["latency"])
+
+    def on_store(_name: str, _ev: dict) -> None:
+        stores.inc()
+
+    def on_prefetch(_name: str, ev: dict) -> None:
+        origin = ev["origin"]
+        counter(f"mem.prefetch.{origin}.issued").inc()
+        if ev["dropped"]:
+            counter(f"mem.prefetch.{origin}.dropped").inc()
+
+    def on_pf_useful(_name: str, ev: dict) -> None:
+        counter(f"mem.prefetch.{ev['origin']}.useful").inc()
+
+    def on_pf_useless(_name: str, ev: dict) -> None:
+        counter(f"mem.prefetch.{ev['origin']}.useless").inc()
+
+    def on_dram(_name: str, ev: dict) -> None:
+        dram_accesses.inc()
+        dram_wait.observe(ev["start"] - ev["time"])
+
+    def on_tlb_walk(_name: str, ev: dict) -> None:
+        tlb_walks.inc()
+        tlb_walk_latency.observe(ev["completion"] - ev["time"])
+
+    def on_prm_enter(_name: str, ev: dict) -> None:
+        prm_rounds.inc()
+        vector_length.observe(ev["length"])
+
+    def on_prm_exit(_name: str, ev: dict) -> None:
+        counter(f"svr.prm.terminations.{ev['cause']}").inc()
+        prm_duration.observe(ev["duration"])
+
+    def on_svi(_name: str, ev: dict) -> None:
+        svi_lanes.inc(ev["lanes"])
+        svi_group.observe(ev["lanes"])
+
+    def on_waiting(_name: str, _ev: dict) -> None:
+        waiting_skips.inc()
+
+    def on_gate(_name: str, _ev: dict) -> None:
+        gate_blocks.inc()
+
+    def on_ban(_name: str, _ev: dict) -> None:
+        accuracy_bans.inc()
+
+    def on_stride_run(_name: str, ev: dict) -> None:
+        run_length.observe(ev["run_length"])
+
+    def on_loop_bound(_name: str, ev: dict) -> None:
+        lb_decisions.inc()
+        lb_length.observe(ev["length"])
+        counter(f"predictor.loop_bound.policy.{ev['policy']}").inc()
+
+    wiring = {
+        "core.commit": on_commit,
+        "core.window_stall": on_window_stall,
+        "mem.load": on_load,
+        "mem.store": on_store,
+        "mem.prefetch": on_prefetch,
+        "mem.pf_useful": on_pf_useful,
+        "mem.pf_useless": on_pf_useless,
+        "dram.access": on_dram,
+        "tlb.walk": on_tlb_walk,
+        "svr.prm_enter": on_prm_enter,
+        "svr.prm_exit": on_prm_exit,
+        "svr.svi": on_svi,
+        "svr.waiting": on_waiting,
+        "svr.gate_block": on_gate,
+        "svr.accuracy_ban": on_ban,
+        "predictor.stride_run": on_stride_run,
+        "predictor.loop_bound": on_loop_bound,
+    }
+    return [bus.subscribe(name, fn) for name, fn in wiring.items()]

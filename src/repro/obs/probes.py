@@ -1,0 +1,143 @@
+"""The probe bus: named probe points with near-zero-cost no-op dispatch.
+
+Every instrumented component (cores, SVR unit, predictors, memory
+hierarchy, DRAM, TLBs) owns :class:`Probe` objects looked up once at
+construction time.  An emission site is written as::
+
+    if self._p_commit.enabled:
+        self._p_commit.emit(pc=pc, issue=issue, completion=completion)
+
+so that with no subscriber attached the cost per event is a single
+attribute read and a branch — the keyword dictionary is never built.  This
+is what keeps a fully-instrumented simulator within noise of the
+uninstrumented one (the acceptance bar for this layer).
+
+Subscribers receive ``(probe_name, event_dict)`` and may attach to one
+probe by exact name or to a family via an ``fnmatch`` glob (``"mem.*"``);
+glob subscriptions also cover probes created *after* the subscription.
+
+The probe catalogue (names and payload fields) is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Any, Callable
+
+Subscriber = Callable[[str, dict[str, Any]], None]
+
+
+class Probe:
+    """One named probe point.  Created and owned by a :class:`ProbeBus`."""
+
+    __slots__ = ("name", "enabled", "_subs")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.enabled = False
+        self._subs: list[Subscriber] = []
+
+    def emit(self, **event: Any) -> None:
+        """Deliver one event to every subscriber (hot path is guarded by
+        ``enabled`` at the call site, so this only runs when someone
+        listens)."""
+        for fn in self._subs:
+            fn(self.name, event)
+
+    def _attach(self, fn: Subscriber) -> None:
+        if fn not in self._subs:
+            self._subs.append(fn)
+        self.enabled = True
+
+    def _detach(self, fn: Subscriber) -> None:
+        if fn in self._subs:
+            self._subs.remove(fn)
+        self.enabled = bool(self._subs)
+
+
+class Subscription:
+    """Handle returned by :meth:`ProbeBus.subscribe`; call :meth:`cancel`
+    to detach."""
+
+    __slots__ = ("_bus", "_pattern", "_fn", "active")
+
+    def __init__(self, bus: "ProbeBus", pattern: str, fn: Subscriber) -> None:
+        self._bus = bus
+        self._pattern = pattern
+        self._fn = fn
+        self.active = True
+
+    def cancel(self) -> None:
+        if not self.active:
+            return
+        self.active = False
+        self._bus._remove(self._pattern, self._fn)
+
+
+def _is_glob(pattern: str) -> bool:
+    return any(ch in pattern for ch in "*?[")
+
+
+class ProbeBus:
+    """Registry of named probes plus pattern subscriptions."""
+
+    def __init__(self) -> None:
+        self._probes: dict[str, Probe] = {}
+        self._patterns: list[tuple[str, Subscriber]] = []
+
+    def probe(self, name: str) -> Probe:
+        """Get or create the probe *name* (components call this once)."""
+        p = self._probes.get(name)
+        if p is None:
+            p = Probe(name)
+            self._probes[name] = p
+            for pattern, fn in self._patterns:
+                if fnmatchcase(name, pattern):
+                    p._attach(fn)
+        return p
+
+    def subscribe(self, pattern: str, fn: Subscriber) -> Subscription:
+        """Attach *fn* to every probe matching *pattern* (exact name or
+        fnmatch glob), including probes created later."""
+        if _is_glob(pattern):
+            self._patterns.append((pattern, fn))
+            for name, p in self._probes.items():
+                if fnmatchcase(name, pattern):
+                    p._attach(fn)
+        else:
+            self.probe(pattern)._attach(fn)
+        return Subscription(self, pattern, fn)
+
+    def _remove(self, pattern: str, fn: Subscriber) -> None:
+        if _is_glob(pattern):
+            self._patterns = [(pat, f) for pat, f in self._patterns
+                              if not (pat == pattern and f is fn)]
+            for name, p in self._probes.items():
+                if fnmatchcase(name, pattern):
+                    p._detach(fn)
+        else:
+            p = self._probes.get(pattern)
+            if p is not None:
+                p._detach(fn)
+
+    def names(self) -> list[str]:
+        """All probe names registered so far, sorted."""
+        return sorted(self._probes)
+
+    def clear_subscribers(self) -> None:
+        """Detach everything (used by tests and session teardown)."""
+        self._patterns.clear()
+        for p in self._probes.values():
+            p._subs.clear()
+            p.enabled = False
+
+
+_DEFAULT_BUS = ProbeBus()
+
+
+def default_bus() -> ProbeBus:
+    """The process-wide bus components fall back to when no explicit bus is
+    passed.  Per-run observation (:class:`repro.obs.RunObservation`) uses a
+    private bus instead, so concurrent runs never cross-talk."""
+    return _DEFAULT_BUS

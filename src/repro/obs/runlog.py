@@ -1,0 +1,84 @@
+"""Structured run logs: append-only JSONL records plus a wall-clock
+self-profile.
+
+One record per simulator invocation (a ``harness.runner.run`` call or a
+figure regeneration): the configuration, the :class:`SimResult` export,
+the metric snapshot of the measured window, and where the *wall-clock*
+time went (build / warmup / measure, via ``time.perf_counter``).  Records
+are one JSON object per line so a session log can be tailed, grepped and
+loaded incrementally.  The schema is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+SCHEMA_VERSION = 1
+
+
+class SelfProfile:
+    """Accumulates wall-clock seconds per named section."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def snapshot(self) -> dict[str, float]:
+        return {name: round(self.seconds[name], 6)
+                for name in sorted(self.seconds)}
+
+
+def make_record(kind: str, **fields: Any) -> dict[str, Any]:
+    """A schema-stamped record; *fields* are merged in verbatim."""
+    record: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "kind": kind,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    record.update(fields)
+    return record
+
+
+class RunLog:
+    """Append-only JSONL writer; parent directories are created lazily."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def append(self, record: dict[str, Any]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+
+    def read(self) -> list[dict[str, Any]]:
+        """Load every record back (convenience for tests and notebooks)."""
+        if not self.path.exists():
+            return []
+        out = []
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+
+def session_log_path(root: str | Path = "results/runlogs") -> Path:
+    """Default per-session log file: one JSONL per process under *root*."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return Path(root) / f"session-{stamp}-{os.getpid()}.jsonl"

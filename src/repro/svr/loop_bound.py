@@ -70,6 +70,8 @@ class LoopBoundUnit:
         self._table: dict[int, LbdEntry] = {}
         self.trainings = 0
         self.cv_predictions = 0
+        # Optional obs probe ("predictor.loop_bound"), wired by the owner.
+        self.probe = None
 
     # -- LC maintenance -----------------------------------------------------
 
@@ -188,6 +190,15 @@ class LoopBoundUnit:
     def decide_length(self, policy: LoopBoundPolicy, stride: StrideEntry,
                       read_reg, n_max: int) -> int:
         """How many lanes to generate this round (0 means skip the round)."""
+        length = self._decide_length(policy, stride, read_reg, n_max)
+        if self.probe is not None and self.probe.enabled:
+            self.probe.emit(pc=stride.pc, policy=policy.name, length=length,
+                            ewma=stride.last_ewma_pred,
+                            lbd=stride.last_lbd_pred)
+        return length
+
+    def _decide_length(self, policy: LoopBoundPolicy, stride: StrideEntry,
+                       read_reg, n_max: int) -> int:
         ewma_pred = self._ewma_length(stride, n_max)
         if policy is LoopBoundPolicy.MAXLENGTH:
             return n_max

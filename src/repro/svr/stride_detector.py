@@ -55,6 +55,8 @@ class StrideDetector:
         self._ewma_cap = ewma_cap
         self._table: dict[int, StrideEntry] = {}
         self.accesses = 0
+        # Optional obs probe ("predictor.stride_run"), wired by the owner.
+        self.probe = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -105,6 +107,8 @@ class StrideDetector:
             elif stride != 0:
                 entry.stride = stride
 
+        if ended_run and self.probe is not None and self.probe.enabled:
+            self.probe.emit(pc=pc, run_length=run_length)
         in_waiting = (
             entry.last_prefetch is not None
             and entry.range_start is not None

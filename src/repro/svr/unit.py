@@ -32,8 +32,9 @@ from dataclasses import dataclass, field
 from repro.isa.executor import alu_compute
 from repro.isa.instructions import OpClass, Opcode
 from repro.isa.registers import wrap64
+from repro.obs.probes import default_bus
 from repro.svr.accuracy import AccuracyMonitor
-from repro.svr.config import LoopBoundPolicy, SVRConfig
+from repro.svr.config import SVRConfig
 from repro.svr.loop_bound import LoopBoundUnit
 from repro.svr.overhead import overhead_kib
 from repro.svr.srf import SpeculativeRegisterFile
@@ -65,20 +66,29 @@ class SvrStats:
 class ScalarVectorUnit:
     """SVR attachment for :class:`repro.cores.inorder.InOrderCore`."""
 
-    def __init__(self, config: SVRConfig | None = None) -> None:
+    def __init__(self, config: SVRConfig | None = None, bus=None) -> None:
         self.config = config or SVRConfig()
         cfg = self.config
+        self.bus = bus if bus is not None else default_bus()
+        self._p_enter = self.bus.probe("svr.prm_enter")
+        self._p_exit = self.bus.probe("svr.prm_exit")
+        self._p_svi = self.bus.probe("svr.svi")
+        self._p_wait = self.bus.probe("svr.waiting")
+        self._p_gate = self.bus.probe("svr.gate_block")
         self.detector = StrideDetector(cfg.stride_detector_entries,
                                        cfg.stride_confidence_threshold,
                                        cfg.ewma_cap)
+        self.detector.probe = self.bus.probe("predictor.stride_run")
         self.taint = TaintTracker()
         self.srf = SpeculativeRegisterFile(cfg.srf_entries, cfg.vector_length,
                                            cfg.recycling)
         self.loop_bound = LoopBoundUnit()
+        self.loop_bound.probe = self.bus.probe("predictor.loop_bound")
         self.monitor = AccuracyMonitor(cfg.accuracy_threshold,
                                        cfg.accuracy_warmup_events,
                                        cfg.accuracy_reset_interval,
                                        cfg.accuracy_enabled)
+        self.monitor.probe = self.bus.probe("svr.accuracy_ban")
         self.stats = SvrStats()
         self.core = None
         self._context_slots = None      # decoupled-context ablation
@@ -86,6 +96,7 @@ class ScalarVectorUnit:
         self.hslr_pc: int | None = None
         self.mask = [False] * cfg.vector_length
         self._prm_instructions = 0      # main-thread instrs since PRM entry
+        self._prm_enter_time = 0.0      # issue time of the triggering load
         self._lil_offset = 0            # offset of last dependent load SVI
         self._generation_stopped = False
 
@@ -129,6 +140,8 @@ class ScalarVectorUnit:
         if cfg.accuracy_enabled:
             self.monitor.tick()
         opclass = inst.opclass
+        p_svi = self._p_svi
+        svi_before = self.stats.svi_lanes if p_svi.enabled else 0
 
         if self.in_prm:
             self._prm_instructions += 1
@@ -153,7 +166,12 @@ class ScalarVectorUnit:
 
         if (self.in_prm
                 and self._prm_instructions > cfg.timeout_instructions):
-            self._terminate("timeout")
+            self._terminate("timeout", issue_time)
+
+        if p_svi.enabled:
+            delta = self.stats.svi_lanes - svi_before
+            if delta:
+                p_svi.emit(pc=pc, time=issue_time, lanes=delta)
 
     # -- trigger / multi-chain logic (Section IV-A6) ------------------------------
 
@@ -167,20 +185,22 @@ class ScalarVectorUnit:
             self.loop_bound.on_loop_reentry(pc)
         if not obs.is_striding:
             return False
+        if obs.in_waiting_range and self._p_wait.enabled:
+            self._p_wait.emit(pc=pc, time=issue_time, addr=result.address)
 
         if self.in_prm:
             if pc == self.hslr_pc:
                 # One full iteration of the indirect chain: terminate, then
                 # maybe immediately restart outside the prefetched range.
                 self.detector.clear_seen_except(pc)
-                self._terminate("hslr")
+                self._terminate("hslr", issue_time)
                 if not obs.in_waiting_range and self._may_trigger():
                     return self._enter_prm(entry, inst, result.address,
                                            issue_time)
                 return False
             if entry.seen:
                 # Nested inner loop (Fig 9 top): abort and retarget.
-                self._terminate("retarget")
+                self._terminate("retarget", issue_time)
                 self.stats.retargets += 1
                 self.hslr_pc = pc
                 self.detector.clear_seen_except(pc)
@@ -223,6 +243,8 @@ class ScalarVectorUnit:
     def _may_trigger(self) -> bool:
         if not self.monitor.allow_trigger():
             self.stats.rounds_blocked_by_monitor += 1
+            if self._p_gate.enabled:
+                self._p_gate.emit(accuracy=self.monitor.accuracy)
             return False
         return True
 
@@ -239,10 +261,14 @@ class ScalarVectorUnit:
             return False
         self.in_prm = True
         self._prm_instructions = 0
+        self._prm_enter_time = issue_time
         self._lil_offset = 0
         self._generation_stopped = False
         self.mask = [lane < length for lane in range(cfg.vector_length)]
         self.stats.prm_rounds += 1
+        if self._p_enter.enabled:
+            self._p_enter.emit(pc=entry.pc, time=issue_time, length=length,
+                               stride=entry.stride, addr=addr)
         if cfg.register_copy_cost_cycles > 0:
             self.core.delay_frontend(issue_time + cfg.register_copy_cost_cycles)
         self._generate_stride_svis(entry, inst, addr, issue_time,
@@ -473,7 +499,7 @@ class ScalarVectorUnit:
 
     # -- termination -------------------------------------------------------------
 
-    def _terminate(self, cause: str) -> None:
+    def _terminate(self, cause: str, time: float | None = None) -> None:
         if not self.in_prm:
             return
         if cause == "hslr" and self.hslr_pc is not None:
@@ -486,3 +512,11 @@ class ScalarVectorUnit:
         self.in_prm = False
         self._generation_stopped = False
         self.stats.terminations[cause] += 1
+        if self._p_exit.enabled:
+            if time is None:
+                time = self.core.now() if self.core is not None \
+                    else self._prm_enter_time
+            self._p_exit.emit(cause=cause, time=time,
+                              duration=max(0.0, time - self._prm_enter_time),
+                              instructions=self._prm_instructions,
+                              pc=self.hslr_pc)

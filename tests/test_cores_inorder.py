@@ -5,7 +5,7 @@ import pytest
 from repro.cores.base import CoreConfig, IssueSlots, StallReason
 from repro.isa.program import ProgramBuilder
 
-from conftest import build_gather_workload, make_inorder, make_memory
+from conftest import make_inorder, make_memory
 
 
 class TestIssueSlots:

@@ -1,6 +1,5 @@
 """Unit and integration tests for the out-of-order core model."""
 
-import pytest
 
 from repro.cores.base import CoreConfig
 from repro.isa.program import ProgramBuilder

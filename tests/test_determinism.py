@@ -6,7 +6,7 @@ every stochastic choice in this codebase flows from fixed seeds.
 
 import pytest
 
-from repro.harness.runner import run, technique
+from repro.harness.runner import run
 from repro.workloads.registry import build_workload
 
 
@@ -41,6 +41,19 @@ class TestRunDeterminism:
         b = run("PR_UR", "svr16", scale="tiny", warmup=700, measure=2000)
         assert a.cpi_stack() == b.cpi_stack()
         assert a.hierarchy.prefetches_issued == b.hierarchy.prefetches_issued
+
+    def test_metric_snapshots_bit_identical(self):
+        """Two instrumented fixed-seed runs must produce equal metric
+        snapshots — counters, histogram buckets and all."""
+        from repro.obs import RunObservation
+
+        first = RunObservation()
+        second = RunObservation()
+        result = run("Camel", "svr16", scale="tiny", obs=first)
+        run("Camel", "svr16", scale="tiny", obs=second)
+        snap_a, snap_b = first.metrics_snapshot(), second.metrics_snapshot()
+        assert snap_a == snap_b
+        assert snap_a["core.instructions"] == result.core.instructions
 
     def test_multicore_deterministic(self):
         from repro.harness.multicore import run_multicore

@@ -5,8 +5,6 @@ import subprocess
 import sys
 from pathlib import Path
 
-import pytest
-
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
@@ -36,6 +34,14 @@ class TestExamples:
         out = run_example("design_space.py", "Camel", "tiny")
         assert "Vector length sweep" in out
         assert "svr128" in out
+
+    def test_observe_prm(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        out = run_example("observe_prm.py", "Camel", "tiny", str(trace))
+        assert "issued vector lengths" in out
+        assert "well-formed" in out
+        assert "perfetto" in out
+        assert trace.exists()
 
     def test_timeline(self):
         out = run_example("timeline.py", "Camel", "12")

@@ -4,7 +4,6 @@ import pytest
 
 from repro.harness import experiments
 from repro.harness.report import format_series, format_table, harmonic_mean
-from repro.svr.config import LoopBoundPolicy
 
 TINY = ("PR_UR", "Camel")
 

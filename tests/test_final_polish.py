@@ -72,8 +72,10 @@ class TestCliNestedFigure:
 
         original = experiments.fig3
         try:
-            experiments.fig3 = lambda scale: original(
-                scale="tiny", groups={"PR": ("PR_UR",)})
+            def tiny_fig3(scale):
+                return original(scale="tiny", groups={"PR": ("PR_UR",)})
+
+            experiments.fig3 = tiny_fig3
             from repro.__main__ import FIGURES
             FIGURES["fig3"] = experiments.fig3
             assert main(["figure", "fig3", "--scale", "tiny"]) == 0

@@ -4,8 +4,7 @@ stale-value guards and end-to-end throttling."""
 import numpy as np
 
 from repro.isa.program import ProgramBuilder
-from repro.isa.registers import wrap64
-from repro.svr.config import LoopBoundPolicy, SVRConfig
+from repro.svr.config import SVRConfig
 from repro.svr.loop_bound import LoopBoundUnit
 from repro.svr.stride_detector import StrideDetector
 

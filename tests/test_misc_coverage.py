@@ -1,7 +1,6 @@
 """Targeted tests for remaining corner paths across modules."""
 
 import numpy as np
-import pytest
 
 from repro.isa.program import ProgramBuilder
 from repro.memory.hierarchy import MemoryConfig, MemoryHierarchy

@@ -1,0 +1,397 @@
+"""Tests for the observability layer: probe bus, metrics registry,
+structured run logs and the Chrome trace exporter."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import run, technique
+from repro.obs import (
+    ChromeTraceBuilder,
+    Histogram,
+    MetricsRegistry,
+    ProbeBus,
+    RunLog,
+    RunObservation,
+    SelfProfile,
+    install_standard_metrics,
+    make_record,
+    validate_trace,
+)
+
+
+class TestProbeBus:
+    def test_probe_disabled_without_subscribers(self):
+        bus = ProbeBus()
+        probe = bus.probe("core.commit")
+        assert probe.enabled is False
+
+    def test_probe_is_get_or_create(self):
+        bus = ProbeBus()
+        assert bus.probe("x") is bus.probe("x")
+
+    def test_subscriber_receives_name_and_event(self):
+        bus = ProbeBus()
+        seen = []
+        bus.subscribe("mem.load", lambda name, ev: seen.append((name, ev)))
+        probe = bus.probe("mem.load")
+        assert probe.enabled
+        probe.emit(addr=64, level="l1")
+        assert seen == [("mem.load", {"addr": 64, "level": "l1"})]
+
+    def test_cancel_disables_probe(self):
+        bus = ProbeBus()
+        sub = bus.subscribe("a.b", lambda *_: None)
+        assert bus.probe("a.b").enabled
+        sub.cancel()
+        assert not bus.probe("a.b").enabled
+        sub.cancel()               # idempotent
+
+    def test_glob_matches_existing_and_future_probes(self):
+        bus = ProbeBus()
+        early = bus.probe("svr.prm_enter")
+        seen = []
+        sub = bus.subscribe("svr.*", lambda name, _ev: seen.append(name))
+        late = bus.probe("svr.prm_exit")
+        assert early.enabled and late.enabled
+        early.emit()
+        late.emit()
+        assert seen == ["svr.prm_enter", "svr.prm_exit"]
+        sub.cancel()
+        assert not early.enabled and not late.enabled
+
+    def test_glob_does_not_match_other_families(self):
+        bus = ProbeBus()
+        bus.subscribe("mem.*", lambda *_: None)
+        assert not bus.probe("dram.access").enabled
+
+    def test_second_subscriber_survives_first_cancel(self):
+        bus = ProbeBus()
+        seen = []
+        first = bus.subscribe("p", lambda *_: seen.append("first"))
+        bus.subscribe("p", lambda *_: seen.append("second"))
+        first.cancel()
+        assert bus.probe("p").enabled
+        bus.probe("p").emit()
+        assert seen == ["second"]
+
+    def test_clear_subscribers(self):
+        bus = ProbeBus()
+        bus.subscribe("a", lambda *_: None)
+        bus.subscribe("b.*", lambda *_: None)
+        bus.probe("b.c")
+        bus.clear_subscribers()
+        assert not bus.probe("a").enabled
+        assert not bus.probe("b.c").enabled
+        assert not bus.probe("b.d").enabled  # pattern gone too
+
+    def test_names_sorted(self):
+        bus = ProbeBus()
+        bus.probe("z")
+        bus.probe("a")
+        assert bus.names() == ["a", "z"]
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("value,bucket", [
+        (0.0, 0), (0.5, 0), (1, 1), (1.9, 1), (2, 2), (3, 2),
+        (4, 3), (16, 5), (100, 7), (128, 8),
+    ])
+    def test_bucket_of(self, value, bucket):
+        assert Histogram.bucket_of(value) == bucket
+
+    def test_bucket_labels(self):
+        assert Histogram.bucket_label(0) == "[0,1)"
+        assert Histogram.bucket_label(1) == "[1,2)"
+        assert Histogram.bucket_label(5) == "[16,32)"
+
+    def test_snapshot(self):
+        hist = Histogram()
+        for value in (1, 2, 3, 100):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 1 and snap["max"] == 100
+        assert snap["mean"] == pytest.approx(26.5)
+        assert snap["buckets"] == {"[1,2)": 1, "[2,4)": 2, "[64,128)": 1}
+
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        assert reg.counter("a").value == 3
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.histogram("a")
+
+    def test_snapshot_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.counter("z.count").inc()
+        reg.gauge("m.level").set(2.5)
+        reg.histogram("a.hist").observe(4)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.hist", "m.level", "z.count"]
+        assert snap["z.count"] == 1
+        assert snap["m.level"] == 2.5
+        assert snap["a.hist"]["count"] == 1
+        json.dumps(snap)           # JSON-ready
+
+
+class TestStandardMetrics:
+    def test_wiring_from_synthetic_events(self):
+        bus = ProbeBus()
+        reg = MetricsRegistry()
+        subs = install_standard_metrics(bus, reg)
+        bus.probe("core.commit").emit(pc=0, op="ld", opclass="LOAD",
+                                      issue=0.0, completion=2.0, level="l1")
+        bus.probe("mem.load").emit(addr=0, pc=0, time=0.0, level="dram",
+                                   completion=104.0, latency=104.0)
+        bus.probe("svr.prm_enter").emit(pc=4, time=10.0, length=16,
+                                        stride=8, addr=0)
+        bus.probe("svr.prm_exit").emit(cause="hslr", time=40.0,
+                                       duration=30.0, instructions=10, pc=4)
+        bus.probe("svr.svi").emit(pc=4, time=12.0, lanes=16)
+        snap = reg.snapshot()
+        assert snap["core.instructions"] == 1
+        assert snap["mem.loads"] == 1
+        assert snap["mem.loads.dram"] == 1
+        assert snap["mem.load.latency"]["buckets"] == {"[64,128)": 1}
+        assert snap["svr.prm.rounds"] == 1
+        assert snap["svr.prm.vector_length"]["buckets"] == {"[16,32)": 1}
+        assert snap["svr.prm.terminations.hslr"] == 1
+        assert snap["svr.svi.lanes"] == 16
+        for sub in subs:
+            sub.cancel()
+        assert not bus.probe("core.commit").enabled
+
+
+class TestRunLog:
+    def test_round_trip(self, tmp_path):
+        log = RunLog(tmp_path / "nested" / "session.jsonl")
+        log.append(make_record("run", workload="Camel", cpi=1.9))
+        log.append(make_record("figure", name="fig1"))
+        records = log.read()
+        assert len(records) == 2
+        assert records[0]["schema"] == 1
+        assert records[0]["kind"] == "run"
+        assert records[0]["workload"] == "Camel"
+        assert records[1]["name"] == "fig1"
+        assert "timestamp" in records[0]
+
+    def test_read_missing_file(self, tmp_path):
+        assert RunLog(tmp_path / "absent.jsonl").read() == []
+
+
+class TestSelfProfile:
+    def test_sections_accumulate(self):
+        profile = SelfProfile()
+        with profile.section("measure"):
+            pass
+        with profile.section("measure"):
+            pass
+        with profile.section("build"):
+            pass
+        snap = profile.snapshot()
+        assert list(snap) == ["build", "measure"]
+        assert all(v >= 0.0 for v in snap.values())
+
+
+class TestChromeTrace:
+    def _emit_episode(self, bus):
+        bus.probe("svr.prm_enter").emit(pc=4, time=100.0, length=16,
+                                        stride=8, addr=0)
+        bus.probe("svr.svi").emit(pc=4, time=105.0, lanes=16)
+        bus.probe("dram.access").emit(time=106.0, start=106.0,
+                                      completion=196.0)
+        bus.probe("svr.prm_exit").emit(cause="hslr", time=130.0,
+                                       duration=30.0, instructions=10, pc=4)
+
+    def test_episode_becomes_complete_slice(self):
+        bus = ProbeBus()
+        builder = ChromeTraceBuilder()
+        builder.attach(bus)
+        self._emit_episode(bus)
+        builder.detach()
+        trace = builder.to_dict()
+        assert validate_trace(trace) == []
+        slices = [ev for ev in trace["traceEvents"]
+                  if ev.get("ph") == "X" and ev.get("cat") == "svr"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "PRM (hslr)"
+        assert slices[0]["ts"] == 100.0
+        assert slices[0]["dur"] == 30.0
+        asyncs = [ev for ev in trace["traceEvents"]
+                  if ev.get("ph") in ("b", "e")]
+        assert len(asyncs) == 2
+        assert asyncs[0]["id"] == asyncs[1]["id"]
+
+    def test_open_episode_flushed_at_window_end(self):
+        bus = ProbeBus()
+        builder = ChromeTraceBuilder()
+        builder.attach(bus)
+        bus.probe("svr.prm_enter").emit(pc=4, time=50.0, length=8,
+                                        stride=4, addr=0)
+        bus.probe("dram.access").emit(time=60.0, start=60.0,
+                                      completion=150.0)
+        builder.detach()
+        trace = builder.to_dict()
+        assert validate_trace(trace) == []
+        open_slices = [ev for ev in trace["traceEvents"]
+                       if ev.get("name") == "PRM (open)"]
+        assert len(open_slices) == 1
+        assert open_slices[0]["args"]["cause"] == "window-end"
+
+    def test_orphan_exit_dropped(self):
+        bus = ProbeBus()
+        builder = ChromeTraceBuilder()
+        builder.attach(bus)
+        bus.probe("svr.prm_exit").emit(cause="hslr", time=10.0,
+                                       duration=5.0, instructions=3, pc=0)
+        builder.detach()
+        assert builder.events == []
+
+    def test_max_events_drops_not_grows(self):
+        bus = ProbeBus()
+        builder = ChromeTraceBuilder(max_events=4)
+        builder.attach(bus)
+        for i in range(8):
+            bus.probe("dram.access").emit(time=float(i), start=float(i),
+                                          completion=float(i) + 90.0)
+        builder.detach()
+        assert len(builder.events) == 4
+        assert builder.dropped == 12
+        assert builder.to_dict()["otherData"]["dropped_events"] == 12
+
+    def test_write_creates_valid_json(self, tmp_path):
+        bus = ProbeBus()
+        builder = ChromeTraceBuilder()
+        builder.attach(bus)
+        self._emit_episode(bus)
+        builder.detach()
+        path = builder.write(tmp_path / "out" / "trace.json")
+        trace = json.loads(path.read_text())
+        assert validate_trace(trace) == []
+        names = {ev["args"]["name"] for ev in trace["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        assert {"core", "svr", "memory", "dram", "tlb"} <= names
+
+    def test_validate_trace_flags_malformed(self):
+        assert validate_trace({}) == ["traceEvents is not a list"]
+        bad = {"traceEvents": [
+            {"ph": "Z", "pid": 1},                       # bad phase
+            {"ph": "X", "pid": 1, "tid": 1, "ts": 0.0},  # X without dur
+            {"ph": "b", "pid": 1, "tid": 1, "ts": 0.0},  # async without id
+            {"ph": "i", "tid": 1, "ts": 0.0},            # missing pid
+        ]}
+        problems = validate_trace(bad)
+        assert len(problems) == 4
+
+
+class TestRunObservation:
+    def test_counters_match_sim_result(self):
+        obs = RunObservation()
+        result = run("Camel", technique("svr16"), scale="tiny", obs=obs)
+        snap = obs.metrics_snapshot()
+        assert snap["core.instructions"] == result.core.instructions
+        assert snap["dram.accesses"] == result.dram_lines
+        assert snap["svr.prm.rounds"] == result.svr.prm_rounds
+        assert snap["svr.svi.lanes"] == result.svr.svi_lanes
+        assert (snap["mem.loads.dram"] + snap["mem.loads.l1"]
+                + snap.get("mem.loads.l2", 0)) == snap["mem.loads"]
+
+    def test_warmup_stays_unobserved(self):
+        obs = RunObservation()
+        run("Camel", technique("inorder"), scale="tiny", warmup=1000,
+            measure=500, obs=obs)
+        assert obs.metrics_snapshot()["core.instructions"] == 500
+
+    def test_trace_and_record(self, tmp_path):
+        trace_path = tmp_path / "t.json"
+        jsonl_path = tmp_path / "log.jsonl"
+        obs = RunObservation(chrome_trace=str(trace_path),
+                             jsonl=str(jsonl_path))
+        run("Camel", technique("svr16"), scale="tiny", obs=obs)
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+        assert any(ev.get("ph") == "X" and ev.get("cat") == "svr"
+                   for ev in trace["traceEvents"])
+        records = RunLog(jsonl_path).read()
+        assert len(records) == 1
+        assert records[0] == json.loads(json.dumps(obs.record, default=str))
+        assert records[0]["result"]["workload"] == "Camel"
+        assert records[0]["config"]["svr"]["vector_length"] == 16
+        assert set(records[0]["profile"]) >= {"build", "warmup", "measure"}
+
+    def test_observed_run_matches_unobserved(self):
+        plain = run("Camel", technique("svr16"), scale="tiny")
+        observed = run("Camel", technique("svr16"), scale="tiny",
+                       obs=RunObservation())
+        assert observed.core.cycles == plain.core.cycles
+        assert observed.dram_lines == plain.dram_lines
+        assert observed.svr.svi_lanes == plain.svr.svi_lanes
+
+
+class TestCliObs:
+    def test_run_json(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "Camel", "svr16", "--scale", "tiny",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "Camel"
+        assert payload["svr"]["prm_rounds"] > 0
+
+    def test_run_chrome_trace_and_jsonl(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trace_path = tmp_path / "t.json"
+        jsonl_path = tmp_path / "r.jsonl"
+        assert main(["run", "Camel", "svr16", "--scale", "tiny",
+                     "--chrome-trace", str(trace_path),
+                     "--jsonl", str(jsonl_path)]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_path.read_text())
+        assert validate_trace(trace) == []
+        assert any(ev.get("cat") == "svr" and ev.get("ph") == "X"
+                   for ev in trace["traceEvents"])
+        assert len(RunLog(jsonl_path).read()) == 1
+
+    def test_stats_command(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["stats", "Camel", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "core.instructions" in out
+        assert "svr.prm.vector_length" in out
+        assert "wall-clock self-profile" in out
+
+    def test_stats_json(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["stats", "Camel", "inorder", "--scale", "tiny",
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["kind"] == "run"
+        assert record["metrics"]["core.instructions"] > 0
+
+    def test_figure_jsonl(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        jsonl_path = tmp_path / "fig.jsonl"
+        assert main(["figure", "table2", "--jsonl", str(jsonl_path)]) == 0
+        capsys.readouterr()
+        records = RunLog(jsonl_path).read()
+        assert len(records) == 1
+        assert records[0]["kind"] == "figure"
+        assert records[0]["name"] == "table2"

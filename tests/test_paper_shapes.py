@@ -9,7 +9,6 @@ import pytest
 
 from repro.harness.report import harmonic_mean
 from repro.harness.runner import run, technique
-from repro.svr.config import LoopBoundPolicy
 
 pytestmark = pytest.mark.shapes
 

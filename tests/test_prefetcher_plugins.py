@@ -73,8 +73,11 @@ class TestPluginApi:
         hier.attach_prefetcher(hook)
         reads = []
         original = mem.read_word
-        mem.read_word = lambda addr: (reads.append(addr),
-                                      original(addr))[1]
+        def spying_read(addr):
+            reads.append(addr)
+            return original(addr)
+
+        mem.read_word = spying_read
         hier.load(0x10000, 0.0, pc=5)
         assert reads == []
 

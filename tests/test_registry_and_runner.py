@@ -144,9 +144,6 @@ class TestRun:
         assert svr.ipc > base.ipc
 
     def test_unknown_core_kind_rejected(self):
-        from repro.memory.hierarchy import MemoryConfig
-        from repro.cores.base import CoreConfig
-
         bad = TechniqueConfig("bad", core="vliw")
         with pytest.raises(ValueError):
             run("PR_UR", bad, scale="tiny")

@@ -41,6 +41,45 @@ class TestCapture:
             capture("Camel", "ooo", scale="tiny")
 
 
+class TestEdgeCases:
+    def test_summarize_empty_window(self):
+        assert summarize([]) == {}
+
+    def test_window_without_dram_ops_omits_dram_latency(self):
+        records = [
+            TraceRecord(0, 0, "ld", 0.0, 2.0, "l1", 0, False),
+            TraceRecord(1, 1, "add", 2.0, 3.0, None, 0, False),
+            TraceRecord(2, 2, "ld", 3.0, 5.0, "l2", 0, False),
+        ]
+        summary = summarize(records)
+        assert summary["dram_ops"] == 0.0
+        assert summary["memory_ops"] == 2.0
+        assert "mean_dram_latency" not in summary
+
+    def test_render_clamps_width_on_single_cycle_records(self):
+        # All records issue and complete in the same instant: span is
+        # clamped to 1 cycle and every bar must stay inside the frame.
+        records = [TraceRecord(i, i, "add", 10.0, 10.0, None, 0, False)
+                   for i in range(3)]
+        text = render(records, width=20)
+        lines = text.split("\n")
+        assert "(1 cycles, 3 instructions)" in lines[0]
+        for line in lines[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 20
+            assert bar.count("#") == 1   # zero-latency still visible
+
+    def test_render_zero_latency_tail_record(self):
+        # A zero-latency record at the far right edge must not overflow.
+        records = [
+            TraceRecord(0, 0, "ld", 0.0, 100.0, "dram", 0, False),
+            TraceRecord(1, 1, "add", 100.0, 100.0, None, 0, False),
+        ]
+        text = render(records, width=30)
+        for line in text.split("\n")[1:]:
+            assert len(line.split("|")[1]) == 30
+
+
 class TestRender:
     def test_render_contains_all_rows(self):
         records = capture("Camel", "svr16", scale="tiny", count=40)

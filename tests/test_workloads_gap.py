@@ -5,7 +5,6 @@ functional core and is checked against a Python reference implementing the
 same algorithm.
 """
 
-import numpy as np
 import pytest
 
 from repro.cores.functional import FunctionalCore

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.workloads.graphs import (
-    CSRGraph,
     GRAPH_INPUTS,
     graph_for_input,
     kronecker_graph,
