@@ -9,6 +9,9 @@ Commands
 ``figure NAME [options]``         regenerate one paper figure
 ``trace WORKLOAD [TECH]``         instruction-level ASCII timeline
 ``overhead [N] [K]``              print the Table II budget
+``lint TARGET... | --all``        static analysis: diagnostics, load
+                                  classes and SVR chain estimates for
+                                  workloads or ``.s`` files
 
 ``run`` and ``stats`` accept ``--json`` (print ``SimResult.to_dict()`` as
 JSON), ``--jsonl PATH`` (append a structured run record) and
@@ -22,6 +25,8 @@ Examples::
     python -m repro stats Camel svr16 --scale tiny
     python -m repro figure fig1 --workloads PR_KR,Camel --scale bench
     python -m repro overhead 128 8
+    python -m repro lint PR_KR kernel.s
+    python -m repro lint --all --json
 """
 
 from __future__ import annotations
@@ -225,6 +230,79 @@ def _cmd_overhead(args) -> int:
     return 0
 
 
+def _lint_one(target: str, scale: str):
+    """Lint one CLI target (workload name or ``.s`` file) -> LintReport."""
+    import os
+
+    from repro.analysis import Diagnostic, LintReport, Severity, lint_program
+    from repro.isa.assembler import AssemblerError, assemble
+    from repro.workloads.registry import build_workload
+
+    looks_like_file = (target.endswith(".s") or os.path.sep in target
+                       or os.path.isfile(target))
+    if looks_like_file:
+        name = os.path.basename(target)
+        try:
+            with open(target, encoding="utf-8") as fh:
+                source = fh.read()
+            program = assemble(source, name=name)
+        except AssemblerError as exc:
+            report = LintReport(name=name)
+            report.diagnostics.append(Diagnostic(
+                Severity.ERROR, "E002", exc.line_no, str(exc)))
+            return report
+        return lint_program(program, name=name)
+    workload = build_workload(target, scale=scale)
+    return lint_program(workload.program, name=target)
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import format_diagnostics, format_report
+    from repro.workloads.registry import workload_names
+
+    targets = list(args.targets)
+    if args.all:
+        targets += [n for n in
+                    workload_names("irregular") + workload_names("spec")
+                    if n not in targets]
+    if not targets:
+        print("lint: no targets (give workload names, .s files or --all)",
+              file=sys.stderr)
+        return 2
+    try:
+        reports = [_lint_one(t, args.scale) for t in targets]
+    except (OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    ok = all(report.ok for report in reports)
+    n_err = sum(len(r.errors) for r in reports)
+    n_warn = sum(len(r.warnings) for r in reports)
+    if args.jsonl:
+        from repro.obs import RunLog, make_record
+
+        RunLog(args.jsonl).append(make_record(
+            "lint", ok=ok, errors=n_err, warnings=n_warn,
+            reports=[r.to_dict() for r in reports]))
+    if args.json:
+        print(json.dumps(
+            {"ok": ok, "errors": n_err, "warnings": n_warn,
+             "reports": [r.to_dict() for r in reports]},
+            indent=2, sort_keys=True))
+        _report_obs_outputs(args)
+        return 0 if ok else 1
+    verbose = args.verbose or not args.all
+    for report in reports:
+        text = (format_report(report, verbose=True) if verbose
+                else format_diagnostics(report))
+        print(text)
+        if verbose:
+            print()
+    print(f"linted {len(reports)} target(s): "
+          f"{n_err} error(s), {n_warn} warning(s)")
+    _report_obs_outputs(args)
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -273,6 +351,21 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument("--warmup", type=int, default=800)
     trace_p.add_argument("--count", type=int, default=48)
 
+    lint_p = sub.add_parser(
+        "lint", help="static analysis: diagnostics + SVR chain estimates")
+    lint_p.add_argument("targets", nargs="*", metavar="TARGET",
+                        help="workload names or assembly (.s) files")
+    lint_p.add_argument("--all", action="store_true",
+                        help="lint every registered workload")
+    lint_p.add_argument("--scale", default="tiny",
+                        choices=("tiny", "bench", "default"))
+    lint_p.add_argument("-v", "--verbose", action="store_true",
+                        help="print load/chain tables even with --all")
+    lint_p.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
+    lint_p.add_argument("--jsonl", default="", metavar="PATH",
+                        help="append a structured lint record to PATH")
+
     ovh_p = sub.add_parser("overhead", help="Table II budget")
     ovh_p.add_argument("n", nargs="?", type=int, default=16)
     ovh_p.add_argument("k", nargs="?", type=int, default=8)
@@ -280,7 +373,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "stats": _cmd_stats,
                 "figure": _cmd_figure, "trace": _cmd_trace,
-                "overhead": _cmd_overhead}
+                "overhead": _cmd_overhead, "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,78 @@
+"""Static analysis over mini-ISA programs (design in docs/static-analysis.md).
+
+The framework has four layers, each usable on its own:
+
+* :mod:`repro.analysis.cfg`       — basic blocks, dominators, natural loops;
+* :mod:`repro.analysis.dataflow`  — worklist engine + reaching definitions,
+  liveness and definite assignment;
+* :mod:`repro.analysis.induction` — induction variables and static stride
+  classification of every load (striding / indirect / invariant);
+* :mod:`repro.analysis.taint`     — static SVR taint chains seeded at
+  striding loads: the dependent instructions a perfect SVR unit would
+  vectorize, with expected chain length and SRF pressure.
+
+:func:`repro.analysis.lint.lint_program` drives all of them and returns a
+:class:`~repro.analysis.lint.LintReport`; ``python -m repro lint`` is the
+CLI entry point.
+"""
+
+from repro.analysis.cfg import CFG, BasicBlock, Loop, build_cfg
+from repro.analysis.dataflow import (
+    DataflowProblem,
+    DefiniteAssignment,
+    LiveRegisters,
+    ReachingDefinitions,
+    dead_definitions,
+    solve,
+    unassigned_reads,
+)
+from repro.analysis.induction import (
+    InductionVariable,
+    LoadInfo,
+    StrideAnalysis,
+)
+from repro.analysis.lint import (
+    DIAGNOSTIC_CATALOG,
+    Diagnostic,
+    LintReport,
+    Severity,
+    lint_program,
+)
+from repro.analysis.render import (
+    format_chain_table,
+    format_diagnostics,
+    format_load_table,
+    format_report,
+)
+from repro.analysis.taint import StaticChain, chains_for_program, taint_chain
+from repro.svr.chain import LoadClass
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "DIAGNOSTIC_CATALOG",
+    "DataflowProblem",
+    "DefiniteAssignment",
+    "Diagnostic",
+    "InductionVariable",
+    "LintReport",
+    "LiveRegisters",
+    "LoadClass",
+    "LoadInfo",
+    "Loop",
+    "ReachingDefinitions",
+    "Severity",
+    "StaticChain",
+    "StrideAnalysis",
+    "build_cfg",
+    "chains_for_program",
+    "dead_definitions",
+    "format_chain_table",
+    "format_diagnostics",
+    "format_load_table",
+    "format_report",
+    "lint_program",
+    "solve",
+    "taint_chain",
+    "unassigned_reads",
+]

@@ -1,0 +1,77 @@
+"""Text rendering for lint reports, in the style of ``repro stats`` tables."""
+
+from __future__ import annotations
+
+from repro.analysis.lint import LintReport
+
+
+def _table(headers: list[str], rows: list[list[str]],
+           indent: str = "  ") -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [indent + "  ".join(h.ljust(widths[i])
+                                for i, h in enumerate(headers)).rstrip()]
+    for row in rows:
+        lines.append(indent + "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def format_diagnostics(report: LintReport) -> str:
+    """One gcc-style line per diagnostic, or an all-clear note."""
+    if not report.diagnostics:
+        return f"{report.name}: clean (no diagnostics)"
+    lines = [f"{report.name}: {len(report.errors)} error(s), "
+             f"{len(report.warnings)} warning(s)"]
+    lines.extend(f"  {report.name}:{diag}" for diag in report.diagnostics)
+    return "\n".join(lines)
+
+
+def format_load_table(report: LintReport) -> str:
+    """Per-load classification table (class, stride, feeding loads)."""
+    if not report.loads:
+        return "  (no loads)"
+    rows = []
+    for info in report.loads:
+        rows.append([
+            str(info.pc),
+            info.load_class.value,
+            "-" if info.stride is None else str(info.stride),
+            "-" if info.iv_reg is None else f"x{info.iv_reg}",
+            "-" if info.loop_header is None else str(info.loop_header),
+            ",".join(str(p) for p in info.depends_on) or "-",
+        ])
+    return _table(["pc", "class", "stride", "iv", "loop", "feeds-from"],
+                  rows)
+
+
+def format_chain_table(report: LintReport) -> str:
+    """Per-seed dependent-chain summary (length, loads, SRF pressure)."""
+    if not report.chains:
+        return "  (no striding seeds)"
+    rows = []
+    for chain in report.chains:
+        rows.append([
+            str(chain.seed_pc),
+            "-" if chain.loop_header is None else str(chain.loop_header),
+            str(chain.chain_length),
+            str(len(chain.dependent_loads)),
+            str(chain.srf_pressure),
+            str(len(chain.chain_pcs)),
+        ])
+    return _table(["seed", "loop", "chain/iter", "dep-loads",
+                   "srf-regs", "total-chain"], rows)
+
+
+def format_report(report: LintReport, *, verbose: bool = True) -> str:
+    """Full human-readable lint output for one program."""
+    parts = [format_diagnostics(report)]
+    if verbose:
+        parts.append(f"\nloads ({report.num_loops} loop(s), "
+                     f"{report.num_blocks} block(s)):")
+        parts.append(format_load_table(report))
+        parts.append("\nstatic SVR chains:")
+        parts.append(format_chain_table(report))
+    return "\n".join(parts)

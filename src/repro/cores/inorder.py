@@ -25,7 +25,7 @@ from repro.cores.base import (
     stall_reason_for_level,
 )
 from repro.isa.executor import execute
-from repro.isa.instructions import OpClass, Opcode
+from repro.isa.instructions import OpClass
 from repro.isa.registers import NUM_REGS, RegisterFile
 from repro.obs.probes import default_bus
 
@@ -88,7 +88,7 @@ class InOrderCore:
 
     def _exec_latency(self, inst) -> float:
         cfg = self.config
-        if inst.op is Opcode.MUL or inst.op is Opcode.MULI:
+        if inst.is_multiply:
             return cfg.mul_latency
         if inst.opclass is OpClass.FP:
             return cfg.fp_latency
@@ -115,7 +115,7 @@ class InOrderCore:
         # Stall-on-use: wait for source operands.
         src_ready = earliest
         src_level = None
-        for reg in inst.sources():
+        for reg in inst.regs_read():
             ready = self._ready[reg]
             if ready > src_ready:
                 src_ready = ready

@@ -32,7 +32,7 @@ from repro.cores.base import (
     stall_reason_for_level,
 )
 from repro.isa.executor import execute
-from repro.isa.instructions import OpClass, Opcode
+from repro.isa.instructions import OpClass
 from repro.isa.registers import NUM_REGS, RegisterFile
 from repro.obs.probes import default_bus
 
@@ -84,7 +84,7 @@ class OutOfOrderCore:
 
     def _exec_latency(self, inst) -> float:
         cfg = self.config
-        if inst.op is Opcode.MUL or inst.op is Opcode.MULI:
+        if inst.is_multiply:
             return cfg.mul_latency
         if inst.opclass is OpClass.FP:
             return cfg.fp_latency
@@ -120,7 +120,7 @@ class OutOfOrderCore:
         # Operand readiness (register dataflow).
         exec_start = dispatch
         src_level = None
-        for reg in inst.sources():
+        for reg in inst.regs_read():
             ready = self._ready[reg]
             if ready > exec_start:
                 exec_start = ready

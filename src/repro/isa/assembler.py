@@ -70,19 +70,32 @@ def _check_reg(token: str, line_no: int, line: str) -> str:
 
 
 def assemble(source: str, name: str = "assembly") -> Program:
-    """Assemble *source* text into a :class:`Program`."""
+    """Assemble *source* text into a :class:`Program`.
+
+    Raises :class:`AssemblerError` (with the offending line number) on
+    malformed lines, duplicate labels and branches to undefined labels.
+    """
     builder = ProgramBuilder(name)
+    pc_lines: list[tuple[int, str]] = []   # pc -> (line_no, raw)
     for line_no, raw in enumerate(source.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
             continue
         match = _LABEL_RE.match(line)
         if match and match.group(1) not in _mnemonics():
-            builder.label(match.group(1))
+            label = match.group(1)
+            if builder.has_label(label):
+                raise AssemblerError(line_no, raw,
+                                     f"duplicate label {label!r}")
+            builder.label(label)
             line = match.group(2).strip()
             if not line:
                 continue
+        pc_lines.append((line_no, raw))
         _assemble_line(builder, line, line_no, raw)
+    for pc, label in builder.undefined_targets():
+        line_no, raw = pc_lines[pc]
+        raise AssemblerError(line_no, raw, f"undefined label {label!r}")
     return builder.build()
 
 

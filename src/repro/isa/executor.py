@@ -121,20 +121,20 @@ def execute(
     op = inst.op
     result = ExecResult(next_pc=pc + 1)
 
-    if op is Opcode.LD:
+    if inst.is_load:
         addr = wrap64(read_reg(inst.rs1) + inst.imm)
         result.address = addr
         result.value = memory.read_word(addr)
-    elif op is Opcode.ST:
+    elif inst.is_store:
         addr = wrap64(read_reg(inst.rs1) + inst.imm)
         result.address = addr
         result.value = read_reg(inst.rs2)
         if commit_stores:
             memory.write_word(addr, result.value)
-    elif op is Opcode.BEQZ or op is Opcode.BNEZ:
+    elif inst.is_branch:
         value = read_reg(inst.rs1)
         result.src_a = value
-        taken = (value == 0) if op is Opcode.BEQZ else (value != 0)
+        taken = inst.branch_taken(value)
         result.taken = taken
         if taken:
             result.next_pc = inst.target

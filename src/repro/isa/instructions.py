@@ -152,7 +152,12 @@ class Instruction:
     def is_control(self) -> bool:
         return self.op in BRANCH_OPS or self.op is Opcode.JMP
 
-    def sources(self) -> tuple[int, ...]:
+    @property
+    def is_multiply(self) -> bool:
+        """Multiplies pay the longer ALU latency in the timing cores."""
+        return self.op is Opcode.MUL or self.op is Opcode.MULI
+
+    def regs_read(self) -> tuple[int, ...]:
         """Architectural source registers read by this instruction."""
         srcs = []
         if self.rs1 is not None:
@@ -160,6 +165,27 @@ class Instruction:
         if self.rs2 is not None:
             srcs.append(self.rs2)
         return tuple(srcs)
+
+    def regs_written(self) -> tuple[int, ...]:
+        """Architectural destination registers written by this instruction.
+
+        ``x0`` writes are included here (they occupy a writeback slot); most
+        analyses treat them as discarded, matching the register file.
+        """
+        return () if self.rd is None else (self.rd,)
+
+    def branch_taken(self, value: int) -> bool:
+        """Branch outcome for a conditional branch given its ``rs1`` value."""
+        if self.op is Opcode.BEQZ:
+            return value == 0
+        if self.op is Opcode.BNEZ:
+            return value != 0
+        if self.op is Opcode.JMP:
+            return True
+        raise ValueError(f"not a branch: {self.op}")
+
+    # Historical name for :meth:`regs_read`, kept for older call sites.
+    sources = regs_read
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         parts = [self.op.value]

@@ -93,6 +93,18 @@ class ProgramBuilder:
         self._label_seq += 1
         return f".{hint}{self._label_seq}"
 
+    def has_label(self, name: str) -> bool:
+        return name in self._labels
+
+    def undefined_targets(self) -> list[tuple[int, str]]:
+        """``(pc, label)`` pairs whose label has no definition (yet).
+
+        The text assembler uses this to report undefined branch targets with
+        the line number of the *branch* before :meth:`build` would raise.
+        """
+        return [(pc, label) for pc, label in self._fixups
+                if label not in self._labels]
+
     def _emit(self, op: Opcode, rd=None, rs1=None, rs2=None, imm: int = 0,
               target: str | None = None) -> None:
         pc = len(self._instructions)

@@ -1,0 +1,69 @@
+"""Shared chain-classification vocabulary and dynamic cross-validation hooks.
+
+The static analyzer (:mod:`repro.analysis`) and the dynamic SVR machinery
+describe the same objects — striding loads and the dependent instruction
+chains hanging off them (paper Fig 8) — from two sides.  This module holds
+the vocabulary both sides share:
+
+* :class:`LoadClass` — how a load's address behaves across loop iterations;
+* :class:`ChainRecorder` — a cheap per-run log of what the *dynamic* side
+  actually did (which PCs seeded runahead rounds with which strides, and
+  which PCs issued dependent SVIs), attached to every
+  :class:`~repro.svr.unit.ScalarVectorUnit` so tests can assert that dynamic
+  behaviour is a subset of the static prediction;
+* :func:`classify_detector_entries` — the dynamic analogue of the static
+  per-load classification, read off the stride-detector table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class LoadClass(enum.Enum):
+    """Address behaviour of one static load across iterations of its loop."""
+
+    STRIDING = "striding"        # affine in a loop induction variable
+    INDIRECT = "indirect"        # address depends on another load's result
+    INVARIANT = "invariant"      # address is loop-invariant
+    IRREGULAR = "irregular"      # address varies but fits no affine form
+    NONLOOP = "nonloop"          # the load is not inside any natural loop
+
+
+@dataclass
+class ChainRecorder:
+    """Cumulative record of dynamic SVR chain activity for one unit.
+
+    ``seeds`` maps a load PC that generated stride SVIs (a runahead seed) to
+    the set of strides it was vectorized with; ``dependents`` is every PC
+    that read a tainted register while in PRM — i.e. the dynamic dependent
+    chain, before vectorizability filtering.  Both accumulate for the
+    lifetime of the unit (they survive ``reset_stats``), because they exist
+    for cross-validation, not for measurement windows.
+    """
+
+    seeds: dict[int, set[int]] = field(default_factory=dict)
+    dependents: set[int] = field(default_factory=set)
+
+    def record_seed(self, pc: int, stride: int) -> None:
+        self.seeds.setdefault(pc, set()).add(stride)
+
+    def record_dependent(self, pc: int) -> None:
+        self.dependents.add(pc)
+
+    @property
+    def seed_pcs(self) -> frozenset[int]:
+        return frozenset(self.seeds)
+
+
+def classify_detector_entries(detector, *,
+                              min_confidence: int = 2) -> dict[int, int]:
+    """Strides of confident entries in a live stride-detector table.
+
+    Returns ``{pc: stride}`` for every table entry at or above
+    *min_confidence* — the dynamic ground truth the static
+    :class:`LoadClass.STRIDING` classification is checked against.
+    """
+    return {entry.pc: entry.stride for entry in detector.entries()
+            if entry.confidence >= min_confidence and entry.stride != 0}

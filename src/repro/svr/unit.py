@@ -30,10 +30,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.executor import alu_compute
-from repro.isa.instructions import OpClass, Opcode
+from repro.isa.instructions import OpClass
 from repro.isa.registers import wrap64
 from repro.obs.probes import default_bus
 from repro.svr.accuracy import AccuracyMonitor
+from repro.svr.chain import ChainRecorder
 from repro.svr.config import SVRConfig
 from repro.svr.loop_bound import LoopBoundUnit
 from repro.svr.overhead import overhead_kib
@@ -89,6 +90,7 @@ class ScalarVectorUnit:
                                        cfg.accuracy_reset_interval,
                                        cfg.accuracy_enabled)
         self.monitor.probe = self.bus.probe("svr.accuracy_ban")
+        self.chain_log = ChainRecorder()
         self.stats = SvrStats()
         self.core = None
         self._context_slots = None      # decoupled-context ablation
@@ -153,12 +155,12 @@ class ScalarVectorUnit:
         else:
             self.loop_bound.observe_write(pc, inst.rd,
                                           is_compare=False)
-        if opclass is OpClass.BRANCH:
+        if inst.is_branch:
             self.loop_bound.train_on_branch(pc, inst.target, result.taken,
                                             inst.rs1, self.hslr_pc)
 
         started_round = False
-        if opclass is OpClass.LOAD:
+        if inst.is_load:
             started_round = self._stride_logic(pc, inst, result, issue_time)
 
         if self.in_prm and not started_round:
@@ -287,6 +289,7 @@ class ScalarVectorUnit:
             if length <= 0:
                 self.stats.rounds_skipped_zero_length += 1
                 return
+        self.chain_log.record_seed(entry.pc, entry.stride)
         srf_id = self.srf.allocate(inst.rd, self.taint)
         if srf_id is None:
             self.taint.entry(inst.rd).tainted = True
@@ -334,12 +337,14 @@ class ScalarVectorUnit:
     def _dependent_logic(self, pc: int, inst, result, issue_time: float) -> None:
         """Generate SVIs for an instruction reading tainted registers."""
         opclass = inst.opclass
-        sources = inst.sources()
-        tainted_srcs = [r for r in sources if self.taint.is_tainted(r)]
+        tainted_srcs = [r for r in inst.regs_read()
+                        if self.taint.is_tainted(r)]
+        if tainted_srcs:
+            self.chain_log.record_dependent(pc)
         vectorizable = bool(tainted_srcs) and all(
             self.taint.is_vectorizable(r) for r in tainted_srcs)
 
-        if opclass is OpClass.BRANCH:
+        if inst.is_branch:
             if vectorizable:
                 self._mask_divergent_lanes(inst, result, issue_time)
             return
@@ -362,7 +367,7 @@ class ScalarVectorUnit:
             # still propagates — and a tainted load past the cutoff means
             # we reached an *alternative* LIL, draining its confidence
             # (footnote 2 of the paper).
-            if opclass is OpClass.LOAD and self._generation_stopped:
+            if inst.is_load and self._generation_stopped:
                 entry = (self.detector.get(self.hslr_pc)
                          if self.hslr_pc is not None else None)
                 if entry is not None:
@@ -373,10 +378,10 @@ class ScalarVectorUnit:
                 taint_entry.tainted = True
                 taint_entry.mapped = False
             return
-        if opclass is OpClass.LOAD:
+        if inst.is_load:
             self._generate_dependent_load(inst, issue_time)
             self._lil_offset = self._prm_instructions
-        elif opclass is OpClass.STORE:
+        elif inst.is_store:
             self._generate_dependent_store(inst, issue_time)
         elif opclass in (OpClass.ALU, OpClass.FP, OpClass.CMP):
             self._generate_dependent_alu(inst, issue_time)
@@ -406,7 +411,7 @@ class ScalarVectorUnit:
                 self.mask[lane] = False
                 self.stats.masked_lanes += 1
                 continue
-            lane_taken = (value == 0) if inst.op is Opcode.BEQZ else (value != 0)
+            lane_taken = inst.branch_taken(value)
             if lane_taken != result.taken:
                 self.mask[lane] = False
                 self.stats.masked_lanes += 1

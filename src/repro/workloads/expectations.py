@@ -1,0 +1,58 @@
+"""Recorded static-analysis expectations for the GAP kernels.
+
+These are the reference classifications produced by
+:mod:`repro.analysis` over the five GAP kernels, recorded so that
+``tests/test_lint_workloads.py`` locks them in: any change to a kernel
+builder or to the analyses that shifts a load's class, a stride, or a
+chain shape fails loudly instead of silently.
+
+The numbers are independent of the graph input — every ``KERNEL_*``
+variant shares the same program shape, only ``li`` immediates (array
+bases and sizes) differ — so they are keyed by bare kernel name.
+
+Fields per kernel:
+
+* ``striding`` / ``indirect`` — number of loads in each class
+  (:class:`~repro.svr.chain.LoadClass`); GAP kernels have no irregular
+  or loop-invariant loads;
+* ``strides`` — the set of byte strides over all striding loads
+  (8 = one 64-bit word per iteration; CC's 64 is its degree-8 edge
+  blocks; BC's -8 is the reverse dependency-accumulation sweep);
+* ``chains`` — ``(seed_pc, chain_length, srf_pressure)`` per striding
+  seed that anchors a static SVR chain, sorted by seed pc.
+"""
+
+from __future__ import annotations
+
+GAP_EXPECTATIONS: dict[str, dict] = {
+    "BC": {
+        "striding": 4,
+        "indirect": 10,
+        "strides": {-8, 8},
+        "chains": ((12, 26, 11), (26, 10, 4), (47, 33, 12), (63, 10, 5)),
+    },
+    "BFS": {
+        "striding": 2,
+        "indirect": 3,
+        "strides": {8},
+        "chains": ((11, 20, 9), (21, 10, 4)),
+    },
+    "CC": {
+        "striding": 4,
+        "indirect": 1,
+        "strides": {8, 64},
+        "chains": ((9, 14, 7), (10, 5, 2), (13, 2, 1), (18, 4, 4)),
+    },
+    "PR": {
+        "striding": 3,
+        "indirect": 1,
+        "strides": {8},
+        "chains": ((10, 14, 7), (11, 5, 2), (17, 4, 4)),
+    },
+    "SSSP": {
+        "striding": 3,
+        "indirect": 4,
+        "strides": {8},
+        "chains": ((12, 30, 12), (25, 11, 4), (28, 5, 2)),
+    },
+}

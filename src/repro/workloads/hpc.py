@@ -322,7 +322,8 @@ def _histogram_kernel(name: str, hashed: bool, memory: MainMemory | None,
     bld.li("a0", key_arr)
     bld.li("a1", hist)
     bld.li("a2", keys)
-    bld.li("a3", mask)
+    if hashed:
+        bld.li("a3", mask)            # only the hashed variant masks keys
     bld.li("a4", repeats)
     bld.li("s0", 0)
     bld.label("repeat")

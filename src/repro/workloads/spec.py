@@ -149,13 +149,12 @@ def _compute_kernel(b: ProgramBuilder, base: int, n: int, depth: int) -> None:
     b.bnez("t3", "loop")
 
 
-def _cached_kernel(b: ProgramBuilder, idx_base: int, table_base: int,
+def _cached_kernel(b: ProgramBuilder, table_base: int,
                    n: int, mask: int) -> None:
     """L1-resident table lookups with *computed* (xorshift) indices — the
     pointer-chasing-integer-code shape of perlbench/gcc/omnetpp.  There is
     no striding load to piggyback on, so SVR stays idle, as it does on the
     real binaries."""
-    b.li("a0", idx_base)             # unused seed array base (kept resident)
     b.li("a1", table_base)
     b.li("a2", n)
     b.li("a3", mask)
@@ -230,13 +229,15 @@ def build_spec(name: str, memory: MainMemory | None = None,
         _compute_kernel(b, base, size, depth=extra)
     elif archetype == "cached":
         table_words = 1 << 10        # 8 KiB: comfortably L1-resident
-        idx = memory.alloc_array(
+        # Seed index array stays resident to keep the memory image shape;
+        # the kernel itself generates indices with xorshift.
+        memory.alloc_array(
             rng.integers(0, table_words, size=size, dtype=np.int64),
             name="idx")
         table = memory.alloc_array(
             rng.integers(0, 1 << 20, size=table_words, dtype=np.int64),
             name="table")
-        _cached_kernel(b, idx, table, size, table_words - 1)
+        _cached_kernel(b, table, size, table_words - 1)
     elif archetype == "short":
         base = memory.alloc_array(
             rng.integers(0, 1 << 20, size=1 << 14, dtype=np.int64), name="A")

@@ -1,0 +1,168 @@
+"""Tests for the CFG layer: blocks, edges, dominators and natural loops."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.isa.program import ProgramBuilder
+
+from conftest import gather_program
+
+
+def simple_loop():
+    """count-down loop: one header/latch block plus prologue and exit."""
+    b = ProgramBuilder("loop")
+    b.li("t0", 4)
+    b.label("loop")
+    b.addi("t0", "t0", -1)
+    b.bnez("t0", "loop")
+    b.halt()
+    return b.build()
+
+
+def diamond():
+    """if/else rejoin: entry -> (then | else) -> join."""
+    b = ProgramBuilder("diamond")
+    b.li("t0", 1)
+    b.beqz("t0", "else_")
+    b.li("t1", 10)
+    b.jmp("join")
+    b.label("else_")
+    b.li("t1", 20)
+    b.label("join")
+    b.mv("t2", "t1")
+    b.halt()
+    return b.build()
+
+
+def nested_loops():
+    """outer loop over an inner count-down loop."""
+    b = ProgramBuilder("nested")
+    b.li("s0", 3)
+    b.label("outer")
+    b.li("t0", 4)
+    b.label("inner")
+    b.addi("t0", "t0", -1)
+    b.bnez("t0", "inner")
+    b.addi("s0", "s0", -1)
+    b.bnez("s0", "outer")
+    b.halt()
+    return b.build()
+
+
+class TestBlocks:
+    def test_gather_partitions_into_three_blocks(self):
+        cfg = build_cfg(gather_program(0x1000, 0x2000, 8))
+        # prologue [0,5), loop body [5,15), halt [15,16)
+        assert sorted(cfg.blocks) == [0, 5, 15]
+        assert cfg.blocks[0].successors == [5]
+        assert sorted(cfg.blocks[5].successors) == [5, 15]
+        assert cfg.blocks[15].successors == []
+        assert cfg.blocks[5].predecessors == [0, 5]
+
+    def test_blocks_partition_every_pc_exactly_once(self):
+        program = diamond()
+        cfg = build_cfg(program)
+        covered = sorted(pc for blk in cfg.blocks.values() for pc in blk.pcs)
+        assert covered == list(range(len(program)))
+
+    def test_block_of_maps_interior_pcs(self):
+        cfg = build_cfg(gather_program(0x1000, 0x2000, 8))
+        assert cfg.block_of(7).start == 5
+        assert cfg.block_of(0).start == 0
+        with pytest.raises(IndexError):
+            cfg.block_of(99)
+
+    def test_halt_terminated_program_has_no_off_end(self):
+        cfg = build_cfg(simple_loop())
+        assert cfg.off_end_pcs == []
+
+    def test_missing_halt_is_off_end(self):
+        b = ProgramBuilder("nohalt")
+        b.li("t0", 1)
+        b.addi("t0", "t0", 1)
+        cfg = build_cfg(b.build())
+        assert cfg.off_end_pcs == [1]
+
+    def test_empty_program(self):
+        cfg = build_cfg(ProgramBuilder("empty").build())
+        assert cfg.blocks == {}
+        assert cfg.rpo == []
+        assert cfg.loops == []
+
+
+class TestOrderAndDominators:
+    def test_rpo_starts_at_entry_and_covers_reachable(self):
+        cfg = build_cfg(diamond())
+        assert cfg.rpo[0] == cfg.entry
+        assert set(cfg.rpo) == set(cfg.reachable)
+
+    def test_diamond_dominators(self):
+        cfg = build_cfg(diamond())
+        join = max(b for b in cfg.blocks if b != max(cfg.blocks))
+        # Entry dominates everything; neither arm dominates the join.
+        arms = [b for b in cfg.blocks
+                if b not in (cfg.entry, join) and cfg.blocks[b].successors]
+        for block in cfg.blocks:
+            assert cfg.dominates(cfg.entry, block)
+        for arm in arms:
+            if arm != join:
+                assert not cfg.dominates(arm, join) or arm == cfg.entry
+
+    def test_loop_header_dominates_body(self):
+        cfg = build_cfg(nested_loops())
+        for loop in cfg.loops:
+            for block in loop.body:
+                assert cfg.dominates(loop.header, block)
+
+    def test_unreachable_block_after_jmp(self):
+        b = ProgramBuilder("unreach")
+        b.jmp("end")
+        b.li("t0", 1)          # never reached
+        b.label("end")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert [blk.start for blk in cfg.unreachable_blocks] == [1]
+        assert 1 not in cfg.rpo
+
+
+class TestLoops:
+    def test_simple_loop_found(self):
+        cfg = build_cfg(simple_loop())
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == 1
+        assert loop.body == frozenset({1})
+        assert loop.back_edges == (1,)
+        assert loop.exits == (3,)
+
+    def test_nested_loops_innermost_first(self):
+        cfg = build_cfg(nested_loops())
+        assert len(cfg.loops) == 2
+        inner, outer = cfg.loops
+        assert len(inner.body) < len(outer.body)
+        assert inner.body < outer.body
+
+    def test_innermost_loop_of_pc(self):
+        program = nested_loops()
+        cfg = build_cfg(program)
+        inner, outer = cfg.loops
+        assert cfg.innermost_loop(inner.header) is inner
+        # The outer latch block is only in the outer loop.
+        latch = outer.back_edges[0]
+        assert cfg.innermost_loop(latch) is outer
+        assert cfg.innermost_loop(0) is None
+
+    def test_loop_pcs_ascending_and_complete(self):
+        cfg = build_cfg(nested_loops())
+        inner, _ = cfg.loops
+        pcs = cfg.loop_pcs(inner)
+        assert pcs == sorted(pcs)
+        assert set(pcs) == {pc for b in inner.body
+                            for pc in cfg.blocks[b].pcs}
+
+    def test_gather_loop_shape(self):
+        cfg = build_cfg(gather_program(0x1000, 0x2000, 8))
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert loop.header == 5
+        assert cfg.loop_pcs(loop) == list(range(5, 15))

@@ -1,0 +1,132 @@
+"""Tests for the dataflow engine and its three concrete analyses."""
+
+from repro.analysis import build_cfg
+from repro.analysis.dataflow import (
+    DefiniteAssignment,
+    LiveRegisters,
+    ReachingDefinitions,
+    dead_definitions,
+    unassigned_reads,
+)
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import reg_index
+
+from conftest import gather_program
+
+T0 = reg_index("t0")
+T1 = reg_index("t1")
+T2 = reg_index("t2")
+
+
+def counted_loop():
+    b = ProgramBuilder("counted")
+    b.li("t0", 0)             # pc 0: init
+    b.label("loop")
+    b.addi("t0", "t0", 1)     # pc 1: loop-carried redefinition
+    b.cmp_lt("t1", "t0", "x0")
+    b.bnez("t1", "loop")
+    b.halt()
+    return b.build()
+
+
+class TestReachingDefinitions:
+    def test_straight_line_kill(self):
+        b = ProgramBuilder("kill")
+        b.li("t0", 1)          # pc 0
+        b.li("t0", 2)          # pc 1 kills pc 0
+        b.mv("t1", "t0")       # pc 2
+        b.halt()
+        rd = ReachingDefinitions(build_cfg(b.build()))
+        assert rd.reaching(2, T0) == frozenset({1})
+
+    def test_loop_header_merges_init_and_latch(self):
+        rd = ReachingDefinitions(build_cfg(counted_loop()))
+        # At the addi both the init (pc 0) and the previous iteration's
+        # update (pc 1) reach.
+        assert rd.reaching(1, T0) == frozenset({0, 1})
+
+    def test_gather_address_reaches_from_unique_defs(self):
+        program = gather_program(0x1000, 0x2000, 8)
+        rd = ReachingDefinitions(build_cfg(program))
+        # pc 7 is the striding load `ld t2, t1, 0`; t1's reaching def is
+        # the add at pc 6 even though t1 is also written at pc 5.
+        assert rd.reaching(7, T1) == frozenset({6})
+
+
+class TestLiveRegisters:
+    def test_dead_after_last_read(self):
+        b = ProgramBuilder("live")
+        b.li("t0", 1)          # pc 0
+        b.mv("t1", "t0")       # pc 1: last read of t0
+        b.mv("t2", "t1")       # pc 2
+        b.halt()
+        live = LiveRegisters(build_cfg(b.build()))
+        assert T0 in live.live_out(0)
+        assert T0 not in live.live_out(1)
+        assert T1 in live.live_out(1)
+
+    def test_loop_carried_value_stays_live(self):
+        live = LiveRegisters(build_cfg(counted_loop()))
+        # t0 is read by the next iteration: live across the back edge.
+        assert T0 in live.live_out(1)
+
+
+class TestDefiniteAssignment:
+    def test_one_sided_assignment_is_not_definite(self):
+        b = ProgramBuilder("maybe")
+        b.li("t0", 0)
+        b.beqz("t0", "skip")
+        b.li("t1", 7)          # only on the fallthrough path
+        b.label("skip")
+        b.mv("t2", "t1")       # pc 3 reads maybe-unassigned t1
+        b.halt()
+        cfg = build_cfg(b.build())
+        da = DefiniteAssignment(cfg)
+        assert T1 not in da.assigned_before(3)
+        assert (3, T1) in unassigned_reads(cfg)
+
+    def test_both_sided_assignment_is_definite(self):
+        b = ProgramBuilder("both")
+        b.li("t0", 0)
+        b.beqz("t0", "else_")
+        b.li("t1", 7)
+        b.jmp("join")
+        b.label("else_")
+        b.li("t1", 8)
+        b.label("join")
+        b.mv("t2", "t1")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert unassigned_reads(cfg) == []
+
+    def test_x0_reads_never_flagged(self):
+        b = ProgramBuilder("zero")
+        b.mv("t0", "x0")
+        b.halt()
+        assert unassigned_reads(build_cfg(b.build())) == []
+
+
+class TestDeadDefinitions:
+    def test_overwritten_before_read_is_dead(self):
+        b = ProgramBuilder("deadstore")
+        b.li("t0", 1)          # pc 0: dead, overwritten at pc 1
+        b.li("t0", 2)
+        b.mv("t1", "t0")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert (0, T0) in dead_definitions(cfg)
+        assert (1, T0) not in dead_definitions(cfg)
+
+    def test_keep_predicate_exempts_instructions(self):
+        b = ProgramBuilder("keepload")
+        b.li("a0", 0x1000)
+        b.ld("t0", "a0", 0)    # result unused, but loads have side effects
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert (1, T0) in dead_definitions(cfg)
+        assert (1, T0) not in dead_definitions(
+            cfg, keep=lambda inst: inst.is_load)
+
+    def test_clean_kernel_has_no_dead_defs(self):
+        cfg = build_cfg(gather_program(0x1000, 0x2000, 8))
+        assert dead_definitions(cfg) == []

@@ -1,0 +1,131 @@
+"""Tests for the lint driver: intentionally broken kernels must produce
+exactly the catalogued diagnostics."""
+
+from repro.analysis import (
+    DIAGNOSTIC_CATALOG,
+    Severity,
+    format_report,
+    lint_program,
+)
+from repro.isa.program import ProgramBuilder
+
+from conftest import gather_program
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestBrokenKernels:
+    def test_use_before_def(self):
+        b = ProgramBuilder("ubd")
+        b.li("t0", 0)
+        b.beqz("t0", "skip")
+        b.li("t1", 7)
+        b.label("skip")
+        b.add("t2", "t1", "t0")      # t1 unassigned on the taken path
+        b.halt()
+        report = lint_program(b.build())
+        w101 = [d for d in report.diagnostics if d.code == "W101"]
+        assert len(w101) == 1
+        assert w101[0].pc == 3
+        assert w101[0].severity is Severity.WARNING
+        assert "x21" in w101[0].message           # t1 = x21
+        assert report.ok                          # warnings don't fail CI
+
+    def test_unreachable_block(self):
+        b = ProgramBuilder("unreach")
+        b.jmp("end")
+        b.li("t0", 1)
+        b.li("t1", 2)
+        b.label("end")
+        b.halt()
+        report = lint_program(b.build())
+        w102 = [d for d in report.diagnostics if d.code == "W102"]
+        assert [d.pc for d in w102] == [1]
+
+    def test_dead_store(self):
+        b = ProgramBuilder("dead")
+        b.li("t0", 1)                # overwritten before any read
+        b.li("t0", 2)
+        b.mv("t1", "t0")
+        b.st("t1", "t0", 0)          # keeps t1 live
+        b.halt()
+        report = lint_program(b.build())
+        w103 = [d for d in report.diagnostics if d.code == "W103"]
+        assert [(d.pc) for d in w103] == [0]
+
+    def test_missing_halt_is_error(self):
+        b = ProgramBuilder("nohalt")
+        b.li("t0", 1)
+        b.addi("t0", "t0", 1)
+        report = lint_program(b.build())
+        assert codes(report) == ["E001", "W103"]
+        assert not report.ok
+        assert report.errors[0].pc == 1
+
+    def test_write_to_x0(self):
+        b = ProgramBuilder("x0w")
+        b.li("x0", 5)
+        b.halt()
+        report = lint_program(b.build())
+        assert "W104" in codes(report)
+
+    def test_empty_program(self):
+        report = lint_program(ProgramBuilder("empty").build())
+        assert codes(report) == ["E001"]
+        assert not report.ok
+
+    def test_all_codes_catalogued(self):
+        # Every diagnostic a broken kernel can produce has a catalogue
+        # entry, and vice versa every catalogue code is well-formed.
+        for code in DIAGNOSTIC_CATALOG:
+            assert code[0] in "EW" and code[1:].isdigit()
+
+    def test_diagnostics_sorted_by_pc(self):
+        b = ProgramBuilder("multi")
+        b.li("t0", 1)                # dead (overwritten at 2)
+        b.jmp("on")
+        b.label("on")
+        b.li("t0", 2)
+        b.mv("t1", "t0")
+        # no halt -> E001 at the end
+        report = lint_program(b.build())
+        pcs = [d.pc for d in report.diagnostics]
+        assert pcs == sorted(pcs)
+
+
+class TestReportShape:
+    def test_clean_gather_report(self):
+        report = lint_program(gather_program(0x1000, 0x2000, 8),
+                              name="gather")
+        assert report.ok and not report.diagnostics
+        assert report.name == "gather"
+        assert report.num_loops == 1
+        assert len(report.loads) == 2
+        assert len(report.chains) == 1
+
+    def test_to_dict_round_trips_to_json(self):
+        import json
+
+        report = lint_program(gather_program(0x1000, 0x2000, 8))
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        assert data["loads"][0]["class"] == "striding"
+        assert data["chains"][0]["seed_pc"] == 7
+
+    def test_format_report_renders_tables(self):
+        report = lint_program(gather_program(0x1000, 0x2000, 8),
+                              name="gather")
+        text = format_report(report, verbose=True)
+        assert "clean" in text
+        assert "striding" in text and "indirect" in text
+        assert "srf-regs" in text
+
+    def test_diagnostic_str_includes_disassembly(self):
+        b = ProgramBuilder("nohalt")
+        b.li("t0", 1)
+        report = lint_program(b.build())
+        text = str(report.errors[0])
+        assert "E001" in text and "error" in text
+        assert "li" in text                      # disassembled line

@@ -1,0 +1,111 @@
+"""Tests for static taint chains (the static analogue of the SVR tracker)."""
+
+import pytest
+
+from repro.analysis import build_cfg, chains_for_program, taint_chain
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import reg_index
+
+from conftest import gather_program
+
+
+class TestGatherChain:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return build_cfg(gather_program(0x1000, 0x2000, 8))
+
+    def test_chain_from_striding_seed(self, cfg):
+        chain = taint_chain(cfg, 7)      # ld t2 <- idx[i]
+        # t2 feeds slli(8) -> add(9) -> ld(10) -> add t5(11); the summed
+        # t5 loops back into pc 11 only, so the chain stops there.
+        assert {8, 9, 10, 11} <= chain.chain_pcs
+        assert 7 not in chain.chain_pcs          # seed itself excluded
+        assert chain.dependent_loads == (10,)
+        assert chain.loop_header == 5
+
+    def test_chain_registers(self, cfg):
+        chain = taint_chain(cfg, 7)
+        tainted = {reg_index(r) for r in ("t2", "t3", "t4", "t5")}
+        assert tainted <= set(chain.tainted_regs)
+        # Untouched prologue registers never get tainted.
+        assert reg_index("a0") not in chain.tainted_regs
+        assert reg_index("t0") not in chain.tainted_regs
+
+    def test_in_loop_chain_and_srf(self, cfg):
+        chain = taint_chain(cfg, 7)
+        assert chain.loop_chain_pcs <= chain.chain_pcs
+        assert chain.chain_length == len(chain.loop_chain_pcs)
+        # SRF entries: seed dest t2 plus chain dests t3, t4, t5.
+        assert chain.srf_pressure == 4
+
+    def test_chains_for_program_seeds_at_striding_loads(self, cfg):
+        chains = chains_for_program(cfg)
+        assert [c.seed_pc for c in chains] == [7]
+
+    def test_non_load_seed_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            taint_chain(cfg, 8)
+
+
+class TestPropagation:
+    def test_taint_never_escapes_untainted_path(self):
+        # A value computed purely from invariants stays out of the chain.
+        b = ProgramBuilder("split")
+        b.li("a0", 0x1000)
+        b.li("t0", 0)
+        b.label("loop")
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)          # pc 4: seed
+        b.addi("t3", "t0", 5)        # pc 5: independent of the load
+        b.add("t4", "t2", "t3")      # pc 6: mixes tainted + clean
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t5", "t0", "x0")
+        b.bnez("t5", "loop")
+        b.halt()
+        chain = taint_chain(build_cfg(b.build()), 4)
+        assert 5 not in chain.chain_pcs
+        assert 6 in chain.chain_pcs
+        assert reg_index("t3") not in chain.tainted_regs
+        assert reg_index("t4") in chain.tainted_regs
+
+    def test_store_and_branch_join_chain_without_srf(self):
+        b = ProgramBuilder("stbr")
+        b.li("a0", 0x1000)
+        b.li("t0", 0)
+        b.label("loop")
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)          # pc 4: seed
+        b.st("t2", "t1", 0)          # pc 5: store of tainted value
+        b.beqz("t2", "skip")         # pc 6: branch on tainted value
+        b.label("skip")
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t3", "t0", "x0")
+        b.bnez("t3", "loop")
+        b.halt()
+        chain = taint_chain(build_cfg(b.build()), 4)
+        assert {5, 6} <= chain.chain_pcs
+        # Stores/branches write no register: they cost no SRF entry.
+        assert chain.srf_pressure == 1
+
+    def test_taint_is_monotone_superset_of_single_pass(self):
+        # A loop-carried tainted accumulator taints uses that appear
+        # *before* the seed in pc order; the fixpoint must find them.
+        b = ProgramBuilder("carry")
+        b.li("a0", 0x1000)
+        b.li("t5", 0)
+        b.li("t0", 0)
+        b.label("loop")
+        b.mv("t6", "t5")             # pc 3: reads last iteration's sum
+        b.slli("t1", "t0", 3)
+        b.add("t1", "a0", "t1")
+        b.ld("t2", "t1", 0)          # pc 6: seed
+        b.add("t5", "t5", "t2")      # pc 7: accumulator
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t3", "t0", "x0")
+        b.bnez("t3", "loop")
+        b.halt()
+        chain = taint_chain(build_cfg(b.build()), 6)
+        assert 7 in chain.chain_pcs
+        assert 3 in chain.chain_pcs          # found via the back edge

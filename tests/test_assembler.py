@@ -133,6 +133,27 @@ class TestErrors:
         with pytest.raises(ValueError, match="undefined label"):
             assemble("jmp nowhere")
 
+    def test_undefined_branch_target_carries_branch_line(self):
+        source = "li t0, 1\nli t1, 2\nbnez t0, missing\nhalt"
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert excinfo.value.line_no == 3
+        assert "undefined label" in str(excinfo.value)
+        assert "missing" in str(excinfo.value)
+
+    def test_duplicate_label(self):
+        source = "top:\n    li t0, 1\ntop:\n    halt"
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert excinfo.value.line_no == 3
+        assert "duplicate label" in str(excinfo.value)
+
+    def test_duplicate_label_inline_form(self):
+        source = "loop: li t0, 1\nloop: halt"
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert excinfo.value.line_no == 2
+
     def test_error_carries_line_number(self):
         try:
             assemble("li t0, 1\nbogus t1\nhalt")

@@ -1,0 +1,134 @@
+"""Tests for the ``python -m repro lint`` CLI surface."""
+
+import json
+
+from repro.__main__ import main
+
+CLEAN_S = """\
+start:
+    li   a0, 0x1000
+    li   a1, 8
+    li   t4, 0
+    li   t0, 0
+loop:
+    slli t1, t0, 3
+    add  t1, a0, t1
+    ld   t2, t1, 0
+    add  t4, t4, t2
+    addi t0, t0, 1
+    cmp_lt t3, t0, a1
+    bnez t3, loop
+    st   t4, a0, 0
+    halt
+"""
+
+NO_HALT_S = """\
+    li a0, 0x1000
+    ld t0, a0, 0
+"""
+
+BAD_LABEL_S = """\
+    li a0, 1
+    bnez a0, nowhere
+    halt
+"""
+
+
+class TestWorkloadTargets:
+    def test_clean_workload_exits_zero(self, capsys):
+        assert main(["lint", "PR_KR"]) == 0
+        out = capsys.readouterr().out
+        assert "PR_KR: clean" in out
+        assert "striding" in out and "indirect" in out
+
+    def test_multiple_targets(self, capsys):
+        assert main(["lint", "BFS_KR", "Camel"]) == 0
+        out = capsys.readouterr().out
+        assert "BFS_KR: clean" in out and "Camel: clean" in out
+        assert "linted 2 target(s)" in out
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["lint", "NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+
+class TestFileTargets:
+    def test_clean_assembly_file(self, tmp_path, capsys):
+        path = tmp_path / "clean.s"
+        path.write_text(CLEAN_S)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "clean.s: clean" in out
+
+    def test_missing_halt_fails(self, tmp_path, capsys):
+        path = tmp_path / "nohalt.s"
+        path.write_text(NO_HALT_S)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "E001" in out
+
+    def test_assembler_error_becomes_e002(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text(BAD_LABEL_S)
+        assert main(["lint", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "E002" in out
+        assert "undefined label" in out
+        assert "pc    2" in out          # assembler line number
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing.s")]) == 2
+        assert "missing.s" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_single_target(self, capsys):
+        assert main(["lint", "PR_KR", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert data["errors"] == 0
+        report = data["reports"][0]
+        assert report["name"] == "PR_KR"
+        assert {info["class"] for info in report["loads"]} == {"striding",
+                                                               "indirect"}
+
+    def test_json_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "nohalt.s"
+        path.write_text(NO_HALT_S)
+        assert main(["lint", str(path), "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False and data["errors"] >= 1
+
+    def test_all_covers_every_registered_workload(self, capsys):
+        from repro.workloads.registry import workload_names
+
+        assert main(["lint", "--all", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        expected = set(workload_names("irregular") + workload_names("spec"))
+        assert {r["name"] for r in data["reports"]} == expected
+        assert data["ok"] is True
+        assert data["errors"] == 0 and data["warnings"] == 0
+
+    def test_jsonl_record_appended(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.jsonl"
+        assert main(["lint", "PR_KR", "--jsonl", str(out_path)]) == 0
+        capsys.readouterr()
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["kind"] == "lint"
+        assert record["ok"] is True
+        assert record["reports"][0]["name"] == "PR_KR"
+
+
+class TestAllTextMode:
+    def test_all_prints_summary_lines(self, capsys):
+        assert main(["lint", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "linted 56 target(s): 0 error(s), 0 warning(s)" in out
+        # Compact mode: no per-load tables unless -v.
+        assert "srf-regs" not in out

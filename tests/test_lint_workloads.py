@@ -1,0 +1,46 @@
+"""Every registered workload must lint clean, and the GAP kernels must
+match their recorded static classifications (workloads/expectations.py)."""
+
+import pytest
+
+from repro.analysis import LoadClass, lint_program
+from repro.workloads.expectations import GAP_EXPECTATIONS
+from repro.workloads.registry import (
+    GAP_KERNELS,
+    build_workload,
+    workload_names,
+)
+
+ALL_WORKLOADS = workload_names("irregular") + workload_names("spec")
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_workload_lints_clean(name):
+    workload = build_workload(name, scale="tiny")
+    report = lint_program(workload.program, name=name)
+    assert report.ok, "\n".join(str(d) for d in report.errors)
+    assert not report.warnings, "\n".join(str(d) for d in report.warnings)
+
+
+@pytest.mark.parametrize("kernel", GAP_KERNELS)
+@pytest.mark.parametrize("graph", ("KR", "UR"))
+def test_gap_static_classification_matches_record(kernel, graph):
+    expect = GAP_EXPECTATIONS[kernel]
+    report = lint_program(
+        build_workload(f"{kernel}_{graph}", scale="tiny").program)
+    by_class = {}
+    for info in report.loads:
+        by_class.setdefault(info.load_class, []).append(info)
+    assert len(by_class.pop(LoadClass.STRIDING)) == expect["striding"]
+    assert len(by_class.pop(LoadClass.INDIRECT)) == expect["indirect"]
+    assert not by_class, f"unexpected load classes: {sorted(by_class)}"
+    strides = {info.stride for info in report.loads
+               if info.stride is not None}
+    assert strides == expect["strides"]
+    chains = tuple(sorted((c.seed_pc, c.chain_length, c.srf_pressure)
+                          for c in report.chains))
+    assert chains == expect["chains"]
+
+
+def test_expectations_cover_every_gap_kernel():
+    assert set(GAP_EXPECTATIONS) == set(GAP_KERNELS)
