@@ -7,6 +7,7 @@ Commands
 ``stats WORKLOAD [TECH]``         run fully instrumented; print the metric
                                   registry and the wall-clock self-profile
 ``figure NAME [options]``         regenerate one paper figure
+``sweep BASE [options]``          generic parameter sweep over config axes
 ``trace WORKLOAD [TECH]``         instruction-level ASCII timeline
 ``overhead [N] [K]``              print the Table II budget
 ``lint TARGET... | --all``        static analysis: diagnostics, load
@@ -18,12 +19,27 @@ JSON), ``--jsonl PATH`` (append a structured run record) and
 ``--chrome-trace PATH`` (export a Perfetto-viewable trace); ``figure``
 accepts ``--jsonl PATH``.
 
+``figure`` and ``sweep`` route every simulation cell through the
+resilient executor (:mod:`repro.exec`) and share its flags: ``--jobs N``
+(parallel fault-isolated workers), ``--timeout SECONDS`` (wall-clock kill
+fence per cell), ``--retries N``, ``--journal PATH`` +  ``--resume``
+(checkpoint cells and re-run only what failed), and
+``--inject WORKLOAD/TECH:KIND[:TIMES]`` + ``--fault-seed`` (deterministic
+fault injection for drills).  Failed cells render as ``-``/``FAILED``
+with a structured failure summary on stderr and exit status 1.
+
 Examples::
 
     python -m repro run PR_KR svr16 --scale bench
     python -m repro run PR_KR svr16 --chrome-trace /tmp/t.json
     python -m repro stats Camel svr16 --scale tiny
     python -m repro figure fig1 --workloads PR_KR,Camel --scale bench
+    python -m repro figure fig11 --jobs 4 --timeout 600 \\
+        --journal results/fig11.jsonl --resume
+    python -m repro sweep svr16 --workloads PR_KR,Camel \\
+        --axis memory.l1_mshrs=4,8,16 --axis svr.vector_length=8,32
+    python -m repro sweep svr16 --workloads Camel --axis svr.srf_entries=2,8 \\
+        --inject 'Camel/*:flaky' --retries 2
     python -m repro overhead 128 8
     python -m repro lint PR_KR kernel.s
     python -m repro lint --all --json
@@ -158,6 +174,29 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _build_exec_config(args):
+    """Translate the shared resilience flags into an ExecConfig.
+
+    Raises ValueError (from the ExecConfig/FaultSpec validators) on bad
+    combinations, e.g. ``--resume`` without ``--journal``.
+    """
+    from repro.exec import ExecConfig, FaultPlan, parse_fault
+
+    faults = None
+    if args.inject:
+        faults = FaultPlan(specs=tuple(parse_fault(t) for t in args.inject),
+                           seed=args.fault_seed)
+    return ExecConfig(jobs=args.jobs, timeout_s=args.timeout or None,
+                      retries=args.retries, journal=args.journal or None,
+                      resume=args.resume, faults=faults)
+
+
+def _print_failures(failures, command: str) -> None:
+    print(f"\n{command}: {len(failures)} failed cell(s):", file=sys.stderr)
+    for failure in failures:
+        print(f"  - {failure}", file=sys.stderr)
+
+
 def _cmd_figure(args) -> int:
     fn = FIGURES.get(args.name)
     if fn is None:
@@ -171,14 +210,42 @@ def _cmd_figure(args) -> int:
                                         "fig16", "fig17", "fig18",
                                         "table1"):
         kwargs["workloads"] = tuple(args.workloads.split(","))
+    log_kwargs = dict(kwargs)
+    try:
+        exec_config = _build_exec_config(args)
+    except ValueError as exc:
+        print(f"figure: {exc}", file=sys.stderr)
+        return 2
+    # Only thread the ExecConfig through when a resilience flag was used;
+    # with all defaults the figure functions build an equivalent one.
+    flags_used = (args.jobs != 1 or args.timeout or args.retries != 1
+                  or args.journal or args.resume or args.inject)
+    if flags_used and args.name not in ("table2",):
+        kwargs["exec_config"] = exec_config
+    # The figure functions report failures on the probe bus; collect the
+    # structured records here for the end-of-run summary.
+    from repro.exec import RunFailure
+    from repro.obs.probes import default_bus
+
+    failures: list[RunFailure] = []
+    sub = default_bus().subscribe(
+        "exec.failure",
+        lambda _name, ev: failures.append(RunFailure(
+            key=ev["key"], workload=ev["workload"],
+            technique=ev["technique"], kind=ev["kind"],
+            message=ev["message"], attempts=ev["attempts"])))
     start = time.perf_counter()
-    out = fn(**kwargs)
+    try:
+        out = fn(**kwargs)
+    finally:
+        sub.cancel()
     elapsed = time.perf_counter() - start
     if args.jsonl:
         from repro.obs import RunLog, make_record
 
         RunLog(args.jsonl).append(make_record(
-            "figure", name=args.name, arguments=kwargs, output=out,
+            "figure", name=args.name, arguments=log_kwargs, output=out,
+            failures=[f.to_dict() for f in failures],
             profile={"figure": round(elapsed, 6)}))
     first = next(iter(out.values()))
     if isinstance(first, dict):
@@ -194,7 +261,80 @@ def _cmd_figure(args) -> int:
         print(format_table(out, title=args.name))
     else:
         print(format_series(out, title=args.name))
+    if failures:
+        _print_failures(failures, "figure")
+        return 1
     return 0
+
+
+def _parse_axis(text: str):
+    """Parse ``--axis PATH=V1,V2,...`` (values parsed as JSON scalars,
+    falling back to bare strings)."""
+    from repro.harness.sweeps import SweepAxis
+
+    path, sep, values_text = text.partition("=")
+    if not sep or not path or not values_text:
+        raise ValueError(
+            f"--axis expects PATH=V1,V2,... got {text!r}")
+    values = []
+    for token in values_text.split(","):
+        token = token.strip()
+        try:
+            values.append(json.loads(token))
+        except json.JSONDecodeError:
+            values.append(token)
+    return SweepAxis(path, values)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.sweeps import render_sweep, sweep_report
+
+    try:
+        axes = [_parse_axis(a) for a in args.axis]
+        exec_config = _build_exec_config(args)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    if not workloads:
+        print("sweep: --workloads needs at least one workload name",
+              file=sys.stderr)
+        return 2
+    try:
+        report = sweep_report(
+            workloads, args.base, axes, metric=args.metric,
+            scale=args.scale, normalise=not args.no_normalise,
+            exec_config=exec_config)
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    if args.jsonl:
+        from repro.obs import RunLog, make_record
+
+        RunLog(args.jsonl).append(make_record(
+            "sweep", base=args.base, metric=args.metric, scale=args.scale,
+            normalise=not args.no_normalise, workloads=list(workloads),
+            axes=[{"path": a.path, "values": list(a.values)} for a in axes],
+            values=[{"combo": list(combo), "value": value}
+                    for combo, value in report.values.items()],
+            failures=[f.to_dict() for f in report.failures]))
+    if args.json:
+        print(json.dumps(
+            {"base": args.base, "metric": args.metric, "scale": args.scale,
+             "normalise": not args.no_normalise,
+             "workloads": list(workloads),
+             "axes": [{"path": a.path, "values": list(a.values)}
+                      for a in axes],
+             "values": [{"combo": list(combo), "value": value}
+                        for combo, value in report.values.items()],
+             "failures": [f.to_dict() for f in report.failures]},
+            indent=2, sort_keys=True, default=str))
+    else:
+        print(render_sweep(report.values, axes, failures=report.failures))
+        if report.exec_report is not None:
+            print("\n" + report.exec_report.summary().splitlines()[0],
+                  file=sys.stderr)
+    return 1 if report.failures else 0
 
 
 def _cmd_trace(args) -> int:
@@ -334,6 +474,28 @@ def main(argv: list[str] | None = None) -> int:
                          choices=("tiny", "bench", "default"))
     _obs_flags(stats_p)
 
+    def _exec_flags(p) -> None:
+        """Resilient-executor flags shared by ``figure`` and ``sweep``."""
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run cells in N fault-isolated worker processes")
+        p.add_argument("--timeout", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="wall-clock kill fence per cell attempt")
+        p.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="extra attempts for transient (crash/hang) "
+                            "failures")
+        p.add_argument("--journal", default="", metavar="PATH",
+                       help="JSONL checkpoint of completed cells")
+        p.add_argument("--resume", action="store_true",
+                       help="serve journaled successes, re-run only the "
+                            "rest (requires --journal)")
+        p.add_argument("--inject", action="append", default=[],
+                       metavar="WORKLOAD/TECH:KIND[:TIMES]",
+                       help="inject a deterministic fault (kind: crash, "
+                            "hang, flaky); repeatable")
+        p.add_argument("--fault-seed", type=int, default=0, metavar="SEED",
+                       help="seed for rate-based fault selection")
+
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
     fig_p.add_argument("name")
     fig_p.add_argument("--scale", default="bench",
@@ -342,6 +504,31 @@ def main(argv: list[str] | None = None) -> int:
                        help="comma-separated subset")
     fig_p.add_argument("--jsonl", default="", metavar="PATH",
                        help="append the figure output as a JSONL record")
+    _exec_flags(fig_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="generic parameter sweep over config axes")
+    sweep_p.add_argument("base",
+                         help="base technique (inorder, ooo, imp, svr16, "
+                              "svr64, vr64, ...)")
+    sweep_p.add_argument("--workloads", required=True,
+                         help="comma-separated workload names")
+    sweep_p.add_argument("--axis", action="append", default=[],
+                         required=True, metavar="PATH=V1,V2,...",
+                         help="swept config path (memory.*, svr.*, "
+                              "core_config.* or top-level); repeatable")
+    sweep_p.add_argument("--metric", default="ipc",
+                         help="SimResult scalar to aggregate (default ipc)")
+    sweep_p.add_argument("--scale", default="bench",
+                         choices=("tiny", "bench", "default"))
+    sweep_p.add_argument("--no-normalise", action="store_true",
+                         help="report raw values instead of ratios to the "
+                              "in-order baseline")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="print machine-readable JSON instead of text")
+    sweep_p.add_argument("--jsonl", default="", metavar="PATH",
+                         help="append a structured sweep record to PATH")
+    _exec_flags(sweep_p)
 
     trace_p = sub.add_parser("trace", help="instruction-level timeline")
     trace_p.add_argument("workload")
@@ -372,8 +559,9 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"list": _cmd_list, "run": _cmd_run, "stats": _cmd_stats,
-                "figure": _cmd_figure, "trace": _cmd_trace,
-                "overhead": _cmd_overhead, "lint": _cmd_lint}
+                "figure": _cmd_figure, "sweep": _cmd_sweep,
+                "trace": _cmd_trace, "overhead": _cmd_overhead,
+                "lint": _cmd_lint}
     return handlers[args.command](args)
 
 

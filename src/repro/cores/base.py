@@ -13,6 +13,42 @@ import math
 from dataclasses import dataclass, field
 
 
+class SimulationError(RuntimeError):
+    """A simulator-side guard tripped (watchdog fence, injected hang).
+
+    Carries enough context — cycle, pc, committed instructions, and (once
+    the harness enriches it) workload and technique — for
+    :class:`repro.exec.RunFailure` to record a useful post-mortem instead
+    of a bare traceback.
+    """
+
+    def __init__(self, message: str, *, cycle: float | None = None,
+                 pc: int | None = None, instructions: int | None = None,
+                 workload: str | None = None,
+                 technique: str | None = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.cycle = cycle
+        self.pc = pc
+        self.instructions = instructions
+        self.workload = workload
+        self.technique = technique
+
+    def context(self) -> dict:
+        """JSON-ready context fields (Nones elided)."""
+        fields = {"cycle": self.cycle, "pc": self.pc,
+                  "instructions": self.instructions,
+                  "workload": self.workload, "technique": self.technique}
+        return {k: v for k, v in fields.items() if v is not None}
+
+    def __str__(self) -> str:
+        ctx = self.context()
+        if not ctx:
+            return self.message
+        detail = ", ".join(f"{k}={v}" for k, v in ctx.items())
+        return f"{self.message} [{detail}]"
+
+
 class StallReason(enum.Enum):
     """CPI-stack attribution buckets (Fig 3 / Fig 11)."""
 
@@ -50,6 +86,12 @@ class CoreConfig:
     alu_latency: float = 1.0
     mul_latency: float = 3.0
     fp_latency: float = 3.0
+    # Watchdog fence: hard ceilings on lifetime simulated cycles /
+    # committed instructions.  ``None`` disables the fence; the harness
+    # runner installs a window-scaled default so a runaway model raises a
+    # context-rich SimulationError instead of spinning forever.
+    watchdog_max_cycles: float | None = None
+    watchdog_max_instructions: int | None = None
 
 
 @dataclass
@@ -94,6 +136,33 @@ class CoreStats:
         attributed = sum(stack.values()) - stack[StallReason.BASE.value]
         stack[StallReason.BASE.value] = max(0.0, self.cpi - attributed)
         return stack
+
+
+def check_watchdog(core) -> None:
+    """Raise :class:`SimulationError` when *core* has blown past its
+    configured watchdog fence (called once per committed instruction from
+    the run loop of both cores).  Emits a ``core.watchdog`` probe event
+    before raising so observability layers can count trips."""
+    cfg = core.config
+    tripped = None
+    if (cfg.watchdog_max_cycles is not None
+            and core.stats.end_cycle > cfg.watchdog_max_cycles):
+        tripped = ("cycles", cfg.watchdog_max_cycles)
+    elif (cfg.watchdog_max_instructions is not None
+            and core.lifetime_instructions > cfg.watchdog_max_instructions):
+        tripped = ("instructions", cfg.watchdog_max_instructions)
+    if tripped is None:
+        return
+    kind, limit = tripped
+    core.bus.probe("core.watchdog").emit(
+        kind=kind, limit=limit, core=core.kind,
+        cycle=core.stats.end_cycle, pc=core.pc,
+        instructions=core.lifetime_instructions)
+    raise SimulationError(
+        f"watchdog fence: simulated {kind} exceeded {limit:g} "
+        f"on the {core.kind} core",
+        cycle=core.stats.end_cycle, pc=core.pc,
+        instructions=core.lifetime_instructions)
 
 
 class IssueSlots:

@@ -22,6 +22,7 @@ from repro.cores.base import (
     CoreStats,
     IssueSlots,
     StallReason,
+    check_watchdog,
     stall_reason_for_level,
 )
 from repro.isa.executor import execute
@@ -50,6 +51,7 @@ class InOrderCore:
         self.pc = 0
         self.halted = False
         self.stats = CoreStats()
+        self.lifetime_instructions = 0   # across windows, for the watchdog
         self._ready = [0.0] * NUM_REGS
         self._producer = ["alu"] * NUM_REGS
         self._inflight: deque[float] = deque()
@@ -185,8 +187,19 @@ class InOrderCore:
         return not self.halted
 
     def run(self, max_instructions: int) -> CoreStats:
-        """Run until HALT or *max_instructions* committed in this window."""
+        """Run until HALT or *max_instructions* committed in this window.
+
+        Raises :class:`~repro.cores.base.SimulationError` if the watchdog
+        fence (``CoreConfig.watchdog_max_cycles`` / ``_max_instructions``)
+        is exceeded.
+        """
         executed = 0
+        cfg = self.config
+        fenced = (cfg.watchdog_max_cycles is not None
+                  or cfg.watchdog_max_instructions is not None)
         while executed < max_instructions and self.step():
             executed += 1
+            self.lifetime_instructions += 1
+            if fenced:
+                check_watchdog(self)
         return self.stats

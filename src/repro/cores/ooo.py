@@ -29,6 +29,7 @@ from repro.cores.base import (
     CoreStats,
     IssueSlots,
     StallReason,
+    check_watchdog,
     stall_reason_for_level,
 )
 from repro.isa.executor import execute
@@ -65,6 +66,7 @@ class OutOfOrderCore:
         self.pc = 0
         self.halted = False
         self.stats = CoreStats()
+        self.lifetime_instructions = 0   # across windows, for the watchdog
         self._ready = [0.0] * NUM_REGS
         self._producer = ["alu"] * NUM_REGS
         self._rob: deque[float] = deque()      # commit times, oldest first
@@ -202,6 +204,12 @@ class OutOfOrderCore:
 
     def run(self, max_instructions: int) -> CoreStats:
         executed = 0
+        cfg = self.config
+        fenced = (cfg.watchdog_max_cycles is not None
+                  or cfg.watchdog_max_instructions is not None)
         while executed < max_instructions and self.step():
             executed += 1
+            self.lifetime_instructions += 1
+            if fenced:
+                check_watchdog(self)
         return self.stats

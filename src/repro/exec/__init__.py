@@ -1,0 +1,69 @@
+"""Resilient experiment execution: fault-isolated parallel runs, watchdog
+fences, retry/resume journals, and seeded fault injection.
+
+The pieces (design rationale in ``docs/resilience.md``):
+
+* :mod:`repro.exec.spec`     — :class:`RunSpec` cells, deterministic config
+  hashing, and the :class:`ResultView` that makes journaled result dicts
+  look like live ``SimResult`` objects;
+* :mod:`repro.exec.failures` — the ``crash`` / ``hang`` /
+  ``invalid-config`` failure taxonomy (:class:`RunFailure`);
+* :mod:`repro.exec.journal`  — the JSONL retry/resume checkpoint;
+* :mod:`repro.exec.faults`   — seeded, deterministic fault injection so
+  the resilience paths are themselves testable;
+* :mod:`repro.exec.executor` — :func:`run_cells`, the process-pool
+  executor every sweep and figure routes through.
+
+The simulator-side guard lives in :mod:`repro.cores.base`:
+:class:`SimulationError` is what the watchdog fence raises, re-exported
+here because the executor is where it gets classified.
+"""
+
+from repro.cores.base import SimulationError
+from repro.exec.executor import (
+    CellOutcome,
+    ExecConfig,
+    ExecReport,
+    run_cells,
+)
+from repro.exec.failures import (
+    CRASH,
+    FAILURE_KINDS,
+    HANG,
+    INVALID_CONFIG,
+    CellFailedError,
+    RunFailure,
+)
+from repro.exec.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedHang,
+    parse_fault,
+)
+from repro.exec.journal import RunJournal
+from repro.exec.spec import ResultView, RunSpec, config_key, result_metric
+
+__all__ = [
+    "CRASH",
+    "CellFailedError",
+    "CellOutcome",
+    "ExecConfig",
+    "ExecReport",
+    "FAILURE_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "HANG",
+    "INVALID_CONFIG",
+    "InjectedCrash",
+    "InjectedHang",
+    "ResultView",
+    "RunFailure",
+    "RunJournal",
+    "RunSpec",
+    "SimulationError",
+    "config_key",
+    "parse_fault",
+    "result_metric",
+    "run_cells",
+]

@@ -1,0 +1,526 @@
+"""Fault-isolated execution of simulation cells with timeout, retry,
+journaling and salvage.
+
+:func:`run_cells` is the one entry point every sweep and figure routes
+through.  Given a list of :class:`~repro.exec.spec.RunSpec` cells and an
+:class:`ExecConfig`, it:
+
+* deduplicates cells by config hash (shared baselines run once);
+* serves already-successful cells from the resume journal when
+  ``resume=True``;
+* runs the rest either **inline** (in-process, the fast default for
+  sequential use) or **isolated** (one worker process per cell, up to
+  ``jobs`` concurrently, killed at ``timeout_s`` wall-clock seconds);
+* classifies every failure into a structured
+  :class:`~repro.exec.failures.RunFailure` (``crash`` / ``hang`` /
+  ``invalid-config``) instead of propagating;
+* retries transient kinds with bounded exponential backoff;
+* journals each completed cell so a re-invocation resumes where the
+  previous one died;
+* emits ``exec.*`` probe events on the probe bus for the observability
+  layer (see ``docs/observability.md``).
+
+With ``salvage=True`` (the default) a failed cell is reported in the
+:class:`ExecReport` and the remaining cells still complete — the
+partial-but-honest behaviour the figure harness needs.  With
+``salvage=False`` the first terminal failure raises (the original
+exception inline; :class:`~repro.exec.failures.CellFailedError` across a
+process boundary, where the original object is gone).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Sequence
+
+from repro.cores.base import SimulationError
+from repro.exec.failures import (
+    CRASH,
+    DEFAULT_RETRY_KINDS,
+    HANG,
+    INVALID_CONFIG,
+    CellFailedError,
+    RunFailure,
+)
+from repro.exec.faults import FaultPlan, InjectedCrash, InjectedHang, apply_fault
+from repro.exec.journal import RunJournal
+from repro.exec.spec import ResultView, RunSpec, execute_spec
+from repro.obs.probes import ProbeBus, default_bus
+
+
+@dataclass
+class ExecConfig:
+    """Knobs for one :func:`run_cells` invocation."""
+
+    jobs: int = 1                     # concurrent isolated workers
+    timeout_s: float | None = None    # wall-clock kill fence per attempt
+    retries: int = 1                  # extra attempts for transient kinds
+    backoff_s: float = 0.25           # first retry delay ...
+    backoff_factor: float = 2.0       # ... growing by this factor ...
+    max_backoff_s: float = 5.0        # ... capped here
+    isolate: bool | None = None       # None = auto: jobs > 1 or timeout set
+    journal: str | None = None        # JSONL checkpoint path
+    resume: bool = False              # serve journaled successes, re-run rest
+    faults: FaultPlan | None = None   # seeded fault injection
+    salvage: bool = True              # False = strict: raise on failure
+    retry_kinds: tuple[str, ...] = DEFAULT_RETRY_KINDS
+    bus: ProbeBus | None = None       # probe bus; None = the default bus
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"ExecConfig.jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ValueError(
+                f"ExecConfig.retries must be >= 0, got {self.retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"ExecConfig.timeout_s must be > 0, got {self.timeout_s}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("ExecConfig backoff delays must be >= 0")
+        if self.resume and not self.journal:
+            raise ValueError("ExecConfig.resume requires a journal path")
+        if self.timeout_s is not None and self.isolate is False:
+            raise ValueError(
+                "ExecConfig.timeout_s requires process isolation; do not "
+                "force isolate=False with a timeout")
+
+    @property
+    def effective_isolate(self) -> bool:
+        if self.isolate is not None:
+            return self.isolate
+        return self.jobs > 1 or self.timeout_s is not None
+
+    def backoff_delay(self, failed_attempt: int) -> float:
+        delay = self.backoff_s * self.backoff_factor ** (failed_attempt - 1)
+        return min(delay, self.max_backoff_s)
+
+
+@dataclass
+class CellOutcome:
+    """Terminal state of one unique cell."""
+
+    spec: RunSpec
+    key: str
+    status: str                       # 'ok' | 'failed'
+    result: dict | None = None
+    failure: RunFailure | None = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    cached: bool = False              # served from the resume journal
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def view(self) -> ResultView | None:
+        return ResultView(self.result) if self.result is not None else None
+
+
+class ExecReport:
+    """Everything :func:`run_cells` learned, in caller order."""
+
+    def __init__(self, outcomes: list[CellOutcome]) -> None:
+        self.outcomes = outcomes
+        self.by_key = {o.key: o for o in outcomes}
+
+    @property
+    def failures(self) -> list[RunFailure]:
+        return [o.failure for o in self.outcomes if o.failure is not None]
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def attempted_count(self) -> int:
+        """Cells actually executed this invocation (not journal-served)."""
+        return sum(1 for o in self.outcomes if not o.cached)
+
+    def outcome_for(self, spec: RunSpec) -> CellOutcome | None:
+        return self.by_key.get(spec.key)
+
+    def result_for(self, spec: RunSpec) -> ResultView | None:
+        outcome = self.by_key.get(spec.key)
+        return outcome.view if outcome is not None and outcome.ok else None
+
+    def summary(self) -> str:
+        head = (f"{len(self.outcomes)} cell(s): {self.ok_count} ok"
+                + (f" ({self.cached_count} from journal)"
+                   if self.cached_count else "")
+                + f", {self.failed_count} failed")
+        lines = [head]
+        for failure in self.failures:
+            lines.append(f"  FAILED {failure}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Worker side (top-level so it is picklable under spawn too).
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn, spec: RunSpec, attempt: int,
+                 faults: FaultPlan | None) -> None:
+    """Run one cell in an isolated process; report over *conn*.
+
+    Protocol: ``("ok", result_dict)`` or
+    ``("fail", kind, message, extra_dict)``.
+    """
+    try:
+        if faults is not None and faults.active:
+            kind = faults.decide(spec.key, spec.workload,
+                                 spec.technique_name, attempt)
+            if kind is not None:
+                apply_fault(kind, inline=False, label=spec.label())
+        conn.send(("ok", execute_spec(spec)))
+    except InjectedCrash as exc:
+        conn.send(("fail", CRASH, str(exc), {}))
+    except SimulationError as exc:
+        conn.send(("fail", HANG, str(exc),
+                   {"cycle": exc.cycle, "pc": exc.pc}))
+    except (KeyError, ValueError, TypeError) as exc:
+        conn.send(("fail", INVALID_CONFIG,
+                   f"{type(exc).__name__}: {exc}", {}))
+    except BaseException as exc:   # noqa: BLE001 — report, then die
+        conn.send(("fail", CRASH, f"{type(exc).__name__}: {exc}",
+                   {"traceback": traceback_mod.format_exc(limit=20)}))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+class _Sink:
+    """Shared outcome plumbing: probe emissions + journal appends."""
+
+    def __init__(self, config: ExecConfig) -> None:
+        self.config = config
+        bus = config.bus if config.bus is not None else default_bus()
+        self.p_cell = bus.probe("exec.cell")
+        self.p_failure = bus.probe("exec.failure")
+        self.p_retry = bus.probe("exec.retry")
+        self.p_timeout = bus.probe("exec.timeout")
+        self.journal = (RunJournal(config.journal)
+                        if config.journal else None)
+
+    def ok(self, spec: RunSpec, result: dict, attempts: int,
+           elapsed_s: float) -> CellOutcome:
+        outcome = CellOutcome(spec=spec, key=spec.key, status="ok",
+                              result=result, attempts=attempts,
+                              elapsed_s=elapsed_s)
+        self._record(outcome)
+        return outcome
+
+    def fail(self, spec: RunSpec, failure: RunFailure) -> CellOutcome:
+        outcome = CellOutcome(spec=spec, key=spec.key, status="failed",
+                              failure=failure, attempts=failure.attempts,
+                              elapsed_s=failure.elapsed_s)
+        self.p_failure.emit(key=spec.key, workload=spec.workload,
+                            technique=spec.technique_name,
+                            kind=failure.kind, message=failure.message,
+                            attempts=failure.attempts)
+        self._record(outcome)
+        return outcome
+
+    def cached(self, spec: RunSpec, record: dict) -> CellOutcome:
+        outcome = CellOutcome(spec=spec, key=spec.key, status="ok",
+                              result=record["result"],
+                              attempts=record.get("attempts", 1),
+                              elapsed_s=record.get("elapsed_s", 0.0),
+                              cached=True)
+        self.p_cell.emit(key=spec.key, workload=spec.workload,
+                         technique=spec.technique_name, status="ok",
+                         cached=True, attempts=outcome.attempts,
+                         elapsed_s=outcome.elapsed_s)
+        return outcome
+
+    def retry(self, spec: RunSpec, failed_attempt: int, kind: str,
+              delay: float) -> None:
+        self.p_retry.emit(key=spec.key, workload=spec.workload,
+                          technique=spec.technique_name,
+                          attempt=failed_attempt, kind=kind, delay_s=delay)
+        if self.journal is not None:
+            self.journal.append_event(
+                "retry", key=spec.key, attempt=failed_attempt, kind=kind,
+                delay_s=round(delay, 3))
+
+    def timeout(self, spec: RunSpec, attempt: int) -> None:
+        self.p_timeout.emit(key=spec.key, workload=spec.workload,
+                            technique=spec.technique_name, attempt=attempt,
+                            timeout_s=self.config.timeout_s)
+        if self.journal is not None:
+            self.journal.append_event(
+                "timeout", key=spec.key, attempt=attempt,
+                timeout_s=self.config.timeout_s)
+
+    def _record(self, outcome: CellOutcome) -> None:
+        spec = outcome.spec
+        self.p_cell.emit(key=spec.key, workload=spec.workload,
+                         technique=spec.technique_name,
+                         status=outcome.status, cached=False,
+                         attempts=outcome.attempts,
+                         elapsed_s=outcome.elapsed_s)
+        if self.journal is not None:
+            self.journal.append_cell(
+                key=spec.key, workload=spec.workload,
+                technique=spec.technique_name, scale=spec.scale,
+                status=outcome.status, attempts=outcome.attempts,
+                elapsed_s=outcome.elapsed_s, result=outcome.result,
+                failure=(outcome.failure.to_dict()
+                         if outcome.failure else None),
+                spec=spec.config_dict())
+
+
+def _classify_inline(spec: RunSpec, exc: BaseException) -> RunFailure:
+    common = {"key": spec.key, "workload": spec.workload,
+              "technique": spec.technique_name}
+    if isinstance(exc, InjectedCrash):
+        return RunFailure(kind=CRASH, message=str(exc), **common)
+    if isinstance(exc, SimulationError):   # includes InjectedHang
+        return RunFailure(kind=HANG, message=str(exc), cycle=exc.cycle,
+                          pc=exc.pc, **common)
+    if isinstance(exc, (KeyError, ValueError, TypeError)):
+        return RunFailure(kind=INVALID_CONFIG,
+                          message=f"{type(exc).__name__}: {exc}", **common)
+    return RunFailure(kind=CRASH, message=f"{type(exc).__name__}: {exc}",
+                      traceback=traceback_mod.format_exc(limit=20), **common)
+
+
+def _run_inline(pending: list[RunSpec], config: ExecConfig,
+                sink: _Sink) -> list[CellOutcome]:
+    outcomes = []
+    faults = config.faults if (config.faults is not None
+                               and config.faults.active) else None
+    for spec in pending:
+        attempt = 1
+        elapsed_total = 0.0
+        while True:
+            start = time.perf_counter()
+            exc_seen: BaseException | None = None
+            result = None
+            try:
+                if faults is not None:
+                    kind = faults.decide(spec.key, spec.workload,
+                                         spec.technique_name, attempt)
+                    if kind is not None:
+                        apply_fault(kind, inline=True, label=spec.label())
+                result = execute_spec(spec)
+            except Exception as exc:   # noqa: BLE001 — classified below
+                exc_seen = exc
+            elapsed_total += time.perf_counter() - start
+            if exc_seen is None:
+                outcomes.append(sink.ok(spec, result, attempt,
+                                        elapsed_total))
+                break
+            failure = _classify_inline(spec, exc_seen)
+            failure.attempts = attempt
+            failure.elapsed_s = elapsed_total
+            if (failure.kind in config.retry_kinds
+                    and attempt <= config.retries):
+                delay = config.backoff_delay(attempt)
+                sink.retry(spec, attempt, failure.kind, delay)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            if not config.salvage:
+                raise exc_seen
+            outcomes.append(sink.fail(spec, failure))
+            break
+    return outcomes
+
+
+class _Cell:
+    __slots__ = ("spec", "attempt", "ready_at", "elapsed")
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        self.attempt = 1
+        self.ready_at = 0.0
+        self.elapsed = 0.0
+
+
+class _Running:
+    __slots__ = ("cell", "proc", "conn", "deadline", "started")
+
+    def __init__(self, cell, proc, conn, deadline, started) -> None:
+        self.cell = cell
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+        self.started = started
+
+
+def _reap(proc: mp.Process) -> None:
+    """Terminate (then kill) a worker and collect it."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=2.0)
+    proc.close()
+
+
+def _run_isolated(pending: list[RunSpec], config: ExecConfig,
+                  sink: _Sink) -> list[CellOutcome]:
+    ctx = mp.get_context()
+    waiting: list[_Cell] = [_Cell(spec) for spec in pending]
+    running: list[_Running] = []
+    outcomes: list[CellOutcome] = []
+
+    def launch(cell: _Cell) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, cell.spec, cell.attempt, config.faults),
+            daemon=True,
+            name=f"repro-exec-{cell.spec.key}-a{cell.attempt}")
+        proc.start()
+        child_conn.close()
+        started = time.monotonic()
+        deadline = (started + config.timeout_s
+                    if config.timeout_s is not None else None)
+        running.append(_Running(cell, proc, parent_conn, deadline, started))
+
+    def settle_failure(cell: _Cell, failure: RunFailure) -> None:
+        """Retry the cell or finalise its failure."""
+        failure.attempts = cell.attempt
+        failure.elapsed_s = cell.elapsed
+        if (failure.kind in config.retry_kinds
+                and cell.attempt <= config.retries):
+            delay = config.backoff_delay(cell.attempt)
+            sink.retry(cell.spec, cell.attempt, failure.kind, delay)
+            cell.attempt += 1
+            cell.ready_at = time.monotonic() + delay
+            waiting.append(cell)
+            return
+        outcomes.append(sink.fail(cell.spec, failure))
+        if not config.salvage:
+            for other in running:
+                _reap(other.proc)
+            raise CellFailedError(failure)
+
+    def harvest(r: _Running) -> None:
+        running.remove(r)
+        r.cell.elapsed += time.monotonic() - r.started
+        spec = r.cell.spec
+        try:
+            message = r.conn.recv() if r.conn.poll() else None
+        except (EOFError, OSError):
+            message = None
+        exitcode = r.proc.exitcode
+        _reap(r.proc)
+        r.conn.close()
+        if message is None:
+            settle_failure(r.cell, RunFailure(
+                key=spec.key, workload=spec.workload,
+                technique=spec.technique_name, kind=CRASH,
+                message=("worker died without reporting a result "
+                         f"(exit code {exitcode})")))
+            return
+        if message[0] == "ok":
+            outcomes.append(sink.ok(spec, message[1], r.cell.attempt,
+                                    r.cell.elapsed))
+            return
+        _, kind, text, extra = message
+        settle_failure(r.cell, RunFailure(
+            key=spec.key, workload=spec.workload,
+            technique=spec.technique_name, kind=kind, message=text,
+            cycle=extra.get("cycle"), pc=extra.get("pc"),
+            traceback=extra.get("traceback")))
+
+    def expire(r: _Running) -> None:
+        running.remove(r)
+        r.cell.elapsed += time.monotonic() - r.started
+        spec = r.cell.spec
+        _reap(r.proc)
+        r.conn.close()
+        sink.timeout(spec, r.cell.attempt)
+        settle_failure(r.cell, RunFailure(
+            key=spec.key, workload=spec.workload,
+            technique=spec.technique_name, kind=HANG,
+            message=(f"wall-clock timeout: no result within "
+                     f"{config.timeout_s:g}s (attempt {r.cell.attempt})")))
+
+    try:
+        while waiting or running:
+            now = time.monotonic()
+            for cell in sorted(waiting, key=lambda c: c.ready_at):
+                if len(running) >= config.jobs:
+                    break
+                if cell.ready_at <= now:
+                    waiting.remove(cell)
+                    launch(cell)
+            horizons = [r.deadline for r in running
+                        if r.deadline is not None]
+            if waiting and len(running) < config.jobs:
+                horizons.append(min(c.ready_at for c in waiting))
+            if running:
+                timeout = (max(0.0, min(horizons) - now)
+                           if horizons else None)
+                ready_conns = mp_connection.wait(
+                    [r.conn for r in running], timeout=timeout)
+                now = time.monotonic()
+                for r in [r for r in running if r.conn in ready_conns]:
+                    harvest(r)
+                for r in [r for r in running
+                          if r.deadline is not None and now >= r.deadline]:
+                    expire(r)
+            elif waiting:
+                time.sleep(max(0.0,
+                               min(c.ready_at for c in waiting) - now))
+    finally:
+        for r in running:
+            _reap(r.proc)
+    return outcomes
+
+
+def run_cells(specs: Sequence[RunSpec],
+              config: ExecConfig | None = None) -> ExecReport:
+    """Execute every unique cell in *specs*; see the module docstring."""
+    config = config or ExecConfig()
+    sink = _Sink(config)
+    known = (sink.journal.load()
+             if sink.journal is not None and config.resume else {})
+
+    order: list[str] = []
+    unique: dict[str, RunSpec] = {}
+    outcomes: dict[str, CellOutcome] = {}
+    pending: list[RunSpec] = []
+    for spec in specs:
+        key = spec.key
+        if key in unique:
+            continue
+        unique[key] = spec
+        order.append(key)
+        record = known.get(key)
+        if (record is not None and record.get("status") == "ok"
+                and record.get("result") is not None):
+            outcomes[key] = sink.cached(spec, record)
+        else:
+            pending.append(spec)
+
+    if pending:
+        runner = (_run_isolated if config.effective_isolate
+                  else _run_inline)
+        for outcome in runner(pending, config, sink):
+            outcomes[outcome.key] = outcome
+    return ExecReport([outcomes[k] for k in order])

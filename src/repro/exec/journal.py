@@ -1,0 +1,86 @@
+"""JSONL retry/resume journal keyed by deterministic config hashes.
+
+Each completed cell — success or terminal failure — appends one ``cell``
+record.  Re-invoking a sweep or figure with ``resume=True`` loads the
+journal, serves previously-successful cells from their stored result
+dicts, and re-runs only the cells whose *last* record is a failure (or
+that never completed).  Appends are flushed and fsynced per record so a
+killed run loses at most the cell in flight; a torn trailing line from a
+hard kill is tolerated and ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+JOURNAL_VERSION = 1
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of completed cells."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def load(self) -> dict[str, dict[str, Any]]:
+        """Latest ``cell`` record per key (later records win, so a
+        resumed re-run of a failed cell supersedes the failure)."""
+        records: dict[str, dict[str, Any]] = {}
+        if not self.exists():
+            return records
+        with self.path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue    # torn tail from a killed writer
+                if (isinstance(record, dict)
+                        and record.get("event") == "cell"
+                        and "key" in record):
+                    records[record["key"]] = record
+        return records
+
+    def append(self, record: dict[str, Any]) -> None:
+        record.setdefault("v", JOURNAL_VERSION)
+        record.setdefault("ts", round(time.time(), 3))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def append_cell(self, *, key: str, workload: str, technique: str,
+                    scale: str, status: str, attempts: int,
+                    elapsed_s: float, result: dict | None = None,
+                    failure: dict | None = None,
+                    spec: dict | None = None) -> None:
+        record: dict[str, Any] = {
+            "event": "cell", "key": key, "workload": workload,
+            "technique": technique, "scale": scale, "status": status,
+            "attempts": attempts, "elapsed_s": round(elapsed_s, 6),
+        }
+        if result is not None:
+            record["result"] = result
+        if failure is not None:
+            record["failure"] = failure
+        if spec is not None:
+            record["spec"] = spec
+        self.append(record)
+
+    def append_event(self, event: str, **fields: Any) -> None:
+        """Free-form marker records (``retry``, ``timeout``, ``sweep``)
+        for post-mortems; ignored by :meth:`load`."""
+        record = {"event": event}
+        record.update(fields)
+        self.append(record)

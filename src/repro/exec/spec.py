@@ -1,0 +1,219 @@
+"""Run specifications, deterministic config hashing, and result views.
+
+A :class:`RunSpec` names one (workload, technique, window) simulation cell.
+Its :attr:`~RunSpec.key` is a SHA-256 digest of the canonical JSON of the
+full configuration, so the same cell always hashes to the same key — the
+property the retry/resume journal (:mod:`repro.exec.journal`) relies on to
+recognise already-completed work across process boundaries and restarts.
+
+Because isolated workers hand results back as the JSON-ready dict of
+:meth:`repro.harness.runner.SimResult.to_dict` (which is also what the
+journal stores), downstream consumers see a :class:`ResultView`: a
+read-only object exposing the same attribute surface the figure functions
+use on a live ``SimResult`` (``ipc``, ``cpi_stack()``,
+``hierarchy.accuracy(...)``, ...).  Fresh in-process runs are wrapped in
+the very same view, so resumed and uninterrupted sweeps aggregate from
+byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.harness.runner import TechniqueConfig, technique
+
+
+def config_key(config: dict) -> str:
+    """Deterministic 16-hex-digit key for a JSON-ready config dict."""
+    blob = json.dumps(config, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: everything :func:`repro.harness.runner.run`
+    needs, in picklable form (shipped to isolated worker processes)."""
+
+    workload: str
+    tech: TechniqueConfig
+    scale: str = "bench"
+    warmup: int | None = None
+    measure: int | None = None
+
+    @classmethod
+    def make(cls, workload: str, tech: TechniqueConfig | str,
+             scale: str = "bench", warmup: int | None = None,
+             measure: int | None = None) -> "RunSpec":
+        if isinstance(tech, str):
+            tech = technique(tech)
+        return cls(workload=workload, tech=tech, scale=scale,
+                   warmup=warmup, measure=measure)
+
+    @property
+    def technique_name(self) -> str:
+        return self.tech.name
+
+    def config_dict(self) -> dict:
+        return {"workload": self.workload, "scale": self.scale,
+                "warmup": self.warmup, "measure": self.measure,
+                "technique": self.tech.to_dict()}
+
+    @property
+    def key(self) -> str:
+        return config_key(self.config_dict())
+
+    def label(self) -> str:
+        return f"{self.workload}/{self.tech.name}"
+
+
+# SimResult property names used by sweeps/figures -> SimResult.to_dict keys.
+_METRIC_KEYS = {
+    "ipc": "ipc",
+    "cpi": "cpi",
+    "energy_per_instruction_nj": "energy_nj_per_instr",
+    "dram_lines": "dram_lines",
+    "branch_accuracy": "branch_accuracy",
+    "instructions": "instructions",
+    "cycles": "cycles",
+}
+
+
+def result_metric(data: dict, metric: str) -> float:
+    """Look up *metric* (a ``SimResult`` property name or an export key)
+    in an exported result dict."""
+    key = _METRIC_KEYS.get(metric, metric)
+    value = data.get(key)
+    if not isinstance(value, (int, float)):
+        raise ValueError(
+            f"metric {metric!r} is not an exported scalar; available: "
+            f"{sorted(k for k, v in data.items() if isinstance(v, (int, float)))}")
+    return float(value)
+
+
+class _HierarchyView:
+    """Memory-hierarchy slice of a :class:`ResultView` (the subset of
+    :class:`repro.memory.hierarchy.HierarchyStats` the figures read)."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, data: dict) -> None:
+        self._d = data
+
+    @property
+    def l1_load_hits(self) -> int:
+        return self._d["l1_load_hits"]
+
+    @property
+    def l2_load_hits(self) -> int:
+        return self._d["l2_load_hits"]
+
+    @property
+    def dram_loads(self) -> int:
+        return self._d["dram_loads"]
+
+    @property
+    def prefetches_issued(self) -> dict[str, int]:
+        return self._d["prefetches_issued"]
+
+    @property
+    def prefetch_useful(self) -> dict[str, int]:
+        return self._d["prefetch_useful"]
+
+    @property
+    def prefetch_useless(self) -> dict[str, int]:
+        return self._d["prefetch_useless"]
+
+    @property
+    def dram_fetches(self) -> dict[str, int]:
+        return self._d["dram_fetches"]
+
+    def accuracy(self, origin: str) -> float:
+        useful = self._d["prefetch_useful"][origin]
+        useless = self._d["prefetch_useless"][origin]
+        total = useful + useless
+        return useful / total if total else 1.0
+
+
+class ResultView:
+    """Read-only ``SimResult``-shaped view over an exported result dict.
+
+    Works identically whether the dict came from a fresh in-process run,
+    an isolated worker, or a resume journal.
+    """
+
+    __slots__ = ("_d", "hierarchy")
+
+    def __init__(self, data: dict) -> None:
+        self._d = data
+        self.hierarchy = _HierarchyView(data)
+
+    @property
+    def workload(self) -> str:
+        return self._d["workload"]
+
+    @property
+    def technique(self) -> str:
+        return self._d["technique"]
+
+    @property
+    def instructions(self) -> int:
+        return self._d["instructions"]
+
+    @property
+    def cycles(self) -> float:
+        return self._d["cycles"]
+
+    @property
+    def cpi(self) -> float:
+        return self._d["cpi"]
+
+    @property
+    def ipc(self) -> float:
+        return self._d["ipc"]
+
+    @property
+    def energy_per_instruction_nj(self) -> float:
+        return self._d["energy_nj_per_instr"]
+
+    @property
+    def dram_lines(self) -> int:
+        return self._d["dram_lines"]
+
+    @property
+    def branch_accuracy(self) -> float:
+        return self._d["branch_accuracy"]
+
+    @property
+    def svr_accuracy(self) -> float | None:
+        svr = self._d.get("svr")
+        return svr.get("accuracy") if svr else None
+
+    def cpi_stack(self) -> dict[str, float]:
+        return dict(self._d["cpi_stack"])
+
+    def metric(self, name: str) -> float:
+        return result_metric(self._d, name)
+
+    def to_dict(self) -> dict:
+        return self._d
+
+    def __repr__(self) -> str:
+        return (f"ResultView({self.workload}/{self.technique}, "
+                f"ipc={self.ipc:.3f})")
+
+
+def execute_spec(spec: RunSpec) -> dict[str, Any]:
+    """Run one cell in the current process and export its result dict.
+
+    This is the function isolated workers call; keeping it here (importable
+    at module top level) makes it picklable under every multiprocessing
+    start method.
+    """
+    from repro.harness.runner import run
+
+    return run(spec.workload, spec.tech, scale=spec.scale,
+               warmup=spec.warmup, measure=spec.measure).to_dict()

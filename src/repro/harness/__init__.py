@@ -10,7 +10,13 @@ from repro.harness.runner import (
 )
 from repro.harness.report import format_series, format_table, harmonic_mean
 from repro.harness.multicore import MulticoreResult, run_multicore, scaling_study
-from repro.harness.sweeps import SweepAxis, render_sweep, sweep
+from repro.harness.sweeps import (
+    SweepAxis,
+    SweepReport,
+    render_sweep,
+    sweep,
+    sweep_report,
+)
 from repro.harness.trace import capture, render, summarize
 from repro.harness.charts import bar_chart, grouped_bar_chart, sparkline
 
@@ -18,6 +24,8 @@ __all__ = [
     "MAIN_TECHNIQUES",
     "MulticoreResult",
     "SweepAxis",
+    "SweepReport",
+    "sweep_report",
     "bar_chart",
     "capture",
     "grouped_bar_chart",

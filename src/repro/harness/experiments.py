@@ -4,14 +4,25 @@ Every function returns plain dict structures (rows of the table / series of
 the figure) so benchmarks and tests can assert on shapes, and accepts a
 workload subset so the pytest-benchmark harness can trade coverage for
 runtime.  The full-suite defaults regenerate the complete figures.
+
+All simulation cells route through the resilient executor
+(:func:`repro.exec.run_cells`).  Pass an
+:class:`~repro.exec.ExecConfig` as ``exec_config`` to run cells in
+parallel isolated workers, bound them with wall-clock timeouts, retry
+transient failures, and resume a half-finished figure from its journal.
+Under the default (salvaging) executor a failed cell does not kill the
+figure: entries that cannot be computed come back as ``None`` — rendered
+as ``-`` by :func:`repro.harness.report.format_table` — and aggregate
+rows are taken over the cells that did complete.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+from repro.exec import ExecConfig, ResultView, RunFailure, RunSpec, run_cells
 from repro.harness.report import harmonic_mean
-from repro.harness.runner import MAIN_TECHNIQUES, SimResult, run, technique
+from repro.harness.runner import MAIN_TECHNIQUES, TechniqueConfig, technique
 from repro.svr.config import LoopBoundPolicy, RecyclingPolicy
 from repro.svr.overhead import overhead_bits, overhead_kib
 from repro.workloads.registry import (
@@ -36,17 +47,45 @@ REPRESENTATIVE = ("BC_UR", "BFS_KR", "CC_UR", "PR_KR", "SSSP_UR",
                   "Camel", "HJ2", "Kangr", "Randacc")
 
 
+class _Cells:
+    """All of one figure's cells, executed resiliently in one batch.
+
+    ``get(workload, tech)`` returns the cell's :class:`ResultView`, or
+    ``None`` if that cell failed (lookup is by deterministic config hash,
+    so two differently-tuned configs sharing a technique *name* cannot
+    collide).
+    """
+
+    def __init__(self, pairs: Sequence[tuple], scale: str,
+                 exec_config: ExecConfig | None) -> None:
+        self.scale = scale
+        specs = [RunSpec.make(w, tech, scale=scale) for w, tech in pairs]
+        self.report = run_cells(specs, exec_config or ExecConfig())
+        self.failures: list[RunFailure] = self.report.failures
+
+    def get(self, workload: str,
+            tech: TechniqueConfig | str) -> ResultView | None:
+        return self.report.result_for(
+            RunSpec.make(workload, tech, scale=self.scale))
+
+
+def _mean(values: list[float]) -> float | None:
+    return sum(values) / len(values) if values else None
+
+
+def _hmean(values: list[float]) -> float | None:
+    return harmonic_mean(values) if values else None
+
+
 def _run_matrix(workloads: Sequence[str], techniques: Sequence,
-                scale: str) -> dict[str, dict[str, SimResult]]:
-    """{workload: {technique_name: SimResult}}."""
-    results: dict[str, dict[str, SimResult]] = {}
-    for name in workloads:
-        row: dict[str, SimResult] = {}
-        for tech in techniques:
-            cfg = technique(tech) if isinstance(tech, str) else tech
-            row[cfg.name] = run(name, cfg, scale=scale)
-        results[name] = row
-    return results
+                scale: str, exec_config: ExecConfig | None = None,
+                ) -> dict[str, dict[str, ResultView | None]]:
+    """{workload: {technique_name: ResultView | None}} (None = failed)."""
+    cfgs = [technique(t) if isinstance(t, str) else t for t in techniques]
+    pairs = [(w, cfg) for w in workloads for cfg in cfgs]
+    cells = _Cells(pairs, scale, exec_config)
+    return {w: {cfg.name: cells.get(w, cfg) for cfg in cfgs}
+            for w in workloads}
 
 
 # ---------------------------------------------------------------------------
@@ -54,9 +93,13 @@ def _run_matrix(workloads: Sequence[str], techniques: Sequence,
 # ---------------------------------------------------------------------------
 
 def fig1(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
-         techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+         techniques: Sequence[str] = MAIN_TECHNIQUES,
+         exec_config: ExecConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig 1: per-technique harmonic-mean normalised IPC and mean energy."""
-    matrix = _run_matrix(workloads, techniques, scale)
+    all_techs = list(techniques)
+    if "inorder" not in all_techs:
+        all_techs.append("inorder")
+    matrix = _run_matrix(workloads, all_techs, scale, exec_config)
     out: dict[str, dict[str, float]] = {}
     for tech in techniques:
         speedups = []
@@ -64,13 +107,15 @@ def fig1(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
         for name in workloads:
             base = matrix[name]["inorder"]
             res = matrix[name][tech]
+            if base is None or res is None:
+                continue
             speedups.append(res.ipc / base.ipc if base.ipc else 1.0)
             base_e = base.energy_per_instruction_nj
             energy_ratios.append(res.energy_per_instruction_nj / base_e
                                  if base_e else 1.0)
         out[tech] = {
-            "norm_ipc": harmonic_mean(speedups),
-            "norm_energy": sum(energy_ratios) / len(energy_ratios),
+            "norm_ipc": _hmean(speedups),
+            "norm_energy": _mean(energy_ratios),
         }
     return out
 
@@ -81,26 +126,38 @@ def fig1(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
 
 def fig3(scale: str = "bench",
          groups: dict[str, tuple[str, ...]] | None = None,
-         per_group: int = 1) -> dict[str, dict[str, dict[str, float]]]:
+         per_group: int = 1,
+         exec_config: ExecConfig | None = None,
+         ) -> dict[str, dict[str, dict[str, float]]]:
     """Fig 3: {group: {core: cpi_stack}} with mem-dram separated out."""
     groups = groups or GROUPS
+    pairs = [(w, core_name)
+             for members in groups.values() for w in members[:per_group]
+             for core_name in ("inorder", "ooo")]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[str, dict[str, float]]] = {}
     for group, members in groups.items():
         chosen = members[:per_group]
         for core_name in ("inorder", "ooo"):
-            stacks = [run(w, core_name, scale=scale).cpi_stack()
-                      for w in chosen]
+            stacks = [view.cpi_stack() for w in chosen
+                      if (view := cells.get(w, core_name)) is not None]
+            if not stacks:
+                continue
             merged = {key: sum(s[key] for s in stacks) / len(stacks)
                       for key in stacks[0]}
             out.setdefault(group, {})[core_name] = merged
-    # Average row.
-    avg: dict[str, dict[str, float]] = {}
-    for core_name in ("inorder", "ooo"):
-        keys = next(iter(out.values()))[core_name].keys()
-        avg[core_name] = {
-            key: sum(out[g][core_name][key] for g in groups) / len(groups)
-            for key in keys}
-    out["Avg"] = avg
+    # Average row over the groups that produced both stacks.
+    complete = [g for g in groups
+                if "inorder" in out.get(g, {}) and "ooo" in out.get(g, {})]
+    if complete:
+        avg: dict[str, dict[str, float]] = {}
+        for core_name in ("inorder", "ooo"):
+            keys = out[complete[0]][core_name].keys()
+            avg[core_name] = {
+                key: sum(out[g][core_name][key] for g in complete)
+                / len(complete)
+                for key in keys}
+        out["Avg"] = avg
     return out
 
 
@@ -109,17 +166,22 @@ def fig3(scale: str = "bench",
 # ---------------------------------------------------------------------------
 
 def fig11(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
-          techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+          techniques: Sequence[str] = MAIN_TECHNIQUES,
+          exec_config: ExecConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig 11: {workload: {technique: CPI}} (lower is better)."""
-    matrix = _run_matrix(workloads, techniques, scale)
-    return {w: {t: matrix[w][t].cpi for t in techniques} for w in workloads}
+    matrix = _run_matrix(workloads, techniques, scale, exec_config)
+    return {w: {t: (view.cpi if (view := matrix[w][t]) is not None
+                    else None)
+                for t in techniques} for w in workloads}
 
 
 def fig12(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
-          techniques: Sequence[str] = MAIN_TECHNIQUES) -> dict[str, dict[str, float]]:
+          techniques: Sequence[str] = MAIN_TECHNIQUES,
+          exec_config: ExecConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig 12: {workload: {technique: nJ per instruction}}."""
-    matrix = _run_matrix(workloads, techniques, scale)
-    return {w: {t: matrix[w][t].energy_per_instruction_nj
+    matrix = _run_matrix(workloads, techniques, scale, exec_config)
+    return {w: {t: (view.energy_per_instruction_nj
+                    if (view := matrix[w][t]) is not None else None)
                 for t in techniques} for w in workloads}
 
 
@@ -133,7 +195,8 @@ def _maxlength(name: str):
 
 
 def fig13a(groups: dict[str, tuple[str, ...]] | None = None,
-           scale: str = "bench", per_group: int = 1) -> dict[str, dict[str, float]]:
+           scale: str = "bench", per_group: int = 1,
+           exec_config: ExecConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig 13a: prefetch accuracy per workload group.
 
     Techniques: IMP, SVR16-Maxlength, SVR16, SVR64-Maxlength, SVR64.
@@ -148,22 +211,26 @@ def fig13a(groups: dict[str, tuple[str, ...]] | None = None,
         ("svr64-maxlength", _maxlength("svr64")),
         ("svr64", technique("svr64")),
     ]
+    pairs = [(w, cfg)
+             for members in groups.values() for w in members[:per_group]
+             for _, cfg in techs]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[str, float]] = {}
     for group, members in groups.items():
         row: dict[str, float] = {}
         for label, cfg in techs:
             origin = "imp" if label == "imp" else "svr"
-            accs = []
-            for w in members[:per_group]:
-                res = run(w, cfg, scale=scale)
-                accs.append(res.hierarchy.accuracy(origin))
-            row[label] = sum(accs) / len(accs)
+            accs = [view.hierarchy.accuracy(origin)
+                    for w in members[:per_group]
+                    if (view := cells.get(w, cfg)) is not None]
+            row[label] = _mean(accs)
         out[group] = row
     return out
 
 
 def fig13b(groups: dict[str, tuple[str, ...]] | None = None,
-           scale: str = "bench", per_group: int = 1) -> dict[str, dict[str, float]]:
+           scale: str = "bench", per_group: int = 1,
+           exec_config: ExecConfig | None = None) -> dict[str, dict[str, float]]:
     """Fig 13b: DRAM-traffic origin, normalised to the in-order baseline.
 
     Returns, per group and technique, the fraction of baseline DRAM line
@@ -173,27 +240,39 @@ def fig13b(groups: dict[str, tuple[str, ...]] | None = None,
     groups = groups or GROUPS
     techs = [("inorder", technique("inorder")), ("imp", technique("imp")),
              ("svr16", technique("svr16")), ("svr64", technique("svr64"))]
+    pairs = [(w, cfg)
+             for members in groups.values() for w in members[:per_group]
+             for _, cfg in techs]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[str, float]] = {}
     for group, members in groups.items():
         chosen = members[:per_group]
         base_lines = 0
-        rows: dict[str, dict[str, float]] = {}
+        rows: dict[str, dict[str, float] | None] = {}
         for label, cfg in techs:
+            views = [cells.get(w, cfg) for w in chosen]
+            if any(view is None for view in views):
+                rows[label] = None      # partial sums would be dishonest
+                continue
             demand = prefetch = 0
-            for w in chosen:
-                res = run(w, cfg, scale=scale)
-                fetches = res.hierarchy.dram_fetches
+            for view in views:
+                fetches = view.hierarchy.dram_fetches
                 demand += fetches["demand"]
-                prefetch += fetches["stride"] + fetches["imp"] + fetches["svr"]
+                prefetch += (fetches["stride"] + fetches["imp"]
+                             + fetches["svr"])
             if label == "inorder":
                 base_lines = max(1, demand + prefetch)
+            if base_lines == 0:         # baseline row itself failed
+                rows[label] = None
+                continue
             rows[label] = {"demand": demand / base_lines,
                            "prefetch": prefetch / base_lines,
                            "total": (demand + prefetch) / base_lines}
         flat = {}
         for label, vals in rows.items():
-            for key, value in vals.items():
-                flat[f"{label}.{key}"] = value
+            for key in ("demand", "prefetch", "total"):
+                flat[f"{label}.{key}"] = (vals[key] if vals is not None
+                                          else None)
         out[group] = flat
     return out
 
@@ -203,17 +282,23 @@ def fig13b(groups: dict[str, tuple[str, ...]] | None = None,
 # ---------------------------------------------------------------------------
 
 def fig14(workloads: Sequence[str] = SPEC_WORKLOADS,
-          scale: str = "bench") -> dict[str, float]:
+          scale: str = "bench",
+          exec_config: ExecConfig | None = None) -> dict[str, float]:
     """Fig 14: SVR-16 IPC normalised to in-order per SPEC surrogate."""
+    pairs = [(w, t) for w in workloads for t in ("inorder", "svr16")]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, float] = {}
     ratios = []
     for name in workloads:
-        base = run(name, "inorder", scale=scale)
-        svr = run(name, "svr16", scale=scale)
+        base = cells.get(name, "inorder")
+        svr = cells.get(name, "svr16")
+        if base is None or svr is None:
+            out[name] = None
+            continue
         ratio = svr.ipc / base.ipc if base.ipc else 1.0
         out[name] = ratio
         ratios.append(ratio)
-    out["H-mean"] = harmonic_mean(ratios)
+    out["H-mean"] = _hmean(ratios)
     return out
 
 
@@ -238,25 +323,30 @@ FIG15_POLICIES = (
 
 
 def fig15(length: int = 16, scale: str = "bench",
-          groups: dict[str, tuple[str, ...]] | None = None
+          groups: dict[str, tuple[str, ...]] | None = None,
+          exec_config: ExecConfig | None = None
           ) -> dict[str, dict[str, float]]:
     """Fig 15: normalised IPC per loop-bound policy, grouped workloads."""
     groups = groups or FIG15_GROUPS
-    baselines = {w: run(w, "inorder", scale=scale)
-                 for ws in groups.values() for w in ws}
+    members_all = [w for ws in groups.values() for w in ws]
+    policy_cfgs = {policy: technique(f"svr{length}", policy=policy)
+                   for policy in FIG15_POLICIES}
+    pairs = [(w, "inorder") for w in members_all]
+    pairs += [(w, cfg) for w in members_all
+              for cfg in policy_cfgs.values()]
+    cells = _Cells(pairs, scale, exec_config)
+    baselines = {w: cells.get(w, "inorder") for w in members_all}
     out: dict[str, dict[str, float]] = {}
-    for policy in FIG15_POLICIES:
-        cfg = technique(f"svr{length}", policy=policy)
+    for policy, cfg in policy_cfgs.items():
         row: dict[str, float] = {}
         all_speedups = []
         for group, members in groups.items():
-            speedups = []
-            for w in members:
-                res = run(w, cfg, scale=scale)
-                speedups.append(res.ipc / baselines[w].ipc)
-            row[group] = harmonic_mean(speedups)
+            speedups = [view.ipc / baselines[w].ipc for w in members
+                        if (view := cells.get(w, cfg)) is not None
+                        and baselines[w] is not None]
+            row[group] = _hmean(speedups)
             all_speedups.extend(speedups)
-        row["H-mean"] = harmonic_mean(all_speedups)
+        row["H-mean"] = _hmean(all_speedups)
         out[policy.value] = row
     return out
 
@@ -265,10 +355,27 @@ def fig15(length: int = 16, scale: str = "bench",
 # Section VI-D — DVR-comparison ablations.
 # ---------------------------------------------------------------------------
 
-def dvr_recycling(workloads: Sequence[str] = REPRESENTATIVE,
-                  scale: str = "bench") -> dict[str, float]:
-    """SVR LRU recycling vs DVR renaming with 2 speculative registers."""
+def _labelled_speedups(variants: dict[str, TechniqueConfig],
+                       workloads: Sequence[str], scale: str,
+                       exec_config: ExecConfig | None) -> dict[str, float]:
+    """Harmonic-mean speedup over the in-order baseline per variant."""
+    pairs = [(w, "inorder") for w in workloads]
+    pairs += [(w, cfg) for w in workloads for cfg in variants.values()]
+    cells = _Cells(pairs, scale, exec_config)
+    baselines = {w: cells.get(w, "inorder") for w in workloads}
     out: dict[str, float] = {}
+    for label, cfg in variants.items():
+        speedups = [view.ipc / baselines[w].ipc for w in workloads
+                    if (view := cells.get(w, cfg)) is not None
+                    and baselines[w] is not None]
+        out[label] = _hmean(speedups)
+    return out
+
+
+def dvr_recycling(workloads: Sequence[str] = REPRESENTATIVE,
+                  scale: str = "bench",
+                  exec_config: ExecConfig | None = None) -> dict[str, float]:
+    """SVR LRU recycling vs DVR renaming with 2 speculative registers."""
     variants = {
         "svr16-lru-k8": technique("svr16"),
         "svr16-lru-k2": technique("svr16", srf_entries=2),
@@ -278,53 +385,39 @@ def dvr_recycling(workloads: Sequence[str] = REPRESENTATIVE,
         "svr64-dvr-k2": technique("svr64", srf_entries=2,
                                   recycling=RecyclingPolicy.DVR),
     }
-    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
-    for label, cfg in variants.items():
-        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
-                    for w in workloads]
-        out[label] = harmonic_mean(speedups)
-    return out
+    return _labelled_speedups(variants, workloads, scale, exec_config)
 
 
 def dvr_waiting_mode(workloads: Sequence[str] = REPRESENTATIVE,
-                     scale: str = "bench") -> dict[str, float]:
+                     scale: str = "bench",
+                     exec_config: ExecConfig | None = None) -> dict[str, float]:
     """Waiting mode on/off (paper: SVR-16 3.2x -> 1.14x, SVR-64 -> 0.56x)."""
-    out: dict[str, float] = {}
     variants = {
         "svr16": technique("svr16"),
         "svr16-no-waiting": technique("svr16", waiting_mode=False),
         "svr64": technique("svr64"),
         "svr64-no-waiting": technique("svr64", waiting_mode=False),
     }
-    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
-    for label, cfg in variants.items():
-        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
-                    for w in workloads]
-        out[label] = harmonic_mean(speedups)
-    return out
+    return _labelled_speedups(variants, workloads, scale, exec_config)
 
 
 def register_copy_cost(workloads: Sequence[str] = REPRESENTATIVE,
                        scale: str = "bench",
-                       cost_cycles: float = 16.0) -> dict[str, float]:
+                       cost_cycles: float = 16.0,
+                       exec_config: ExecConfig | None = None) -> dict[str, float]:
     """Lockstep-coupling cost model (paper: 3.21x -> 3.16x).
 
     Also reports the *decoupled-context* upper bound: SVIs issued from a
     free second context (DVR-style), quantifying what sharing the main
     thread's issue slots costs.
     """
-    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
-    out: dict[str, float] = {}
-    for label, cfg in (
-            ("svr16", technique("svr16")),
-            ("svr16-regcopy", technique(
-                "svr16", register_copy_cost_cycles=cost_cycles)),
-            ("svr16-decoupled", technique(
-                "svr16", decoupled_context=True))):
-        speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
-                    for w in workloads]
-        out[label] = harmonic_mean(speedups)
-    return out
+    variants = {
+        "svr16": technique("svr16"),
+        "svr16-regcopy": technique(
+            "svr16", register_copy_cost_cycles=cost_cycles),
+        "svr16-decoupled": technique("svr16", decoupled_context=True),
+    }
+    return _labelled_speedups(variants, workloads, scale, exec_config)
 
 
 # ---------------------------------------------------------------------------
@@ -333,17 +426,25 @@ def register_copy_cost(workloads: Sequence[str] = REPRESENTATIVE,
 
 def fig16(workloads: Sequence[str] = REPRESENTATIVE, scale: str = "bench",
           widths: Sequence[int] = (1, 2, 4, 8),
-          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[int, float]]:
+          lengths: Sequence[int] = (16, 64),
+          exec_config: ExecConfig | None = None) -> dict[str, dict[int, float]]:
     """Fig 16: normalised IPC vs lanes-per-execute-slot (should be flat)."""
-    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
+    cfgs = {(length, width): technique(f"svr{length}",
+                                       scalars_per_unit=width)
+            for length in lengths for width in widths}
+    pairs = [(w, "inorder") for w in workloads]
+    pairs += [(w, cfg) for w in workloads for cfg in cfgs.values()]
+    cells = _Cells(pairs, scale, exec_config)
+    baselines = {w: cells.get(w, "inorder") for w in workloads}
     out: dict[str, dict[int, float]] = {}
     for length in lengths:
         series: dict[int, float] = {}
         for width in widths:
-            cfg = technique(f"svr{length}", scalars_per_unit=width)
-            speedups = [run(w, cfg, scale=scale).ipc / baselines[w].ipc
-                        for w in workloads]
-            series[width] = harmonic_mean(speedups)
+            cfg = cfgs[(length, width)]
+            speedups = [view.ipc / baselines[w].ipc for w in workloads
+                        if (view := cells.get(w, cfg)) is not None
+                        and baselines[w] is not None]
+            series[width] = _hmean(speedups)
         out[f"svr{length}"] = series
     return out
 
@@ -356,23 +457,33 @@ def fig17(workloads: Sequence[str] = ("PR_KR", "Randacc", "Camel"),
           scale: str = "bench",
           mshrs: Sequence[int] = (1, 2, 4, 8, 16, 24, 32),
           ptws: Sequence[int] = (2, 4, 6),
-          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[int, float]]:
+          lengths: Sequence[int] = (16, 64),
+          exec_config: ExecConfig | None = None) -> dict[str, dict[int, float]]:
     """Fig 17: speedup over the *matching* in-order baseline per MSHR/PTW."""
+    grid = [(length, ptw, mshr)
+            for length in lengths for ptw in ptws for mshr in mshrs]
+    base_cfgs = {(ptw, mshr): technique("inorder").with_memory(
+        l1_mshrs=mshr, page_table_walkers=ptw)
+        for _, ptw, mshr in grid}
+    svr_cfgs = {(length, ptw, mshr): technique(f"svr{length}").with_memory(
+        l1_mshrs=mshr, page_table_walkers=ptw)
+        for length, ptw, mshr in grid}
+    pairs = [(w, cfg) for w in workloads for cfg in base_cfgs.values()]
+    pairs += [(w, cfg) for w in workloads for cfg in svr_cfgs.values()]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[int, float]] = {}
     for length in lengths:
         for ptw in ptws:
             series: dict[int, float] = {}
             for mshr in mshrs:
-                base_cfg = technique("inorder").with_memory(
-                    l1_mshrs=mshr, page_table_walkers=ptw)
-                svr_cfg = technique(f"svr{length}").with_memory(
-                    l1_mshrs=mshr, page_table_walkers=ptw)
                 speedups = []
                 for w in workloads:
-                    base = run(w, base_cfg, scale=scale)
-                    res = run(w, svr_cfg, scale=scale)
+                    base = cells.get(w, base_cfgs[(ptw, mshr)])
+                    res = cells.get(w, svr_cfgs[(length, ptw, mshr)])
+                    if base is None or res is None:
+                        continue
                     speedups.append(res.ipc / base.ipc)
-                series[mshr] = harmonic_mean(speedups)
+                series[mshr] = _hmean(speedups)
             out[f"svr{length}-ptw{ptw}"] = series
     return out
 
@@ -384,22 +495,29 @@ def fig17(workloads: Sequence[str] = ("PR_KR", "Randacc", "Camel"),
 def fig18(workloads: Sequence[str] = ("PR_KR", "Camel", "Kangr"),
           scale: str = "bench",
           bandwidths: Sequence[float] = (12.5, 25.0, 50.0, 100.0),
-          lengths: Sequence[int] = (16, 64)) -> dict[str, dict[float, float]]:
+          lengths: Sequence[int] = (16, 64),
+          exec_config: ExecConfig | None = None) -> dict[str, dict[float, float]]:
     """Fig 18: speedup vs in-order at the *same* bandwidth."""
+    base_cfgs = {bw: technique("inorder").with_memory(
+        dram_bandwidth_gbps=bw) for bw in bandwidths}
+    svr_cfgs = {(length, bw): technique(f"svr{length}").with_memory(
+        dram_bandwidth_gbps=bw)
+        for length in lengths for bw in bandwidths}
+    pairs = [(w, cfg) for w in workloads for cfg in base_cfgs.values()]
+    pairs += [(w, cfg) for w in workloads for cfg in svr_cfgs.values()]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[float, float]] = {}
     for length in lengths:
         series: dict[float, float] = {}
         for bw in bandwidths:
-            base_cfg = technique("inorder").with_memory(
-                dram_bandwidth_gbps=bw)
-            svr_cfg = technique(f"svr{length}").with_memory(
-                dram_bandwidth_gbps=bw)
             speedups = []
             for w in workloads:
-                base = run(w, base_cfg, scale=scale)
-                res = run(w, svr_cfg, scale=scale)
+                base = cells.get(w, base_cfgs[bw])
+                res = cells.get(w, svr_cfgs[(length, bw)])
+                if base is None or res is None:
+                    continue
                 speedups.append(res.ipc / base.ipc)
-            series[bw] = harmonic_mean(speedups)
+            series[bw] = _hmean(speedups)
         out[f"svr{length}"] = series
     return out
 
@@ -409,7 +527,9 @@ def fig18(workloads: Sequence[str] = ("PR_KR", "Camel", "Kangr"),
 # ---------------------------------------------------------------------------
 
 def table1_quantified(workloads: Sequence[str] = REPRESENTATIVE,
-                      scale: str = "bench") -> dict[str, dict[str, float]]:
+                      scale: str = "bench",
+                      exec_config: ExecConfig | None = None
+                      ) -> dict[str, dict[str, float]]:
     """Quantify Table I's qualitative comparison (extension experiment).
 
     Runs the plain OoO core, Vector Runahead on the OoO core (the paper's
@@ -418,19 +538,22 @@ def table1_quantified(workloads: Sequence[str] = REPRESENTATIVE,
     in-order baseline and mean energy per instruction.
     """
     techs = ("inorder", "ooo", "vr64", "svr16")
+    pairs = [(w, t) for w in workloads for t in techs]
+    cells = _Cells(pairs, scale, exec_config)
     out: dict[str, dict[str, float]] = {}
-    baselines = {w: run(w, "inorder", scale=scale) for w in workloads}
     for tech in techs:
         speedups = []
         energies = []
         for w in workloads:
-            res = baselines[w] if tech == "inorder" else run(w, tech,
-                                                             scale=scale)
-            speedups.append(res.ipc / baselines[w].ipc)
+            base = cells.get(w, "inorder")
+            res = cells.get(w, tech)
+            if base is None or res is None:
+                continue
+            speedups.append(res.ipc / base.ipc)
             energies.append(res.energy_per_instruction_nj)
         out[tech] = {
-            "norm_ipc": harmonic_mean(speedups),
-            "nj_per_instr": sum(energies) / len(energies),
+            "norm_ipc": _hmean(speedups),
+            "nj_per_instr": _mean(energies),
         }
     return out
 

@@ -49,5 +49,8 @@ def format_series(series: Mapping[str, float], title: str = "",
     lines = [title] if title else []
     width = max((len(str(k)) for k in series), default=4) + 2
     for key, value in series.items():
-        lines.append(f"{str(key):<{width}}{value:.{precision}f}")
+        if value is None:       # failed/skipped cell
+            lines.append(f"{str(key):<{width}}-")
+        else:
+            lines.append(f"{str(key):<{width}}{value:.{precision}f}")
     return "\n".join(lines)

@@ -14,7 +14,7 @@ from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field, replace
 from typing import Any
 
-from repro.cores.base import CoreConfig, CoreStats
+from repro.cores.base import CoreConfig, CoreStats, SimulationError
 from repro.cores.inorder import InOrderCore
 from repro.cores.ooo import OutOfOrderCore
 from repro.energy.model import EnergyBreakdown, EnergyModel
@@ -29,10 +29,24 @@ from repro.workloads.registry import build_workload
 MAIN_TECHNIQUES = ("inorder", "imp", "ooo", "svr8", "svr16", "svr32",
                    "svr64", "svr128")
 
+CORE_KINDS = ("inorder", "ooo")
+
+# Watchdog fence installed by :func:`run` when the technique does not pin
+# its own: generous enough that no legitimate configuration trips it (the
+# worst DRAM-bound in-order CPI in this model is ~200), tight enough that
+# a runaway timing bug raises instead of spinning forever.
+WATCHDOG_CPI_CEILING = 4096.0
+WATCHDOG_SLACK_CYCLES = 100_000.0
+
 
 @dataclass
 class TechniqueConfig:
-    """One evaluated configuration."""
+    """One evaluated configuration.
+
+    Invalid combinations are rejected at construction (with the offending
+    field named) rather than deep inside :func:`run`, so a bad sweep cell
+    is classified as ``invalid-config`` before any simulation starts.
+    """
 
     name: str
     core: str = "inorder"                 # 'inorder' | 'ooo'
@@ -40,6 +54,25 @@ class TechniqueConfig:
     vr_length: int | None = None          # Vector Runahead on the OoO core
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     core_config: CoreConfig = field(default_factory=CoreConfig)
+
+    def __post_init__(self) -> None:
+        if self.core not in CORE_KINDS:
+            raise ValueError(
+                f"TechniqueConfig.core must be one of {CORE_KINDS}, "
+                f"got {self.core!r} (technique {self.name!r})")
+        if self.svr is not None and self.core != "inorder":
+            raise ValueError(
+                f"TechniqueConfig.svr requires core='inorder', got "
+                f"core={self.core!r} (technique {self.name!r})")
+        if self.vr_length is not None:
+            if self.core != "ooo":
+                raise ValueError(
+                    f"TechniqueConfig.vr_length requires core='ooo', got "
+                    f"core={self.core!r} (technique {self.name!r})")
+            if self.vr_length < 1:
+                raise ValueError(
+                    f"TechniqueConfig.vr_length must be >= 1, got "
+                    f"{self.vr_length} (technique {self.name!r})")
 
     def with_memory(self, **overrides: Any) -> "TechniqueConfig":
         return replace(self, memory=replace(self.memory, **overrides))
@@ -135,6 +168,7 @@ class SimResult:
             "prefetches_issued": dict(self.hierarchy.prefetches_issued),
             "prefetch_useful": dict(self.hierarchy.prefetch_useful),
             "prefetch_useless": dict(self.hierarchy.prefetch_useless),
+            "dram_fetches": dict(self.hierarchy.dram_fetches),
         }
         if self.svr is not None:
             out["svr"] = {
@@ -193,6 +227,11 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
     trace collectors attach when the measured window starts (warmup stays
     unobserved, matching the stats), and the observation's JSONL record /
     Chrome trace are finalised before returning.
+
+    Unless the technique pins its own watchdog, a window-scaled
+    ``watchdog_max_cycles`` fence is installed so a runaway simulation
+    raises :class:`~repro.cores.base.SimulationError` (with workload /
+    technique context) instead of hanging.
     """
     if isinstance(tech, str):
         tech = technique(tech)
@@ -208,6 +247,13 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
                                                        _WINDOWS["bench"])
         warmup = default_warmup if warmup is None else warmup
         measure = default_measure if measure is None else measure
+
+        if (tech.core_config.watchdog_max_cycles is None
+                and tech.core_config.watchdog_max_instructions is None):
+            fence = (WATCHDOG_CPI_CEILING * (warmup + measure)
+                     + WATCHDOG_SLACK_CYCLES)
+            tech = replace(tech, core_config=replace(
+                tech.core_config, watchdog_max_cycles=fence))
 
         hierarchy = MemoryHierarchy(workload.memory, tech.memory, bus=bus)
         svr_unit = None
@@ -226,19 +272,26 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
             raise ValueError(f"unknown core kind: {tech.core!r}")
 
     vr_unit = getattr(core, "vr", None)
-    with _section("warmup"):
-        if warmup > 0:
-            core.run(warmup)
-    core.reset_stats()
-    hierarchy.reset_stats()
-    if svr_unit is not None:
-        svr_unit.reset_stats()
-    if vr_unit is not None:
-        vr_unit.reset_stats()
-    if obs is not None:
-        obs.begin_measure()
-    with _section("measure"):
-        core.run(measure)
+    try:
+        with _section("warmup"):
+            if warmup > 0:
+                core.run(warmup)
+        core.reset_stats()
+        hierarchy.reset_stats()
+        if svr_unit is not None:
+            svr_unit.reset_stats()
+        if vr_unit is not None:
+            vr_unit.reset_stats()
+        if obs is not None:
+            obs.begin_measure()
+        with _section("measure"):
+            core.run(measure)
+    except SimulationError as exc:
+        if exc.workload is None:
+            exc.workload = workload.name
+        if exc.technique is None:
+            exc.technique = tech.name
+        raise
 
     stats = core.stats
     hstats = hierarchy.stats

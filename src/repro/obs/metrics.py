@@ -163,6 +163,12 @@ def install_standard_metrics(bus: ProbeBus,
     run_length = histogram("predictor.stride.run_length")
     lb_decisions = counter("predictor.loop_bound.decisions")
     lb_length = histogram("predictor.loop_bound.length")
+    exec_cells = counter("exec.cells")
+    exec_cell_elapsed = histogram("exec.cell.elapsed_s")
+    exec_failures = counter("exec.failures")
+    exec_retries = counter("exec.retries")
+    exec_timeouts = counter("exec.timeouts")
+    watchdog_trips = counter("core.watchdog_trips")
 
     def on_commit(_name: str, _ev: dict) -> None:
         instructions.inc()
@@ -228,6 +234,27 @@ def install_standard_metrics(bus: ProbeBus,
         lb_length.observe(ev["length"])
         counter(f"predictor.loop_bound.policy.{ev['policy']}").inc()
 
+    def on_exec_cell(_name: str, ev: dict) -> None:
+        exec_cells.inc()
+        if ev.get("cached"):
+            counter("exec.cells.cached").inc()
+        else:
+            exec_cell_elapsed.observe(ev.get("elapsed_s", 0.0))
+
+    def on_exec_failure(_name: str, ev: dict) -> None:
+        exec_failures.inc()
+        counter(f"exec.failures.{ev['kind']}").inc()
+
+    def on_exec_retry(_name: str, _ev: dict) -> None:
+        exec_retries.inc()
+
+    def on_exec_timeout(_name: str, _ev: dict) -> None:
+        exec_timeouts.inc()
+
+    def on_watchdog(_name: str, ev: dict) -> None:
+        watchdog_trips.inc()
+        counter(f"core.watchdog_trips.{ev['kind']}").inc()
+
     wiring = {
         "core.commit": on_commit,
         "core.window_stall": on_window_stall,
@@ -246,5 +273,10 @@ def install_standard_metrics(bus: ProbeBus,
         "svr.accuracy_ban": on_ban,
         "predictor.stride_run": on_stride_run,
         "predictor.loop_bound": on_loop_bound,
+        "exec.cell": on_exec_cell,
+        "exec.failure": on_exec_failure,
+        "exec.retry": on_exec_retry,
+        "exec.timeout": on_exec_timeout,
+        "core.watchdog": on_watchdog,
     }
     return [bus.subscribe(name, fn) for name, fn in wiring.items()]

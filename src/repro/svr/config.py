@@ -61,10 +61,45 @@ class SVRConfig:
 
     def __post_init__(self) -> None:
         if self.vector_length < 1:
-            raise ValueError("vector_length must be >= 1")
+            raise ValueError(
+                f"SVRConfig.vector_length must be >= 1, got "
+                f"{self.vector_length}")
         if self.srf_entries < 1:
-            raise ValueError("srf_entries must be >= 1")
+            raise ValueError(
+                f"SVRConfig.srf_entries must be >= 1, got "
+                f"{self.srf_entries}")
+        if self.stride_detector_entries < 1:
+            raise ValueError(
+                f"SVRConfig.stride_detector_entries must be >= 1, got "
+                f"{self.stride_detector_entries}")
+        if self.stride_confidence_threshold < 1:
+            raise ValueError(
+                f"SVRConfig.stride_confidence_threshold must be >= 1, got "
+                f"{self.stride_confidence_threshold}")
+        if self.timeout_instructions <= 0:
+            raise ValueError(
+                f"SVRConfig.timeout_instructions must be > 0, got "
+                f"{self.timeout_instructions}")
+        if self.ewma_cap < 1:
+            raise ValueError(
+                f"SVRConfig.ewma_cap must be >= 1, got {self.ewma_cap}")
         if self.scalars_per_unit < 1:
-            raise ValueError("scalars_per_unit must be >= 1")
+            raise ValueError(
+                f"SVRConfig.scalars_per_unit must be >= 1, got "
+                f"{self.scalars_per_unit}")
+        if self.register_copy_cost_cycles < 0:
+            raise ValueError(
+                f"SVRConfig.register_copy_cost_cycles must be >= 0, got "
+                f"{self.register_copy_cost_cycles}")
         if not 0.0 <= self.accuracy_threshold <= 1.0:
-            raise ValueError("accuracy_threshold must be in [0, 1]")
+            raise ValueError(
+                f"SVRConfig.accuracy_threshold must be in [0, 1], got "
+                f"{self.accuracy_threshold}")
+        if self.accuracy_warmup_events < 0:
+            raise ValueError(
+                f"SVRConfig.accuracy_warmup_events must be >= 0, got "
+                f"{self.accuracy_warmup_events}")
+        if self.accuracy_reset_interval < 1:
+            raise ValueError(
+                f"SVRConfig.accuracy_reset_interval must be >= 1, got "
+                f"{self.accuracy_reset_interval}")

@@ -1,0 +1,125 @@
+"""CLI tests for ``repro sweep`` and the resilience flags on ``figure``."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSweepCommand:
+    def test_basic_sweep(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8",
+                     "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "svr.srf_entries" in out
+        assert "FAILED" not in out
+
+    def test_json_output(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8",
+                     "--scale", "tiny", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metric"] == "ipc"
+        assert len(payload["values"]) == 2
+        assert payload["failures"] == []
+        assert all(v["value"] is not None for v in payload["values"])
+
+    def test_injected_fault_fails_with_summary(self, capsys):
+        code = main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8",
+                     "--scale", "tiny", "--retries", "0",
+                     "--inject", "Camel/*srf_entries=2*:crash"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "crash" in captured.out          # structured failure list
+        assert "1 failed" in captured.err       # executor summary
+
+    def test_resume_after_fault(self, capsys, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        argv = ["sweep", "svr16", "--workloads", "Camel",
+                "--axis", "svr.srf_entries=2,8", "--scale", "tiny",
+                "--retries", "0", "--journal", journal]
+        assert main(argv + ["--inject", "Camel/*srf_entries=2*:crash"]) == 1
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "FAILED" not in captured.out
+        assert "from journal" in captured.err
+
+    def test_bad_axis_path(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.warp_speed=1,2",
+                     "--scale", "tiny"]) == 2
+        assert "unknown config field" in capsys.readouterr().err
+
+    def test_malformed_axis(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries", "--scale", "tiny"]) == 2
+        assert "--axis expects" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8",
+                     "--scale", "tiny", "--resume"]) == 2
+        assert "journal" in capsys.readouterr().err
+
+    def test_bad_inject_spec(self, capsys):
+        assert main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8",
+                     "--scale", "tiny", "--inject", "Camel"]) == 2
+        assert "fault spec" in capsys.readouterr().err
+
+
+class TestFigureResilienceFlags:
+    def test_injected_fault_partial_figure(self, capsys):
+        code = main(["figure", "fig14", "--workloads", "Camel,HJ2",
+                     "--scale", "tiny", "--retries", "0",
+                     "--inject", "Camel/svr16:crash"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "Camel" in captured.out          # row rendered (as '-')
+        assert "failed cell" in captured.err
+
+    def test_flaky_fault_retries_to_success(self, capsys):
+        assert main(["figure", "fig14", "--workloads", "Camel",
+                     "--scale", "tiny", "--retries", "1",
+                     "--inject", "Camel/svr16:flaky"]) == 0
+        captured = capsys.readouterr()
+        assert "failed cell" not in captured.err
+
+    def test_figure_resume_journal(self, capsys, tmp_path):
+        journal = str(tmp_path / "fig.jsonl")
+        argv = ["figure", "fig14", "--workloads", "Camel", "--scale",
+                "tiny", "--retries", "0", "--journal", journal]
+        assert main(argv + ["--inject", "Camel/svr16:crash"]) == 1
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "H-mean" in out
+
+    def test_jsonl_record_includes_failures(self, capsys, tmp_path):
+        log = tmp_path / "runs.jsonl"
+        assert main(["figure", "fig14", "--workloads", "Camel",
+                     "--scale", "tiny", "--retries", "0",
+                     "--inject", "Camel/svr16:crash",
+                     "--jsonl", str(log)]) == 1
+        capsys.readouterr()
+        record = json.loads(log.read_text().splitlines()[-1])
+        assert record["kind"] == "figure"
+        assert record["failures"][0]["kind"] == "crash"
+
+
+@pytest.mark.parametrize("timeout_s", ["1.0"])
+class TestTimeoutEndToEnd:
+    def test_hang_is_killed(self, capsys, timeout_s):
+        code = main(["sweep", "svr16", "--workloads", "Camel",
+                     "--axis", "svr.srf_entries=2,8", "--scale", "tiny",
+                     "--retries", "0", "--timeout", timeout_s,
+                     "--inject", "Camel/*srf_entries=2*:hang"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "hang" in captured.out
+        assert "timeout" in captured.out

@@ -1,0 +1,58 @@
+"""Construction-time validation: invalid configurations fail fast with
+messages naming the offending field."""
+
+import pytest
+
+from repro.harness.runner import TechniqueConfig, technique
+from repro.svr.config import SVRConfig
+
+
+class TestTechniqueConfigValidation:
+    def test_unknown_core_kind(self):
+        with pytest.raises(ValueError, match="core"):
+            TechniqueConfig("bad", core="vliw")
+
+    def test_svr_requires_inorder_core(self):
+        cfg = technique("svr16")
+        with pytest.raises(ValueError, match="svr"):
+            TechniqueConfig("bad", core="ooo", svr=cfg.svr)
+
+    def test_vr_requires_ooo_core(self):
+        with pytest.raises(ValueError, match="vr_length"):
+            TechniqueConfig("bad", core="inorder", vr_length=64)
+
+    def test_vr_length_must_be_positive(self):
+        with pytest.raises(ValueError, match="vr_length"):
+            TechniqueConfig("bad", core="ooo", vr_length=0)
+
+    def test_valid_configs_construct(self):
+        for name in ("inorder", "ooo", "imp", "svr16", "svr64", "vr64"):
+            assert technique(name).name == name
+
+
+class TestSVRConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("vector_length", 0),
+        ("vector_length", -4),
+        ("srf_entries", 0),
+        ("stride_detector_entries", 0),
+        ("stride_confidence_threshold", 0),
+        ("timeout_instructions", 0),
+        ("ewma_cap", 0),
+        ("scalars_per_unit", 0),
+        ("register_copy_cost_cycles", -1.0),
+        ("accuracy_threshold", -0.1),
+        ("accuracy_threshold", 1.5),
+        ("accuracy_warmup_events", -1),
+        ("accuracy_reset_interval", 0),
+    ])
+    def test_bad_value_names_field(self, field, value):
+        with pytest.raises(ValueError, match=f"SVRConfig.{field}"):
+            SVRConfig(**{field: value})
+
+    def test_message_includes_offending_value(self):
+        with pytest.raises(ValueError, match="got -4"):
+            SVRConfig(vector_length=-4)
+
+    def test_defaults_are_valid(self):
+        assert SVRConfig().vector_length == 16

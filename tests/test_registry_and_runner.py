@@ -144,6 +144,7 @@ class TestRun:
         assert svr.ipc > base.ipc
 
     def test_unknown_core_kind_rejected(self):
-        bad = TechniqueConfig("bad", core="vliw")
-        with pytest.raises(ValueError):
-            run("PR_UR", bad, scale="tiny")
+        # Validation happens at construction now (fail fast, before any
+        # simulation work is queued).
+        with pytest.raises(ValueError, match="core"):
+            TechniqueConfig("bad", core="vliw")
