@@ -7,9 +7,15 @@ SPEC surrogates) across all eight techniques and writes the complete
 Figs 1/11/12/14 data to ``results/full_*``.  Expect a long run — roughly
 an hour of pure-Python simulation.
 
+A full reproduction is also the natural moment to measure the simulator
+itself, so the script finishes by running the ``repro.bench``
+self-benchmarks and appending a ``BENCH_*.json`` trajectory point at the
+repository root (``--no-bench`` skips it).
+
 Usage::
 
     python scripts/reproduce_full.py [--scale bench|default] [--out DIR]
+                                     [--no-bench]
 """
 
 from __future__ import annotations
@@ -29,6 +35,9 @@ def main() -> int:
     parser.add_argument("--scale", default="default",
                         choices=("tiny", "bench", "default"))
     parser.add_argument("--out", default="results")
+    parser.add_argument("--no-bench", action="store_true",
+                        help="skip the closing self-benchmark / "
+                             "BENCH_*.json trajectory point")
     args = parser.parse_args()
     out_dir = Path(args.out)
     out_dir.mkdir(exist_ok=True)
@@ -72,6 +81,15 @@ def main() -> int:
     fig14 = experiments.fig14(workloads=SPEC_WORKLOADS, scale=args.scale)
     save("fig14_spec", format_series(
         fig14, title="Fig 14 (full): SPEC surrogate overhead"))
+
+    if not args.no_bench:
+        # Close with a self-benchmark so every full reproduction leaves
+        # a performance-trajectory point behind (see docs/observability.md).
+        from repro.bench import run_benchmarks, write_artifact
+
+        bench_path = write_artifact(run_benchmarks(), root=".")
+        print(f"[{time.time() - started:7.0f}s] wrote {bench_path} "
+              "(simulator self-benchmark)")
 
     print(f"done in {time.time() - started:.0f}s")
     return 0

@@ -1,0 +1,79 @@
+"""Self-benchmarking: the simulator measuring its own performance.
+
+Three pieces (design rationale in ``docs/observability.md``):
+
+* :mod:`repro.bench.registry` + :mod:`repro.bench.micro` — a registry of
+  microbenchmarks over the simulator's hot paths (core stepping, SVR PRM
+  rounds, cache/TLB/DRAM models, the assembler, end-to-end cells routed
+  through :func:`repro.exec.run_cells`);
+* :mod:`repro.bench.runner`  — repetition loop, median/MAD statistics,
+  environment capture, opt-in cProfile hot-spot attribution, and the
+  schema-versioned ``BENCH_<utcstamp>.json`` trajectory artifacts;
+* :mod:`repro.bench.compare` — the comparison engine that confronts a
+  run with the latest prior artifact and gates on MAD-scaled
+  regressions (``repro bench --compare --gate``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.compare import (
+    Delta,
+    compare,
+    environment_mismatch,
+    find_artifacts,
+    gate,
+    latest_artifact,
+    load_artifact,
+    render_comparison,
+)
+from repro.bench.registry import (
+    BenchContext,
+    Benchmark,
+    Work,
+    all_benchmarks,
+    benchmark_names,
+    get_benchmark,
+    register,
+    select_benchmarks,
+)
+from repro.bench.runner import (
+    ARTIFACT_GLOB,
+    BenchConfig,
+    BenchOutcome,
+    capture_environment,
+    git_sha,
+    mad,
+    median,
+    run_benchmarks,
+    run_one,
+    write_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_GLOB",
+    "BenchConfig",
+    "BenchContext",
+    "BenchOutcome",
+    "Benchmark",
+    "Delta",
+    "Work",
+    "all_benchmarks",
+    "benchmark_names",
+    "capture_environment",
+    "compare",
+    "environment_mismatch",
+    "find_artifacts",
+    "gate",
+    "get_benchmark",
+    "git_sha",
+    "latest_artifact",
+    "load_artifact",
+    "mad",
+    "median",
+    "register",
+    "render_comparison",
+    "run_benchmarks",
+    "run_one",
+    "select_benchmarks",
+    "write_artifact",
+]

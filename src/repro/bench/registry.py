@@ -1,0 +1,117 @@
+"""Microbenchmark registry: named, grouped self-benchmarks.
+
+A :class:`Benchmark` measures one hot path of the *simulator itself*
+(not of the simulated hardware): core stepping, SVR PRM rounds, cache /
+TLB / DRAM models, the assembler, and representative end-to-end cells.
+Each benchmark supplies a ``setup`` factory; the bench runner
+(:mod:`repro.bench.runner`) calls it before every repetition so state is
+always fresh, times only the returned closure, and derives throughput
+(work units per wall-second, plus simulated-cycles-per-second and
+committed-instructions-per-second where they exist) with median/MAD
+statistics across repetitions.
+
+Definitions live in :mod:`repro.bench.micro`; importing this module does
+*not* pull them in — call :func:`all_benchmarks` (which does) or import
+``repro.bench``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.exec import ExecConfig
+
+
+@dataclass(frozen=True)
+class Work:
+    """What one repetition accomplished (the runner adds wall time).
+
+    ``units`` is the benchmark's own progress measure (committed
+    instructions, accesses, assembled instructions, ...) and is the basis
+    of the primary throughput metric every benchmark reports.
+    ``sim_cycles`` / ``instructions`` feed the simulated-cycles-per-second
+    and instructions-per-second metrics and may be ``None`` for
+    benchmarks with no simulated clock (e.g. the assembler).
+    """
+
+    units: float
+    sim_cycles: float | None = None
+    instructions: int | None = None
+
+
+@dataclass(frozen=True)
+class BenchContext:
+    """Per-invocation knobs handed to every benchmark ``setup``."""
+
+    quick: bool = False
+    # Cell benchmarks route each repetition through exec.run_cells with
+    # this config, inheriting its kill fences and fault isolation.
+    exec_config: ExecConfig = field(default_factory=ExecConfig)
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered microbenchmark."""
+
+    name: str                 # dotted id, e.g. 'core.inorder.step'
+    group: str                # 'core' | 'svr' | 'mem' | 'isa' | 'e2e'
+    unit: str                 # what Work.units counts
+    description: str
+    setup: Callable[[BenchContext], Callable[[], Work]]
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(name: str, *, group: str, unit: str,
+             description: str) -> Callable:
+    """Decorator: register a ``setup`` factory as a benchmark."""
+
+    def wrap(setup: Callable[[BenchContext], Callable[[], Work]]):
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate benchmark name: {name!r}")
+        _REGISTRY[name] = Benchmark(name=name, group=group, unit=unit,
+                                    description=description, setup=setup)
+        return setup
+
+    return wrap
+
+
+def _ensure_loaded() -> None:
+    from repro.bench import micro  # noqa: F401  — registers on import
+
+
+def all_benchmarks() -> list[Benchmark]:
+    """Every registered benchmark, sorted by name."""
+    _ensure_loaded()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def benchmark_names() -> list[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; known: "
+                         f"{', '.join(sorted(_REGISTRY))}") from None
+
+
+def select_benchmarks(patterns: tuple[str, ...] = ()) -> list[Benchmark]:
+    """Benchmarks whose name matches any fnmatch *pattern* (all if none)."""
+    benches = all_benchmarks()
+    if not patterns:
+        return benches
+    chosen = [b for b in benches
+              if any(fnmatch.fnmatch(b.name, p) for p in patterns)]
+    if not chosen:
+        raise ValueError(
+            f"no benchmark matches {patterns!r}; known: "
+            f"{', '.join(b.name for b in benches)}")
+    return chosen

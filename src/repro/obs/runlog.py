@@ -43,11 +43,16 @@ class SelfProfile:
 
 
 def make_record(kind: str, **fields: Any) -> dict[str, Any]:
-    """A schema-stamped record; *fields* are merged in verbatim."""
+    """A schema-stamped record; *fields* are merged in verbatim.
+
+    Timestamps are UTC (``...Z``): local-time ``%z`` rendered records
+    non-comparable across machines and as an empty offset on platforms
+    whose ``strftime`` lacks zone data.
+    """
     record: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "kind": kind,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
     record.update(fields)
     return record

@@ -121,6 +121,33 @@ class TestHistogram:
         assert snap["min"] is None and snap["max"] is None
         assert snap["mean"] == 0.0
 
+    def test_bucket_of_zero_and_sub_one(self):
+        assert Histogram.bucket_of(0) == 0
+        assert Histogram.bucket_of(0.0) == 0
+        assert Histogram.bucket_of(1e-9) == 0
+        assert Histogram.bucket_of(0.999) == 0
+        assert Histogram.bucket_label(0) == "[0,1)"
+
+    def test_bucket_of_very_large_values(self):
+        assert Histogram.bucket_of(2 ** 40) == 41
+        assert Histogram.bucket_of(2 ** 40 - 1) == 40
+        assert Histogram.bucket_of(1.5e15) == 51
+        assert Histogram.bucket_label(41) == f"[{2 ** 40},{2 ** 41})"
+
+    def test_observe_extremes_round_trip(self):
+        hist = Histogram()
+        hist.observe(0)
+        hist.observe(0.25)
+        hist.observe(2 ** 40)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 0 and snap["max"] == 2 ** 40
+        assert snap["buckets"] == {"[0,1)": 2,
+                                   f"[{2 ** 40},{2 ** 41})": 1}
+
+    def test_mean_of_empty_histogram(self):
+        assert Histogram().mean == 0.0
+
 
 class TestMetricsRegistry:
     def test_get_or_create(self):
@@ -175,6 +202,58 @@ class TestStandardMetrics:
             sub.cancel()
         assert not bus.probe("core.commit").enabled
 
+    def test_exec_cell_counters(self):
+        bus = ProbeBus()
+        reg = MetricsRegistry()
+        install_standard_metrics(bus, reg)
+        cell = bus.probe("exec.cell")
+        cell.emit(key="k1", workload="Camel", technique="svr16",
+                  status="ok", cached=False, attempts=1, elapsed_s=1.5)
+        cell.emit(key="k2", workload="Camel", technique="svr16",
+                  status="ok", cached=True, attempts=1, elapsed_s=0.0)
+        snap = reg.snapshot()
+        assert snap["exec.cells"] == 2
+        assert snap["exec.cells.cached"] == 1
+        # Only the actually-executed cell lands in the latency histogram.
+        assert snap["exec.cell.elapsed_s"]["count"] == 1
+        assert snap["exec.cell.elapsed_s"]["buckets"] == {"[1,2)": 1}
+
+    def test_exec_failure_retry_timeout_counters(self):
+        bus = ProbeBus()
+        reg = MetricsRegistry()
+        install_standard_metrics(bus, reg)
+        bus.probe("exec.failure").emit(
+            key="k", workload="Camel", technique="svr16", kind="hang",
+            message="timeout", attempts=2)
+        bus.probe("exec.failure").emit(
+            key="k2", workload="HJ2", technique="svr16", kind="crash",
+            message="boom", attempts=1)
+        bus.probe("exec.retry").emit(key="k", workload="Camel",
+                                     technique="svr16", attempt=1,
+                                     kind="hang", delay_s=0.25)
+        bus.probe("exec.timeout").emit(key="k", workload="Camel",
+                                       technique="svr16", attempt=1,
+                                       timeout_s=30.0)
+        snap = reg.snapshot()
+        assert snap["exec.failures"] == 2
+        assert snap["exec.failures.hang"] == 1
+        assert snap["exec.failures.crash"] == 1
+        assert snap["exec.retries"] == 1
+        assert snap["exec.timeouts"] == 1
+
+    def test_watchdog_trip_counters(self):
+        bus = ProbeBus()
+        reg = MetricsRegistry()
+        install_standard_metrics(bus, reg)
+        bus.probe("core.watchdog").emit(kind="cycles", cycle=1e9, pc=4)
+        bus.probe("core.watchdog").emit(kind="cycles", cycle=2e9, pc=8)
+        bus.probe("core.watchdog").emit(kind="instructions", cycle=5.0,
+                                        pc=12)
+        snap = reg.snapshot()
+        assert snap["core.watchdog_trips"] == 3
+        assert snap["core.watchdog_trips.cycles"] == 2
+        assert snap["core.watchdog_trips.instructions"] == 1
+
 
 class TestRunLog:
     def test_round_trip(self, tmp_path):
@@ -191,6 +270,19 @@ class TestRunLog:
 
     def test_read_missing_file(self, tmp_path):
         assert RunLog(tmp_path / "absent.jsonl").read() == []
+
+    def test_timestamps_are_utc(self):
+        import re
+        import time
+
+        before = time.gmtime(time.time() - 2)
+        record = make_record("run")
+        stamp = record["timestamp"]
+        # Explicit Z suffix, never a local offset (or an empty one).
+        assert re.fullmatch(
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", stamp)
+        parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+        assert time.mktime(parsed) >= time.mktime(before)
 
 
 class TestSelfProfile:
