@@ -117,8 +117,9 @@ class InOrderCore:
         # Stall-on-use: wait for source operands.
         src_ready = earliest
         src_level = None
-        for reg in inst.regs_read():
-            ready = self._ready[reg]
+        ready_table = self._ready
+        for reg in inst.srcs:
+            ready = ready_table[reg]
             if ready > src_ready:
                 src_ready = ready
                 src_level = self._producer[reg]

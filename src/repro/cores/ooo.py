@@ -122,8 +122,9 @@ class OutOfOrderCore:
         # Operand readiness (register dataflow).
         exec_start = dispatch
         src_level = None
-        for reg in inst.regs_read():
-            ready = self._ready[reg]
+        ready_table = self._ready
+        for reg in inst.srcs:
+            ready = ready_table[reg]
             if ready > exec_start:
                 exec_start = ready
                 src_level = self._producer[reg]

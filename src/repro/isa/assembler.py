@@ -82,7 +82,7 @@ def assemble(source: str, name: str = "assembly") -> Program:
         if not line:
             continue
         match = _LABEL_RE.match(line)
-        if match and match.group(1) not in _mnemonics():
+        if match and match.group(1) not in _MNEMONICS:
             label = match.group(1)
             if builder.has_label(label):
                 raise AssemblerError(line_no, raw,
@@ -99,9 +99,10 @@ def assemble(source: str, name: str = "assembly") -> Program:
     return builder.build()
 
 
-def _mnemonics() -> set[str]:
-    return ({op.value for op in Opcode}
-            | set(_MNEMONIC_ALIASES))
+# All recognised mnemonics (a label may not shadow one).  Built once:
+# rebuilding this set per line dominated the assembler's profile.
+_MNEMONICS: frozenset[str] = frozenset(
+    {op.value for op in Opcode} | set(_MNEMONIC_ALIASES))
 
 
 def _assemble_line(builder: ProgramBuilder, line: str, line_no: int,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.isa.instructions import Instruction, Opcode
+from repro.isa.instructions import Instruction, OpClass, Opcode
 from repro.isa.registers import to_signed64, wrap64
 
 _MASK64 = (1 << 64) - 1
@@ -43,65 +43,64 @@ class ExecResult:
     src_b: int = 0     # rs2 value as read
 
 
+# One evaluator per ALU/FP/CMP opcode, indexed by ``Instruction.opindex``.
+# The hot paths (committed execution and SVR's per-lane transient execution)
+# fetch the callable with one list index instead of walking an if-chain and
+# hashing enum members.
+_ALU_TABLE: dict[Opcode, Callable[[int, int, int], int]] = {
+    Opcode.ADD: lambda a, b, imm: wrap64(a + b),
+    Opcode.SUB: lambda a, b, imm: wrap64(a - b),
+    Opcode.MUL: lambda a, b, imm: wrap64(a * b),
+    Opcode.AND: lambda a, b, imm: a & b,
+    Opcode.OR: lambda a, b, imm: a | b,
+    Opcode.XOR: lambda a, b, imm: a ^ b,
+    Opcode.SLL: lambda a, b, imm: wrap64(a << (b & 63)),
+    Opcode.SRL: lambda a, b, imm: a >> (b & 63),
+    Opcode.MIN: lambda a, b, imm: wrap64(min(to_signed64(a), to_signed64(b))),
+    Opcode.MAX: lambda a, b, imm: wrap64(max(to_signed64(a), to_signed64(b))),
+    Opcode.ADDI: lambda a, b, imm: wrap64(a + imm),
+    Opcode.ANDI: lambda a, b, imm: a & wrap64(imm),
+    Opcode.ORI: lambda a, b, imm: a | wrap64(imm),
+    Opcode.XORI: lambda a, b, imm: a ^ wrap64(imm),
+    Opcode.SLLI: lambda a, b, imm: wrap64(a << (imm & 63)),
+    Opcode.SRLI: lambda a, b, imm: a >> (imm & 63),
+    Opcode.MULI: lambda a, b, imm: wrap64(a * imm),
+    Opcode.LI: lambda a, b, imm: wrap64(imm),
+    Opcode.MV: lambda a, b, imm: a,
+    Opcode.FADD: lambda a, b, imm: wrap64(a + b),
+    # Q32.16 fixed-point multiply.
+    Opcode.FMUL: lambda a, b, imm: wrap64(
+        (to_signed64(a) * to_signed64(b)) >> FP_SHIFT),
+    Opcode.CMP_LT: lambda a, b, imm: 1 if to_signed64(a) < to_signed64(b) else 0,
+    Opcode.CMP_LTU: lambda a, b, imm: 1 if a < b else 0,
+    Opcode.CMP_EQ: lambda a, b, imm: 1 if a == b else 0,
+    Opcode.CMP_NE: lambda a, b, imm: 1 if a != b else 0,
+    Opcode.CMP_GE: lambda a, b, imm: 1 if to_signed64(a) >= to_signed64(b) else 0,
+}
+
+_ALU_BY_INDEX: list[Callable[[int, int, int], int] | None] = [
+    _ALU_TABLE.get(op) for op in Opcode
+]
+
+
+def alu_fn(inst: Instruction) -> Callable[[int, int, int], int] | None:
+    """The pre-decoded ``(a, b, imm) -> value`` evaluator for *inst*.
+
+    ``None`` for non-ALU opcodes.  SVR hoists this lookup out of its
+    per-lane loops.
+    """
+    return _ALU_BY_INDEX[inst.opindex]
+
+
 def alu_compute(op: Opcode, a: int, b: int, imm: int) -> int:
     """Evaluate an ALU/FP/CMP operation on 64-bit values.
 
     Shared by committed and transient execution so the two can never drift.
     """
-    if op is Opcode.ADD:
-        return wrap64(a + b)
-    if op is Opcode.SUB:
-        return wrap64(a - b)
-    if op is Opcode.MUL:
-        return wrap64(a * b)
-    if op is Opcode.AND:
-        return a & b
-    if op is Opcode.OR:
-        return a | b
-    if op is Opcode.XOR:
-        return a ^ b
-    if op is Opcode.SLL:
-        return wrap64(a << (b & 63))
-    if op is Opcode.SRL:
-        return a >> (b & 63)
-    if op is Opcode.MIN:
-        return wrap64(min(to_signed64(a), to_signed64(b)))
-    if op is Opcode.MAX:
-        return wrap64(max(to_signed64(a), to_signed64(b)))
-    if op is Opcode.ADDI:
-        return wrap64(a + imm)
-    if op is Opcode.ANDI:
-        return a & wrap64(imm)
-    if op is Opcode.ORI:
-        return a | wrap64(imm)
-    if op is Opcode.XORI:
-        return a ^ wrap64(imm)
-    if op is Opcode.SLLI:
-        return wrap64(a << (imm & 63))
-    if op is Opcode.SRLI:
-        return a >> (imm & 63)
-    if op is Opcode.MULI:
-        return wrap64(a * imm)
-    if op is Opcode.LI:
-        return wrap64(imm)
-    if op is Opcode.MV:
-        return a
-    if op is Opcode.FADD:
-        return wrap64(a + b)
-    if op is Opcode.FMUL:
-        # Q32.16 fixed-point multiply.
-        return wrap64((to_signed64(a) * to_signed64(b)) >> FP_SHIFT)
-    if op is Opcode.CMP_LT:
-        return 1 if to_signed64(a) < to_signed64(b) else 0
-    if op is Opcode.CMP_LTU:
-        return 1 if a < b else 0
-    if op is Opcode.CMP_EQ:
-        return 1 if a == b else 0
-    if op is Opcode.CMP_NE:
-        return 1 if a != b else 0
-    if op is Opcode.CMP_GE:
-        return 1 if to_signed64(a) >= to_signed64(b) else 0
-    raise ValueError(f"not an ALU-evaluable opcode: {op}")
+    fn = _ALU_TABLE.get(op)
+    if fn is None:
+        raise ValueError(f"not an ALU-evaluable opcode: {op}")
+    return fn(a, b, imm)
 
 
 def execute(
@@ -118,40 +117,41 @@ def execute(
     expose ``read_word(addr)`` / ``write_word(addr, value)``.  With
     ``commit_stores=False`` store data is computed but memory is untouched.
     """
-    op = inst.op
     result = ExecResult(next_pc=pc + 1)
+    opclass = inst.opclass
 
-    if inst.is_load:
+    if opclass is OpClass.LOAD:
         addr = wrap64(read_reg(inst.rs1) + inst.imm)
         result.address = addr
         result.value = memory.read_word(addr)
-    elif inst.is_store:
+    elif opclass is OpClass.STORE:
         addr = wrap64(read_reg(inst.rs1) + inst.imm)
         result.address = addr
         result.value = read_reg(inst.rs2)
         if commit_stores:
             memory.write_word(addr, result.value)
-    elif inst.is_branch:
+    elif opclass is OpClass.BRANCH:
         value = read_reg(inst.rs1)
         result.src_a = value
-        taken = inst.branch_taken(value)
-        result.taken = taken
-        if taken:
+        if (value == 0) if inst.op is Opcode.BEQZ else (value != 0):
+            result.taken = True
             result.next_pc = inst.target
-    elif op is Opcode.JMP:
+        else:
+            result.taken = False
+    elif opclass is OpClass.JUMP:
         result.taken = True
         result.next_pc = inst.target
-    elif op is Opcode.HALT:
+    elif opclass is OpClass.HALT:
         result.halted = True
         result.next_pc = pc
-    elif op is Opcode.NOP:
+    elif opclass is OpClass.NOP:
         pass
     else:
         a = read_reg(inst.rs1) if inst.rs1 is not None else 0
         b = read_reg(inst.rs2) if inst.rs2 is not None else 0
         result.src_a = a
         result.src_b = b
-        result.value = alu_compute(op, a, b, inst.imm)
+        result.value = _ALU_BY_INDEX[inst.opindex](a, b, inst.imm)
 
     return result
 

@@ -22,7 +22,7 @@ Last Compare register exactly as in the paper (SectionIV-B2).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class Opcode(enum.Enum):
@@ -116,6 +116,22 @@ def op_class(op: Opcode) -> OpClass:
     return _CLASS_BY_OP[op]
 
 
+# Stable small-integer id per opcode (declaration order).  Hot paths index
+# per-opcode tables with it instead of hashing the enum member, which is a
+# Python-level ``__hash__`` call on every dict probe.
+OP_INDEX: dict[Opcode, int] = {op: i for i, op in enumerate(Opcode)}
+
+# Per-opcode pre-decoded metadata, so Instruction construction pays a single
+# enum-dict probe instead of one per derived field:
+# (opclass, opindex, is_load, is_store, is_branch, is_control, is_multiply)
+_DECODE_BY_OP: dict[Opcode, tuple[OpClass, int, bool, bool, bool, bool, bool]] = {
+    op: (_CLASS_BY_OP[op], OP_INDEX[op], op is Opcode.LD, op is Opcode.ST,
+         op in BRANCH_OPS, op in BRANCH_OPS or op is Opcode.JMP,
+         op is Opcode.MUL or op is Opcode.MULI)
+    for op in Opcode
+}
+
+
 @dataclass(frozen=True, slots=True)
 class Instruction:
     """One static instruction.
@@ -123,6 +139,13 @@ class Instruction:
     ``target`` holds the resolved branch-target PC after assembly; before
     label resolution the :class:`~repro.isa.program.ProgramBuilder` keeps the
     symbolic name separately.
+
+    Issue metadata (``opclass``, ``is_load``, ``srcs``, ...) is pre-decoded
+    once in ``__post_init__`` so the per-instruction hot loops of the timing
+    cores and the SVR unit pay a plain attribute load instead of property
+    dispatch plus enum hashing on every step.  The derived fields are pure
+    functions of the encoding fields above and are therefore excluded from
+    equality, hashing and repr.
     """
 
     op: Opcode
@@ -131,40 +154,41 @@ class Instruction:
     rs2: int | None = None
     imm: int = 0
     target: int | None = None
+    # -- pre-decoded issue metadata (derived, set in __post_init__) ----------
+    opclass: OpClass = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_control: bool = field(init=False, repr=False, compare=False)
+    # Multiplies pay the longer ALU latency in the timing cores.
+    is_multiply: bool = field(init=False, repr=False, compare=False)
+    srcs: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    dests: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    opindex: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def opclass(self) -> OpClass:
-        return _CLASS_BY_OP[self.op]
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Opcode.ST
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op in BRANCH_OPS
-
-    @property
-    def is_control(self) -> bool:
-        return self.op in BRANCH_OPS or self.op is Opcode.JMP
-
-    @property
-    def is_multiply(self) -> bool:
-        """Multiplies pay the longer ALU latency in the timing cores."""
-        return self.op is Opcode.MUL or self.op is Opcode.MULI
+    def __post_init__(self) -> None:
+        (opclass, opindex, is_load, is_store,
+         is_branch, is_control, is_multiply) = _DECODE_BY_OP[self.op]
+        set_ = object.__setattr__          # frozen dataclass: bypass __setattr__
+        set_(self, "opclass", opclass)
+        set_(self, "opindex", opindex)
+        set_(self, "is_load", is_load)
+        set_(self, "is_store", is_store)
+        set_(self, "is_branch", is_branch)
+        set_(self, "is_control", is_control)
+        set_(self, "is_multiply", is_multiply)
+        rs1, rs2 = self.rs1, self.rs2
+        if rs1 is None:
+            srcs = () if rs2 is None else (rs2,)
+        else:
+            srcs = (rs1,) if rs2 is None else (rs1, rs2)
+        set_(self, "srcs", srcs)
+        rd = self.rd
+        set_(self, "dests", () if rd is None else (rd,))
 
     def regs_read(self) -> tuple[int, ...]:
         """Architectural source registers read by this instruction."""
-        srcs = []
-        if self.rs1 is not None:
-            srcs.append(self.rs1)
-        if self.rs2 is not None:
-            srcs.append(self.rs2)
-        return tuple(srcs)
+        return self.srcs
 
     def regs_written(self) -> tuple[int, ...]:
         """Architectural destination registers written by this instruction.
@@ -172,7 +196,7 @@ class Instruction:
         ``x0`` writes are included here (they occupy a writeback slot); most
         analyses treat them as discarded, matching the register file.
         """
-        return () if self.rd is None else (self.rd,)
+        return self.dests
 
     def branch_taken(self, value: int) -> bool:
         """Branch outcome for a conditional branch given its ``rs1`` value."""

@@ -55,14 +55,24 @@ class Cache:
     def _locate(self, line_addr: int) -> tuple[dict[int, LineMeta], int]:
         return self._sets[line_addr % self.num_sets], line_addr // self.num_sets
 
-    def lookup(self, line_addr: int, touch: bool = True) -> LineMeta | None:
-        """Return the line's metadata if present (LRU-touching it)."""
-        cache_set, tag = self._locate(line_addr)
+    def lookup(self, line_addr: int, touch: bool = True,
+               count_stats: bool = True) -> LineMeta | None:
+        """Return the line's metadata if present (LRU-touching it).
+
+        ``count_stats=False`` turns the call into a pure-bookkeeping peek:
+        observability and debugging reads must not inflate the hit/miss
+        counters the figures are built from (use :meth:`contains` when the
+        metadata itself is not needed).
+        """
+        cache_set = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
         meta = cache_set.get(tag)
         if meta is None:
-            self.misses += 1
+            if count_stats:
+                self.misses += 1
             return None
-        self.hits += 1
+        if count_stats:
+            self.hits += 1
         if touch:
             del cache_set[tag]
             cache_set[tag] = meta
@@ -75,13 +85,29 @@ class Cache:
     def insert(self, line_addr: int, *, dirty: bool = False,
                prefetched: bool = False, origin: str = "") -> tuple[int, LineMeta] | None:
         """Fill a line; return ``(victim_line_addr, victim_meta)`` if one
-        was evicted, else ``None``.  Filling a present line merges flags."""
-        cache_set, tag = self._locate(line_addr)
+        was evicted, else ``None``.
+
+        Filling a present line merges *all* flags, not just ``dirty``:
+        ``dirty`` is OR-merged, and a prefetch landing on a resident
+        non-prefetched line sets the prefetch tag with its origin.  A line
+        that already carries a prefetch tag keeps its original origin
+        (first prefetch wins), mirroring how the hierarchy's
+        ``_pf_outstanding`` accounting credits the first prefetcher to
+        request a line.  A demand fill (``prefetched=False``) never clears
+        a resident prefetch tag — only a demand *touch* does, and that is
+        accounted by the hierarchy.
+        """
+        cache_set = self._sets[line_addr % self.num_sets]
+        tag = line_addr // self.num_sets
         meta = cache_set.get(tag)
         if meta is not None:
             del cache_set[tag]
-            meta.dirty = meta.dirty or dirty
             cache_set[tag] = meta
+            if dirty:
+                meta.dirty = True
+            if prefetched and not meta.prefetched:
+                meta.prefetched = True
+                meta.origin = origin
             return None
         victim = None
         if len(cache_set) >= self.assoc:
@@ -127,14 +153,22 @@ class MshrPool:
         return min(self._free_at)
 
     def allocate(self, time: float) -> tuple[int, float]:
-        """Return ``(slot, start_time)`` for a miss arriving at *time*."""
-        slot = min(range(len(self._free_at)), key=self._free_at.__getitem__)
-        start = max(time, self._free_at[slot])
-        wait = start - time
-        if wait > 0:
+        """Return ``(slot, start_time)`` for a miss arriving at *time*.
+
+        Slot choice is the earliest-free entry, ties broken by lowest
+        index (``list.index`` of the C-level ``min``, which the MSHR tests
+        pin — the same slot a linear scan would pick).
+        """
+        free_at = self._free_at
+        earliest = min(free_at)
+        slot = free_at.index(earliest)
+        if earliest > time:
             self.full_stalls += 1
-            self.peak_wait = max(self.peak_wait, wait)
-        return slot, start
+            wait = earliest - time
+            if wait > self.peak_wait:
+                self.peak_wait = wait
+            return slot, earliest
+        return slot, time
 
     def would_block(self, time: float) -> bool:
         """True if no MSHR is free at *time* (used for drop-on-full)."""

@@ -65,26 +65,39 @@ class DramModel:
         """Issue a line fetch at *time*; return its completion time."""
         need = self.cycles_per_line
         start = max(time, 0.0)
-        index = 0
-        # Find the first gap of length `need` at or after `start`.
-        for index, (ivl_start, ivl_end) in enumerate(self._busy):
-            if ivl_end <= start:
-                continue
-            if start + need <= ivl_start:
-                break
-            start = max(start, ivl_end)
-        else:
-            index = len(self._busy)
-        end = start + need
-        self._busy.insert(index, (start, end))
-        # Merge with neighbours to keep the list short.
-        merged: list[tuple[float, float]] = []
-        for ivl in self._busy:
-            if merged and ivl[0] <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(merged[-1][1], ivl[1]))
+        busy = self._busy
+        if not busy or start >= busy[-1][1]:
+            # Fast path (the overwhelmingly common case): the request lands
+            # at or after the newest reservation, so the whole pipe ahead is
+            # free — extend the tail interval in place for a back-to-back
+            # transfer, or append a fresh one.  Identical placement to the
+            # gap scan below, without the scan or the merge rebuild.
+            end = start + need
+            if busy and start == busy[-1][1]:
+                busy[-1] = (busy[-1][0], end)
             else:
-                merged.append(ivl)
-        self._busy = merged
+                busy.append((start, end))
+        else:
+            index = 0
+            # Find the first gap of length `need` at or after `start`.
+            for index, (ivl_start, ivl_end) in enumerate(busy):
+                if ivl_end <= start:
+                    continue
+                if start + need <= ivl_start:
+                    break
+                start = max(start, ivl_end)
+            else:
+                index = len(busy)
+            end = start + need
+            busy.insert(index, (start, end))
+            # Merge with neighbours to keep the list short.
+            merged: list[tuple[float, float]] = []
+            for ivl in busy:
+                if merged and ivl[0] <= merged[-1][1]:
+                    merged[-1] = (merged[-1][0], max(merged[-1][1], ivl[1]))
+                else:
+                    merged.append(ivl)
+            self._busy = merged
         if end > self._newest:
             self._newest = end
         self._prune()

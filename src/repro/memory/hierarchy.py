@@ -26,6 +26,17 @@ from repro.obs.probes import default_bus
 
 PREFETCH_ORIGINS = ("stride", "imp", "svr", "vr")
 
+# Expired `_pending` entries are swept every this-many accesses (and at a
+# 4096-entry high-water mark), so long runs never carry thousands of dead
+# in-flight records that every L1 hit would otherwise probe.
+_PURGE_INTERVAL = 2048
+# Opportunistic sweeps only drop entries expired by more than this margin.
+# Access times are not monotonic (prefetches run at future completion
+# times), so an entry merely past its completion could still be merged by a
+# later-arriving access carrying an earlier timestamp; one that has been
+# dead for 64k cycles cannot, as no in-flight skew approaches that.
+_PURGE_MARGIN = 1 << 16
+
 
 @dataclass
 class MemoryConfig:
@@ -162,12 +173,17 @@ class MemoryHierarchy:
         self._pending: dict[int, tuple[float, str]] = {}
         # line -> origin, for prefetched-but-unused lines
         self._pf_outstanding: dict[int, str] = {}
+        # Hot-path caches: per-access attribute chains hoisted once.
+        self._line_bytes = cfg.line_bytes
+        self._purge_countdown = _PURGE_INTERVAL
+        self._hooks_need_value = any(h.needs_value for h in self._hooks)
 
     def attach_prefetcher(self, hook: PrefetcherHook) -> None:
         """Attach a user-defined :class:`PrefetcherHook` (plug-in API)."""
         if hook.origin not in PREFETCH_ORIGINS:
             raise ValueError(f"unknown prefetch origin: {hook.origin!r}")
         self._hooks.append(hook)
+        self._hooks_need_value = any(h.needs_value for h in self._hooks)
 
     def reset_stats(self) -> None:
         """Start a fresh measurement window; cache/TLB *state* is kept."""
@@ -204,10 +220,21 @@ class MemoryHierarchy:
                 self.accuracy_listener.on_useless(origin)
 
     def _purge_pending(self, now: float) -> None:
-        if len(self._pending) > 4096:
-            expired = [ln for ln, (t, _) in self._pending.items() if t <= now]
-            for ln in expired:
-                del self._pending[ln]
+        """Sweep expired in-flight entries.
+
+        Called from :meth:`_access` on a countdown cadence (every
+        ``_PURGE_INTERVAL`` accesses) and whenever the map crosses the
+        4096-entry high-water mark; the per-access cost is one decrement
+        and compare.  Cadence sweeps apply the ``_PURGE_MARGIN`` safety
+        margin; the high-water sweep drops everything expired, exactly as
+        the pre-cadence implementation did.
+        """
+        pending = self._pending
+        cutoff = now if len(pending) > 4096 else now - _PURGE_MARGIN
+        expired = [ln for ln, (t, _) in pending.items() if t <= cutoff]
+        for ln in expired:
+            del pending[ln]
+        self._purge_countdown = _PURGE_INTERVAL
 
     def _fill(self, line: int, time: float, *, dirty: bool, prefetched: bool,
               origin: str) -> tuple[float, str]:
@@ -235,8 +262,13 @@ class MemoryHierarchy:
         victim = self.l1.insert(line, dirty=dirty, prefetched=prefetched,
                                 origin=origin)
         # L1 evictions write back into L2 (non-inclusive victim traffic).
+        # The victim keeps its prefetch tag so an untouched prefetched line
+        # still gets charged as useless when the L2 finally drops it.
         if victim is not None and victim[1].dirty:
-            l2_victim = self.l2.insert(victim[0], dirty=True)
+            victim_meta = victim[1]
+            l2_victim = self.l2.insert(victim[0], dirty=True,
+                                       prefetched=victim_meta.prefetched,
+                                       origin=victim_meta.origin)
             if l2_victim is not None:
                 self._evict_from_l2(l2_victim[0], l2_victim[1], completion)
         return completion, level
@@ -245,8 +277,10 @@ class MemoryHierarchy:
                 prefetched: bool, origin: str,
                 drop_on_full: bool) -> AccessOutcome | None:
         cfg = self.config
-        line = self._line(addr)
-        self._purge_pending(time)
+        line = addr // self._line_bytes
+        self._purge_countdown -= 1
+        if self._purge_countdown <= 0 or len(self._pending) > 4096:
+            self._purge_pending(time)
 
         ready = self.tlb.translate(addr, time)
         meta = self.l1.lookup(line)
@@ -260,7 +294,7 @@ class MemoryHierarchy:
                     outcome = AccessOutcome(completion, level)
                 else:
                     del self._pending[line]
-            if not prefetched:
+            if not prefetched and self._pf_outstanding:
                 self._record_pf_touch(line, outcome)
             if is_store:
                 self.l1.mark_dirty(line)
@@ -277,8 +311,10 @@ class MemoryHierarchy:
         self._pending[line] = (completion, level)
         outcome = AccessOutcome(completion, level)
         if prefetched:
-            self._pf_outstanding[line] = origin
-        else:
+            # First prefetch wins: a second prefetcher requesting an
+            # already-outstanding line must not steal the accuracy credit.
+            self._pf_outstanding.setdefault(line, origin)
+        elif self._pf_outstanding:
             self._record_pf_touch(line, outcome)
         return outcome
 
@@ -304,7 +340,7 @@ class MemoryHierarchy:
 
         if self._hooks:
             value = None
-            if any(hook.needs_value for hook in self._hooks):
+            if self._hooks_need_value:
                 value = self.memory.read_word(addr)
             for hook in self._hooks:
                 for target in hook.observe_load(pc, addr, value,

@@ -28,6 +28,7 @@ class MainMemory:
         if capacity_bytes % _WORD:
             raise ValueError("capacity must be a multiple of 8 bytes")
         self._words = np.zeros(capacity_bytes // _WORD, dtype=np.uint64)
+        self._num_words = capacity_bytes // _WORD
         self._capacity = capacity_bytes
         self._base = base
         self._brk = base
@@ -41,13 +42,14 @@ class MainMemory:
 
     def read_word(self, addr: int) -> int:
         index = (addr & _MASK64) >> 3
-        if index >= self._words.shape[0]:
+        if index >= self._num_words:
             raise IndexError(f"load outside simulated memory: {addr:#x}")
-        return int(self._words[index])
+        # .item() skips the numpy-scalar round trip of `int(arr[i])`.
+        return self._words.item(index)
 
     def write_word(self, addr: int, value: int) -> None:
         index = (addr & _MASK64) >> 3
-        if index >= self._words.shape[0]:
+        if index >= self._num_words:
             raise IndexError(f"store outside simulated memory: {addr:#x}")
         self._words[index] = value & _MASK64
 

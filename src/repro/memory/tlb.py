@@ -72,9 +72,10 @@ class TlbHierarchy:
         # Full miss: grab a walker, charge a cached leg plus one DRAM access
         # for the leaf PTE (page tables are too big to stay resident for the
         # irregular workloads).
-        slot = min(range(len(self._walker_free)),
-                   key=self._walker_free.__getitem__)
-        start = max(time, self._walker_free[slot])
+        walker_free = self._walker_free
+        earliest = min(walker_free)
+        slot = walker_free.index(earliest)
+        start = max(time, earliest)
         done = self._dram.access(start + self.WALK_CACHED_CYCLES)
         self._walker_free[slot] = done
         self._stlb.fill(page)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.executor import alu_compute
+from repro.isa.executor import alu_fn
 from repro.isa.instructions import OpClass
 from repro.isa.registers import wrap64
 from repro.obs.probes import default_bus
@@ -153,8 +153,12 @@ class ScalarVectorUnit:
             self.loop_bound.observe_compare(pc, result.src_a, result.src_b,
                                             inst.rs1, inst.rs2, inst.rd)
         else:
-            self.loop_bound.observe_write(pc, inst.rd,
-                                          is_compare=False)
+            # Inlined LoopBoundUnit.observe_write(pc, inst.rd,
+            # is_compare=False): reset the LC when its flag destination is
+            # overwritten by a non-compare op.
+            lc = self.loop_bound.lc
+            if lc.valid and inst.rd is not None and inst.rd == lc.dest:
+                lc.reset()
         if inst.is_branch:
             self.loop_bound.train_on_branch(pc, inst.target, result.taken,
                                             inst.rs1, self.hslr_pc)
@@ -337,7 +341,7 @@ class ScalarVectorUnit:
     def _dependent_logic(self, pc: int, inst, result, issue_time: float) -> None:
         """Generate SVIs for an instruction reading tainted registers."""
         opclass = inst.opclass
-        tainted_srcs = [r for r in inst.regs_read()
+        tainted_srcs = [r for r in inst.srcs
                         if self.taint.is_tainted(r)]
         if tainted_srcs:
             self.chain_log.record_dependent(pc)
@@ -471,6 +475,8 @@ class ScalarVectorUnit:
         lanes = self._active_lanes()
         values: list[tuple[int, int, float]] = []
         slot = issue_time
+        compute = alu_fn(inst)     # hoisted out of the per-lane loop
+        imm = inst.imm
         for count, lane in enumerate(lanes):
             if count % cfg.scalars_per_unit == 0:
                 slot = self._svi_slot(issue_time)
@@ -482,7 +488,7 @@ class ScalarVectorUnit:
                 self.mask[lane] = False
                 self.stats.masked_lanes += 1
                 continue
-            value = alu_compute(inst.op, a, b, inst.imm)
+            value = compute(a, b, imm)
             ready = max(slot, ready_a, ready_b) + 1.0
             values.append((lane, value, ready))
         self._write_dest_lanes(inst.rd, values)

@@ -90,6 +90,103 @@ class TestCacheBasics:
         assert cache.contains(1) and cache.contains(3)
 
 
+class TestInsertFlagMerge:
+    """Filling a present line must merge *all* flags (regression: the old
+    present-line path merged only ``dirty`` and silently dropped the
+    ``prefetched``/``origin`` tags of the incoming fill)."""
+
+    def test_prefetch_onto_resident_demand_line_sets_tag(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(7)                                   # demand fill
+        assert cache.insert(7, prefetched=True, origin="svr") is None
+        meta = cache.lookup(7, count_stats=False)
+        assert meta.prefetched and meta.origin == "svr"
+
+    def test_first_prefetch_wins_origin(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(7, prefetched=True, origin="stride")
+        cache.insert(7, prefetched=True, origin="svr")
+        meta = cache.lookup(7, count_stats=False)
+        assert meta.prefetched and meta.origin == "stride"
+
+    def test_demand_fill_does_not_clear_prefetch_tag(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(7, prefetched=True, origin="imp")
+        cache.insert(7)                                   # demand re-fill
+        meta = cache.lookup(7, count_stats=False)
+        assert meta.prefetched and meta.origin == "imp"
+
+    def test_dirty_still_or_merged_alongside_tags(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(7, dirty=True)
+        cache.insert(7, prefetched=True, origin="svr")
+        meta = cache.lookup(7, count_stats=False)
+        assert meta.dirty and meta.prefetched
+
+
+class TestLookupCountStats:
+    def test_peek_does_not_inflate_counters(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(3)
+        cache.lookup(3, count_stats=False)        # bookkeeping peek: hit
+        cache.lookup(4, count_stats=False)        # bookkeeping peek: miss
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_peek_without_touch_leaves_lru_alone(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)  # 2 sets
+        cache.insert(0)
+        cache.insert(2)
+        cache.lookup(0, touch=False, count_stats=False)
+        cache.insert(4)                           # same set: evicts LRU = 0
+        assert not cache.contains(0) and cache.contains(2)
+
+    def test_counted_lookup_still_counts(self):
+        cache = Cache("L1", 1 << 12, assoc=4)
+        cache.insert(3)
+        cache.lookup(3)
+        cache.lookup(4)
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestLruEvictionMultiSet:
+    def test_eviction_order_follows_lru_touches(self):
+        cache = Cache("L1", 512, assoc=4, line_bytes=64)  # 2 sets, 4 ways
+        for line in (0, 2, 4, 6):                 # all map to set 0
+            cache.insert(line)
+        cache.lookup(0)                           # 0 becomes MRU
+        cache.lookup(4)                           # 4 becomes MRU
+        victim = cache.insert(8)                  # evicts LRU = 2
+        assert victim[0] == 2
+        victim = cache.insert(10)                 # next LRU = 6
+        assert victim[0] == 6
+        assert cache.contains(0) and cache.contains(4)
+
+    def test_victim_address_reconstruction_across_sets(self):
+        # 4 sets: line -> set (line % 4), tag (line // 4).  The victim's
+        # byte-line address must round-trip exactly from (tag, set).
+        cache = Cache("L1", 512, assoc=2, line_bytes=64)
+        assert cache.num_sets == 4
+        for set_index in range(4):
+            first = 100 * 4 + set_index           # arbitrary distinct tags
+            second = 200 * 4 + set_index
+            third = 300 * 4 + set_index
+            cache.insert(first)
+            cache.insert(second)
+            victim = cache.insert(third)
+            assert victim is not None
+            assert victim[0] == first             # exact line address back
+            assert victim[0] % cache.num_sets == set_index
+
+    def test_victim_metadata_travels_with_address(self):
+        cache = Cache("L1", 256, assoc=2, line_bytes=64)
+        cache.insert(0, dirty=True, prefetched=True, origin="svr")
+        cache.insert(2)
+        victim_line, victim_meta = cache.insert(4)
+        assert victim_line == 0
+        assert victim_meta.dirty and victim_meta.prefetched
+        assert victim_meta.origin == "svr"
+
+
 class TestMshrPool:
     def test_allocate_when_free_starts_immediately(self):
         pool = MshrPool(2)
@@ -134,3 +231,46 @@ class TestMshrPool:
         pool.release(slot, 200.0)
         pool.allocate(0.0)
         assert pool.peak_wait == 200.0
+
+    def test_slot_reuse_picks_earliest_free_lowest_index(self):
+        pool = MshrPool(3)
+        # All slots free at 0.0: ties break to the lowest index, so three
+        # back-to-back allocations at t=0 walk 0, 1, 2 in order once each
+        # is marked busy.
+        s0, _ = pool.allocate(0.0)
+        pool.release(s0, 100.0)
+        s1, _ = pool.allocate(0.0)
+        pool.release(s1, 50.0)
+        s2, _ = pool.allocate(0.0)
+        pool.release(s2, 80.0)
+        assert (s0, s1, s2) == (0, 1, 2)
+        # Next miss at t=0 must wait; it picks slot 1 (earliest free, 50.0).
+        s3, start3 = pool.allocate(0.0)
+        assert s3 == 1 and start3 == 50.0
+        pool.release(s3, 120.0)
+        # And the next picks slot 2 (free at 80.0), not slot 0 (100.0).
+        s4, start4 = pool.allocate(0.0)
+        assert s4 == 2 and start4 == 80.0
+
+    def test_would_block_is_nondestructive(self):
+        pool = MshrPool(2)
+        s, _ = pool.allocate(0.0)
+        pool.release(s, 40.0)
+        # One slot busy until 40, one free: never blocks.
+        assert not pool.would_block(0.0)
+        s2, _ = pool.allocate(0.0)
+        pool.release(s2, 60.0)
+        assert pool.would_block(10.0)
+        assert pool.full_stalls == 0      # probing must not count a stall
+        assert pool.peak_wait == 0.0
+
+    def test_full_stalls_accumulate(self):
+        pool = MshrPool(1)
+        slot, _ = pool.allocate(0.0)
+        pool.release(slot, 100.0)
+        s1, t1 = pool.allocate(10.0)      # waits 90
+        pool.release(s1, 150.0)
+        s2, t2 = pool.allocate(20.0)      # waits 130
+        assert (t1, t2) == (100.0, 150.0)
+        assert pool.full_stalls == 2
+        assert pool.peak_wait == 130.0

@@ -164,6 +164,79 @@ class TestPrefetch:
         assert ("useful", "svr") in events
 
 
+class TestPrefetchTagConsistency:
+    def test_second_prefetcher_does_not_steal_credit(self):
+        """First prefetch wins: a line already outstanding for one origin
+        keeps that origin when a second prefetcher re-requests it."""
+        mem, hier = make_hierarchy(l1_size=4096, l1_assoc=1)
+        hier.prefetch(0x10000, 0.0, "stride", drop_on_full=False)
+        # Conflict the line out of the direct-mapped L1 (it stays in L2 and
+        # stays outstanding — it was never demand-touched).
+        hier.load(0x10000 + 4096, 500.0, pc=1)
+        # A second prefetcher re-requests the same line: L1 miss, L2 hit.
+        hier.prefetch(0x10000, 1000.0, "svr", drop_on_full=False)
+        # The eventual demand touch credits the *first* prefetcher.
+        hier.load(0x10000, 2000.0, pc=2)
+        assert hier.stats.prefetch_useful["stride"] == 1
+        assert hier.stats.prefetch_useful["svr"] == 0
+
+    def test_l1_victim_writeback_keeps_prefetch_tag_in_l2(self):
+        """A dirty prefetched line evicted from L1 must land in L2 with its
+        prefetch tag intact, not as an anonymous demand line."""
+        # L2 smaller than L1 so the L2 copy can be dropped while the L1
+        # copy survives (the hierarchy is non-inclusive).
+        mem, hier = make_hierarchy(l1_size=8192, l1_assoc=1,
+                                   l2_size=4096, l2_assoc=1)
+        line = 0x10000 // 64
+        hier.prefetch(0x10000, 0.0, "svr", drop_on_full=False)
+        # Evict the L2 copy (conflicts in L2's single way, not in L1's).
+        hier.load(0x10000 + 4096, 500.0, pc=1)
+        assert hier.l2.lookup(line, count_stats=False) is None
+        assert hier.l1.lookup(line, count_stats=False) is not None
+        # Demand store: marks the L1 line dirty (and consumes usefulness).
+        hier.store(0x10000, 1000.0, pc=2)
+        # Now conflict the dirty line out of L1; the writeback must carry
+        # the prefetch tag into L2.
+        hier.load(0x10000 + 8192, 2000.0, pc=3)
+        l2_meta = hier.l2.lookup(line, count_stats=False)
+        assert l2_meta is not None
+        assert l2_meta.dirty
+        assert l2_meta.prefetched and l2_meta.origin == "svr"
+
+
+class TestPendingPurge:
+    def test_expired_entries_swept_on_cadence(self):
+        """The in-flight map must not accumulate long-dead entries: a sweep
+        runs every ``_PURGE_INTERVAL`` accesses and drops everything expired
+        beyond ``_PURGE_MARGIN``."""
+        from repro.memory.hierarchy import _PURGE_INTERVAL, _PURGE_MARGIN
+
+        mem, hier = make_hierarchy()
+        t = 0.0
+        total = _PURGE_INTERVAL + 512
+        for i in range(total):
+            # Distinct lines, far apart in time so entries expire well past
+            # the safety margin before the cadence sweep fires.
+            hier.load(0x10000 + i * 64, t, pc=1)
+            t += 2.0 * _PURGE_MARGIN
+        # Without the sweep every one of the `total` misses would still sit
+        # in the map (the old code only trimmed past 4096 entries).
+        assert len(hier._pending) <= 600
+        # Invariant: right after a sweep, nothing in the map is expired
+        # beyond the safety margin.
+        hier._purge_pending(t)
+        assert all(done > t - _PURGE_MARGIN
+                   for done, _ in hier._pending.values())
+
+    def test_recent_entries_survive_the_sweep(self):
+        mem, hier = make_hierarchy()
+        out = hier.load(0x10000, 0.0, pc=1)
+        hier._purge_pending(out.completion + 1.0)   # within the margin
+        assert (0x10000 // 64) in hier._pending
+        hier._purge_pending(out.completion + 1.0e9)  # far past it
+        assert (0x10000 // 64) not in hier._pending
+
+
 class TestIntegration:
     def test_stride_prefetcher_covers_sequential_stream(self):
         mem = MainMemory(capacity_bytes=1 << 22)
