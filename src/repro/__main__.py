@@ -18,6 +18,9 @@ Commands
                                   trajectory artifact and optionally
                                   compare/gate against the latest prior
                                   one
+``report [options]``              self-contained HTML dashboard from
+                                  exec journals, run logs and
+                                  ``BENCH_*.json`` trajectory files
 
 ``run`` and ``stats`` accept ``--json`` (print ``SimResult.to_dict()`` as
 JSON), ``--jsonl PATH`` (append a structured run record) and
@@ -32,6 +35,13 @@ fence per cell), ``--retries N``, ``--journal PATH`` +  ``--resume``
 ``--inject WORKLOAD/TECH:KIND[:TIMES]`` + ``--fault-seed`` (deterministic
 fault injection for drills).  Failed cells render as ``-``/``FAILED``
 with a structured failure summary on stderr and exit status 1.
+
+CLI exec runs capture per-cell telemetry by default — spans, a metric
+snapshot, CPU time and max RSS per worker, shipped back over the result
+pipe and into the journal (``--no-telemetry`` opts out).  ``sweep
+--trace PATH`` writes the merged Perfetto trace with one process track
+per worker pid; ``report`` renders journals / run logs / bench
+trajectories into one static HTML dashboard.
 
 Examples::
 
@@ -51,6 +61,10 @@ Examples::
     python -m repro bench --quick
     python -m repro bench --compare --gate --profile
     python -m repro bench --only 'mem.*' --reps 7 --json
+    python -m repro sweep svr16 --workloads Camel --axis svr.srf_entries=2,8 \\
+        --jobs 2 --journal results/sweep.jsonl --trace results/sweep-trace.json
+    python -m repro report --journal results/sweep.jsonl --bench-dir . \\
+        -o results/report.html
 """
 
 from __future__ import annotations
@@ -194,9 +208,17 @@ def _build_exec_config(args):
     if args.inject:
         faults = FaultPlan(specs=tuple(parse_fault(t) for t in args.inject),
                            seed=args.fault_seed)
+    # CLI runs default to telemetry ON (the journald/report pipeline
+    # feeds on it); library users opt in via ExecConfig directly, and
+    # the bench harness never sets it — keeping the hot path clean.
+    from repro.exec import TelemetryConfig
+
+    telemetry = (None if getattr(args, "no_telemetry", False)
+                 else TelemetryConfig())
     return ExecConfig(jobs=args.jobs, timeout_s=args.timeout or None,
                       retries=args.retries, journal=args.journal or None,
-                      resume=args.resume, faults=faults)
+                      resume=args.resume, faults=faults,
+                      telemetry=telemetry)
 
 
 def _print_failures(failures, command: str) -> None:
@@ -342,7 +364,45 @@ def _cmd_sweep(args) -> int:
         if report.exec_report is not None:
             print("\n" + report.exec_report.summary().splitlines()[0],
                   file=sys.stderr)
+            resources = report.resources()
+            if resources.get("cells"):
+                print(f"telemetry: {resources['cells']} cell(s), "
+                      f"cpu {resources['cpu_s']:.2f}s, "
+                      f"max rss {resources['max_rss_kib']} KiB, "
+                      f"{len(resources['pids'])} worker pid(s)",
+                      file=sys.stderr)
+    if args.trace:
+        from repro.obs import write_trace
+
+        write_trace(report.trace(), args.trace)
+        print(f"merged exec trace written to {args.trace} "
+              "(open in https://ui.perfetto.dev)", file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.dashboard import generate_report
+
+    if not (args.journal or args.runlog or args.bench_dir):
+        print("report: nothing to report on — give --journal, --runlog "
+              "and/or --bench-dir", file=sys.stderr)
+        return 2
+    out, data = generate_report(
+        journals=args.journal, runlogs=args.runlog,
+        bench_dir=args.bench_dir or None, out_path=args.out)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True, default=str))
+    else:
+        cells = data["cells"]
+        ok = sum(1 for c in cells if c["status"] == "ok")
+        print(f"{len(cells)} cell(s): {ok} ok, {len(cells) - ok} failed; "
+              f"{data['retries']} retry, {data['timeouts']} timeout "
+              "event(s)")
+        print(f"{len(data['runlogs'])} run log record(s), "
+              f"{len(data['bench'])} bench snapshot(s), "
+              f"{len(data['metrics'])} merged metric(s)")
+    print(f"report written to {out}", file=sys.stderr)
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -598,6 +658,9 @@ def main(argv: list[str] | None = None) -> int:
                             "hang, flaky); repeatable")
         p.add_argument("--fault-seed", type=int, default=0, metavar="SEED",
                        help="seed for rate-based fault selection")
+        p.add_argument("--no-telemetry", action="store_true",
+                       help="skip per-cell span/metric/rusage capture "
+                            "(on by default for CLI runs)")
 
     fig_p = sub.add_parser("figure", help="regenerate one paper figure")
     fig_p.add_argument("name")
@@ -631,6 +694,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="print machine-readable JSON instead of text")
     sweep_p.add_argument("--jsonl", default="", metavar="PATH",
                          help="append a structured sweep record to PATH")
+    sweep_p.add_argument("--trace", default="", metavar="PATH",
+                         help="write the merged multi-process Perfetto "
+                              "trace (one track per worker pid)")
     _exec_flags(sweep_p)
 
     trace_p = sub.add_parser("trace", help="instruction-level timeline")
@@ -694,6 +760,25 @@ def main(argv: list[str] | None = None) -> int:
     bench_p.add_argument("--jsonl", default="", metavar="PATH",
                          help="append a structured bench record to PATH")
 
+    report_p = sub.add_parser(
+        "report", help="self-contained HTML dashboard from journals, "
+                       "run logs and BENCH_*.json files")
+    report_p.add_argument("--journal", action="append", default=[],
+                          metavar="PATH",
+                          help="exec journal JSONL (repeatable)")
+    report_p.add_argument("--runlog", action="append", default=[],
+                          metavar="PATH",
+                          help="run-log JSONL (repeatable)")
+    report_p.add_argument("--bench-dir", default="", metavar="PATH",
+                          help="directory holding BENCH_*.json "
+                               "trajectory files")
+    report_p.add_argument("-o", "--out", default="results/report.html",
+                          metavar="PATH",
+                          help="output HTML path "
+                               "(default results/report.html)")
+    report_p.add_argument("--json", action="store_true",
+                          help="also print the report data as JSON")
+
     ovh_p = sub.add_parser("overhead", help="Table II budget")
     ovh_p.add_argument("n", nargs="?", type=int, default=16)
     ovh_p.add_argument("k", nargs="?", type=int, default=8)
@@ -702,7 +787,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"list": _cmd_list, "run": _cmd_run, "stats": _cmd_stats,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "overhead": _cmd_overhead,
-                "lint": _cmd_lint, "bench": _cmd_bench}
+                "lint": _cmd_lint, "bench": _cmd_bench,
+                "report": _cmd_report}
     return handlers[args.command](args)
 
 

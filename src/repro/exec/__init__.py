@@ -12,7 +12,10 @@ The pieces (design rationale in ``docs/resilience.md``):
 * :mod:`repro.exec.faults`   — seeded, deterministic fault injection so
   the resilience paths are themselves testable;
 * :mod:`repro.exec.executor` — :func:`run_cells`, the process-pool
-  executor every sweep and figure routes through.
+  executor every sweep and figure routes through;
+* :mod:`repro.exec.telemetry` — cross-process telemetry: per-worker
+  span / metric / rusage capture shipped over the result pipe, and the
+  deterministic parent-side merge (see ``docs/observability.md``).
 
 The simulator-side guard lives in :mod:`repro.cores.base`:
 :class:`SimulationError` is what the watchdog fence raises, re-exported
@@ -43,9 +46,17 @@ from repro.exec.faults import (
 )
 from repro.exec.journal import RunJournal
 from repro.exec.spec import ResultView, RunSpec, config_key, result_metric
+from repro.exec.telemetry import (
+    CellCapture,
+    TelemetryConfig,
+    aggregate_metrics,
+    build_exec_trace,
+    resource_summary,
+)
 
 __all__ = [
     "CRASH",
+    "CellCapture",
     "CellFailedError",
     "CellOutcome",
     "ExecConfig",
@@ -62,8 +73,12 @@ __all__ = [
     "RunJournal",
     "RunSpec",
     "SimulationError",
+    "TelemetryConfig",
+    "aggregate_metrics",
+    "build_exec_trace",
     "config_key",
     "parse_fault",
+    "resource_summary",
     "result_metric",
     "run_cells",
 ]

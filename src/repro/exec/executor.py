@@ -48,8 +48,17 @@ from repro.exec.failures import (
 )
 from repro.exec.faults import FaultPlan, InjectedCrash, InjectedHang, apply_fault
 from repro.exec.journal import RunJournal
-from repro.exec.spec import ResultView, RunSpec, execute_spec
+from repro.exec.spec import ResultView, RunSpec
+from repro.exec.telemetry import (
+    CellCapture,
+    TelemetryConfig,
+    aggregate_metrics,
+    build_exec_trace,
+    resource_summary,
+    telemetry_records,
+)
 from repro.obs.probes import ProbeBus, default_bus
+from repro.obs.spans import SpanTracer
 
 
 @dataclass
@@ -69,6 +78,7 @@ class ExecConfig:
     salvage: bool = True              # False = strict: raise on failure
     retry_kinds: tuple[str, ...] = DEFAULT_RETRY_KINDS
     bus: ProbeBus | None = None       # probe bus; None = the default bus
+    telemetry: TelemetryConfig | None = None   # per-cell capture; None = off
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -111,6 +121,7 @@ class CellOutcome:
     attempts: int = 1
     elapsed_s: float = 0.0
     cached: bool = False              # served from the resume journal
+    telemetry: dict | None = None     # CellCapture.snapshot payload
 
     @property
     def ok(self) -> bool:
@@ -124,9 +135,13 @@ class CellOutcome:
 class ExecReport:
     """Everything :func:`run_cells` learned, in caller order."""
 
-    def __init__(self, outcomes: list[CellOutcome]) -> None:
+    def __init__(self, outcomes: list[CellOutcome],
+                 parent_spans: list[dict] | None = None) -> None:
         self.outcomes = outcomes
         self.by_key = {o.key: o for o in outcomes}
+        # Exec-lifecycle spans recorded by the parent process (empty
+        # unless ExecConfig.telemetry enabled spans).
+        self.parent_spans = parent_spans or []
 
     @property
     def failures(self) -> list[RunFailure]:
@@ -148,6 +163,27 @@ class ExecReport:
     def attempted_count(self) -> int:
         """Cells actually executed this invocation (not journal-served)."""
         return sum(1 for o in self.outcomes if not o.cached)
+
+    def telemetry_records(self) -> list[dict]:
+        """Per-cell telemetry payloads, sorted by cell key."""
+        return telemetry_records(self.outcomes)
+
+    def merged_metrics(self) -> dict:
+        """Worker metric snapshots merged into one typed snapshot
+        (counters summed, histograms merged bucket-wise, gauges
+        last-write in key order) — deterministic regardless of worker
+        completion order."""
+        return aggregate_metrics(self.outcomes)
+
+    def resources(self) -> dict:
+        """CPU-seconds total and max-RSS high-water mark over all cells
+        that carried a resource sample."""
+        return resource_summary(self.outcomes)
+
+    def trace(self) -> dict:
+        """Merged Chrome/Perfetto trace: one process track per worker
+        pid plus the parent's lifecycle track."""
+        return build_exec_trace(self.outcomes, self.parent_spans)
 
     def outcome_for(self, spec: RunSpec) -> CellOutcome | None:
         return self.by_key.get(spec.key)
@@ -172,30 +208,40 @@ class ExecReport:
 # ---------------------------------------------------------------------------
 
 def _worker_main(conn, spec: RunSpec, attempt: int,
-                 faults: FaultPlan | None) -> None:
+                 faults: FaultPlan | None,
+                 telemetry: TelemetryConfig | None = None) -> None:
     """Run one cell in an isolated process; report over *conn*.
 
-    Protocol: ``("ok", result_dict)`` or
-    ``("fail", kind, message, extra_dict)``.
+    Protocol: ``("ok", result_dict, telemetry_dict_or_None)`` or
+    ``("fail", kind, message, extra_dict, telemetry_dict_or_None)``.
+    Both pipe endpoints always run the same code version, so extending
+    the tuple is safe; the harvest side also accepts the pre-telemetry
+    3/4-tuples defensively.
     """
+    capture = CellCapture(telemetry, spec, attempt)
     try:
         if faults is not None and faults.active:
             kind = faults.decide(spec.key, spec.workload,
                                  spec.technique_name, attempt)
             if kind is not None:
                 apply_fault(kind, inline=False, label=spec.label())
-        conn.send(("ok", execute_spec(spec)))
+        result = capture.run()
+        conn.send(("ok", result, capture.snapshot("ok")))
     except InjectedCrash as exc:
-        conn.send(("fail", CRASH, str(exc), {}))
+        conn.send(("fail", CRASH, str(exc), {},
+                   capture.snapshot("failed")))
     except SimulationError as exc:
         conn.send(("fail", HANG, str(exc),
-                   {"cycle": exc.cycle, "pc": exc.pc}))
+                   {"cycle": exc.cycle, "pc": exc.pc},
+                   capture.snapshot("failed")))
     except (KeyError, ValueError, TypeError) as exc:
         conn.send(("fail", INVALID_CONFIG,
-                   f"{type(exc).__name__}: {exc}", {}))
+                   f"{type(exc).__name__}: {exc}", {},
+                   capture.snapshot("failed")))
     except BaseException as exc:   # noqa: BLE001 — report, then die
         conn.send(("fail", CRASH, f"{type(exc).__name__}: {exc}",
-                   {"traceback": traceback_mod.format_exc(limit=20)}))
+                   {"traceback": traceback_mod.format_exc(limit=20)},
+                   capture.snapshot("failed")))
     finally:
         try:
             conn.close()
@@ -208,7 +254,8 @@ def _worker_main(conn, spec: RunSpec, attempt: int,
 # ---------------------------------------------------------------------------
 
 class _Sink:
-    """Shared outcome plumbing: probe emissions + journal appends."""
+    """Shared outcome plumbing: probe emissions, journal appends, and
+    the parent-side span track of the exec lifecycle."""
 
     def __init__(self, config: ExecConfig) -> None:
         self.config = config
@@ -219,19 +266,59 @@ class _Sink:
         self.p_timeout = bus.probe("exec.timeout")
         self.journal = (RunJournal(config.journal)
                         if config.journal else None)
+        self.tracer = (SpanTracer()
+                       if config.telemetry is not None
+                       and config.telemetry.spans else None)
+        self._root = None
+
+    def begin_run(self, cells: int) -> None:
+        if self.tracer is not None:
+            self._root = self.tracer.begin(
+                "run_cells", cells=cells, jobs=self.config.jobs,
+                isolate=self.config.effective_isolate)
+
+    def end_run(self) -> list[dict]:
+        if self.tracer is None:
+            return []
+        if self._root is not None:
+            self.tracer.end(self._root)
+            self._root = None
+        return self.tracer.export()
+
+    def attempt_span(self, spec: RunSpec, attempt: int, started: float,
+                     ended: float, status: str, *,
+                     spawn_s: float = 0.0, reap_s: float = 0.0) -> None:
+        """Record one attempt's lifecycle on the parent track:
+        ``attempt`` wrapping ``spawn`` (process launch) and ``reap``
+        (worker collection), all on the shared monotonic clock."""
+        if self.tracer is None:
+            return
+        parent = self._root.span_id if self._root is not None else None
+        span = self.tracer.add(
+            "attempt", started, ended, parent=parent, status=status,
+            key=spec.key, workload=spec.workload,
+            technique=spec.technique_name, attempt=attempt)
+        if spawn_s > 0:
+            self.tracer.add("spawn", started, started + spawn_s,
+                            parent=span.span_id)
+        if reap_s > 0:
+            self.tracer.add("reap", ended - reap_s, ended,
+                            parent=span.span_id)
 
     def ok(self, spec: RunSpec, result: dict, attempts: int,
-           elapsed_s: float) -> CellOutcome:
+           elapsed_s: float, telemetry: dict | None = None) -> CellOutcome:
         outcome = CellOutcome(spec=spec, key=spec.key, status="ok",
                               result=result, attempts=attempts,
-                              elapsed_s=elapsed_s)
+                              elapsed_s=elapsed_s, telemetry=telemetry)
         self._record(outcome)
         return outcome
 
-    def fail(self, spec: RunSpec, failure: RunFailure) -> CellOutcome:
+    def fail(self, spec: RunSpec, failure: RunFailure,
+             telemetry: dict | None = None) -> CellOutcome:
         outcome = CellOutcome(spec=spec, key=spec.key, status="failed",
                               failure=failure, attempts=failure.attempts,
-                              elapsed_s=failure.elapsed_s)
+                              elapsed_s=failure.elapsed_s,
+                              telemetry=telemetry)
         self.p_failure.emit(key=spec.key, workload=spec.workload,
                             technique=spec.technique_name,
                             kind=failure.kind, message=failure.message,
@@ -244,7 +331,8 @@ class _Sink:
                               result=record["result"],
                               attempts=record.get("attempts", 1),
                               elapsed_s=record.get("elapsed_s", 0.0),
-                              cached=True)
+                              cached=True,
+                              telemetry=record.get("telemetry"))
         self.p_cell.emit(key=spec.key, workload=spec.workload,
                          technique=spec.technique_name, status="ok",
                          cached=True, attempts=outcome.attempts,
@@ -285,7 +373,8 @@ class _Sink:
                 elapsed_s=outcome.elapsed_s, result=outcome.result,
                 failure=(outcome.failure.to_dict()
                          if outcome.failure else None),
-                spec=spec.config_dict())
+                spec=spec.config_dict(),
+                telemetry=outcome.telemetry)
 
 
 def _classify_inline(spec: RunSpec, exc: BaseException) -> RunFailure:
@@ -313,22 +402,30 @@ def _run_inline(pending: list[RunSpec], config: ExecConfig,
         elapsed_total = 0.0
         while True:
             start = time.perf_counter()
+            mono_start = time.monotonic()
             exc_seen: BaseException | None = None
             result = None
+            capture = CellCapture(config.telemetry, spec, attempt)
             try:
                 if faults is not None:
                     kind = faults.decide(spec.key, spec.workload,
                                          spec.technique_name, attempt)
                     if kind is not None:
                         apply_fault(kind, inline=True, label=spec.label())
-                result = execute_spec(spec)
+                result = capture.run()
             except Exception as exc:   # noqa: BLE001 — classified below
                 exc_seen = exc
             elapsed_total += time.perf_counter() - start
+            mono_end = time.monotonic()
             if exc_seen is None:
+                sink.attempt_span(spec, attempt, mono_start, mono_end,
+                                  "ok")
                 outcomes.append(sink.ok(spec, result, attempt,
-                                        elapsed_total))
+                                        elapsed_total,
+                                        capture.snapshot("ok")))
                 break
+            sink.attempt_span(spec, attempt, mono_start, mono_end,
+                              "error")
             failure = _classify_inline(spec, exc_seen)
             failure.attempts = attempt
             failure.elapsed_s = elapsed_total
@@ -342,7 +439,8 @@ def _run_inline(pending: list[RunSpec], config: ExecConfig,
                 continue
             if not config.salvage:
                 raise exc_seen
-            outcomes.append(sink.fail(spec, failure))
+            outcomes.append(sink.fail(spec, failure,
+                                      capture.snapshot("failed")))
             break
     return outcomes
 
@@ -358,14 +456,16 @@ class _Cell:
 
 
 class _Running:
-    __slots__ = ("cell", "proc", "conn", "deadline", "started")
+    __slots__ = ("cell", "proc", "conn", "deadline", "started", "spawn_s")
 
-    def __init__(self, cell, proc, conn, deadline, started) -> None:
+    def __init__(self, cell, proc, conn, deadline, started,
+                 spawn_s=0.0) -> None:
         self.cell = cell
         self.proc = proc
         self.conn = conn
         self.deadline = deadline
         self.started = started
+        self.spawn_s = spawn_s
 
 
 def _reap(proc: mp.Process) -> None:
@@ -390,17 +490,21 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
         parent_conn, child_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, cell.spec, cell.attempt, config.faults),
+            args=(child_conn, cell.spec, cell.attempt, config.faults,
+                  config.telemetry),
             daemon=True,
             name=f"repro-exec-{cell.spec.key}-a{cell.attempt}")
+        spawn_start = time.monotonic()
         proc.start()
         child_conn.close()
         started = time.monotonic()
         deadline = (started + config.timeout_s
                     if config.timeout_s is not None else None)
-        running.append(_Running(cell, proc, parent_conn, deadline, started))
+        running.append(_Running(cell, proc, parent_conn, deadline,
+                                spawn_start, started - spawn_start))
 
-    def settle_failure(cell: _Cell, failure: RunFailure) -> None:
+    def settle_failure(cell: _Cell, failure: RunFailure,
+                       telemetry: dict | None = None) -> None:
         """Retry the cell or finalise its failure."""
         failure.attempts = cell.attempt
         failure.elapsed_s = cell.elapsed
@@ -412,7 +516,7 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
             cell.ready_at = time.monotonic() + delay
             waiting.append(cell)
             return
-        outcomes.append(sink.fail(cell.spec, failure))
+        outcomes.append(sink.fail(cell.spec, failure, telemetry))
         if not config.salvage:
             for other in running:
                 _reap(other.proc)
@@ -427,8 +531,14 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
         except (EOFError, OSError):
             message = None
         exitcode = r.proc.exitcode
+        reap_start = time.monotonic()
         _reap(r.proc)
         r.conn.close()
+        ended = time.monotonic()
+        status = ("ok" if message is not None and message[0] == "ok"
+                  else "error")
+        sink.attempt_span(spec, r.cell.attempt, r.started, ended, status,
+                          spawn_s=r.spawn_s, reap_s=ended - reap_start)
         if message is None:
             settle_failure(r.cell, RunFailure(
                 key=spec.key, workload=spec.workload,
@@ -436,23 +546,29 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
                 message=("worker died without reporting a result "
                          f"(exit code {exitcode})")))
             return
+        telem = message[-1] if len(message) in (3, 5) else None
         if message[0] == "ok":
             outcomes.append(sink.ok(spec, message[1], r.cell.attempt,
-                                    r.cell.elapsed))
+                                    r.cell.elapsed, telem))
             return
-        _, kind, text, extra = message
+        kind, text, extra = message[1], message[2], message[3]
         settle_failure(r.cell, RunFailure(
             key=spec.key, workload=spec.workload,
             technique=spec.technique_name, kind=kind, message=text,
             cycle=extra.get("cycle"), pc=extra.get("pc"),
-            traceback=extra.get("traceback")))
+            traceback=extra.get("traceback")), telem)
 
     def expire(r: _Running) -> None:
         running.remove(r)
         r.cell.elapsed += time.monotonic() - r.started
         spec = r.cell.spec
+        reap_start = time.monotonic()
         _reap(r.proc)
         r.conn.close()
+        ended = time.monotonic()
+        sink.attempt_span(spec, r.cell.attempt, r.started, ended,
+                          "timeout", spawn_s=r.spawn_s,
+                          reap_s=ended - reap_start)
         sink.timeout(spec, r.cell.attempt)
         settle_failure(r.cell, RunFailure(
             key=spec.key, workload=spec.workload,
@@ -518,9 +634,14 @@ def run_cells(specs: Sequence[RunSpec],
         else:
             pending.append(spec)
 
-    if pending:
-        runner = (_run_isolated if config.effective_isolate
-                  else _run_inline)
-        for outcome in runner(pending, config, sink):
-            outcomes[outcome.key] = outcome
-    return ExecReport([outcomes[k] for k in order])
+    sink.begin_run(len(order))
+    try:
+        if pending:
+            runner = (_run_isolated if config.effective_isolate
+                      else _run_inline)
+            for outcome in runner(pending, config, sink):
+                outcomes[outcome.key] = outcome
+    finally:
+        parent_spans = sink.end_run()
+    return ExecReport([outcomes[k] for k in order],
+                      parent_spans=parent_spans)

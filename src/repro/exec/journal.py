@@ -64,7 +64,8 @@ class RunJournal:
                     scale: str, status: str, attempts: int,
                     elapsed_s: float, result: dict | None = None,
                     failure: dict | None = None,
-                    spec: dict | None = None) -> None:
+                    spec: dict | None = None,
+                    telemetry: dict | None = None) -> None:
         record: dict[str, Any] = {
             "event": "cell", "key": key, "workload": workload,
             "technique": technique, "scale": scale, "status": status,
@@ -76,6 +77,8 @@ class RunJournal:
             record["failure"] = failure
         if spec is not None:
             record["spec"] = spec
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         self.append(record)
 
     def append_event(self, event: str, **fields: Any) -> None:

@@ -28,6 +28,12 @@ faults.  A cell that still fails is *salvaged*: the sweep completes, the
 combo's value becomes ``None`` (rendered as ``FAILED``), and the
 structured :class:`~repro.exec.RunFailure` records ride along on the
 :class:`SweepReport`.
+
+With ``ExecConfig(telemetry=TelemetryConfig())`` every cell additionally
+ships spans, metric snapshots and resource samples back to the parent;
+the :class:`SweepReport` then exposes the merged view —
+``merged_metrics()``, ``resources()``, and ``trace()`` (one Perfetto
+process track per worker pid).
 """
 
 from __future__ import annotations
@@ -92,6 +98,32 @@ class SweepReport:
     def failed_combos(self) -> list[tuple]:
         return [combo for combo, value in self.values.items()
                 if value is None]
+
+    # -- telemetry passthrough (ExecConfig.telemetry must be set) -----------
+
+    def telemetry_records(self) -> list[dict]:
+        """Per-cell telemetry payloads, sorted by cell key."""
+        if self.exec_report is None:
+            return []
+        return self.exec_report.telemetry_records()
+
+    def merged_metrics(self) -> dict:
+        """Deterministically merged worker metric snapshots."""
+        if self.exec_report is None:
+            return {}
+        return self.exec_report.merged_metrics()
+
+    def resources(self) -> dict:
+        """CPU/RSS totals over all cells that carried a sample."""
+        if self.exec_report is None:
+            return {}
+        return self.exec_report.resources()
+
+    def trace(self) -> dict:
+        """Merged multi-process Chrome/Perfetto trace of the sweep."""
+        if self.exec_report is None:
+            return {"traceEvents": []}
+        return self.exec_report.trace()
 
 
 def _combo_name(base: TechniqueConfig, axes: Sequence[SweepAxis],

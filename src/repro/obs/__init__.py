@@ -1,14 +1,18 @@
-"""Simulator-wide observability: probe bus, metrics, run logs, traces.
+"""Simulator-wide observability: probe bus, metrics, spans, logs, traces.
 
-The four pieces (design rationale in ``docs/observability.md``):
+The five pieces (design rationale in ``docs/observability.md``):
 
 * :mod:`repro.obs.probes`  — named probe points with near-zero-cost no-op
   dispatch when nothing subscribes;
 * :mod:`repro.obs.metrics` — hierarchical counters / gauges / log2
-  histograms that subscribe to probes and snapshot to plain dicts;
+  histograms that subscribe to probes and snapshot to plain dicts,
+  with typed snapshots that merge deterministically across processes;
+* :mod:`repro.obs.spans`   — hierarchical span tracing of the execution
+  lifecycle, the telemetry that survives the worker process boundary;
 * :mod:`repro.obs.runlog`  — JSONL run records plus a wall-clock
   self-profile of the simulator itself;
-* :mod:`repro.obs.export`  — Chrome trace-event JSON for Perfetto.
+* :mod:`repro.obs.export`  — Chrome trace-event JSON for Perfetto,
+  including the one-track-per-worker-pid multi-process merge.
 
 :class:`RunObservation` bundles them for one simulator run and is what
 ``harness.runner.run(..., obs=...)`` and the CLI flags
@@ -19,13 +23,20 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.obs.export import ChromeTraceBuilder, validate_trace
+from repro.obs.export import (
+    ChromeTraceBuilder,
+    build_multiprocess_trace,
+    validate_trace,
+    write_trace,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     install_standard_metrics,
+    merge_typed_snapshots,
+    typed_to_plain,
 )
 from repro.obs.probes import Probe, ProbeBus, Subscription, default_bus
 from repro.obs.runlog import (
@@ -33,6 +44,12 @@ from repro.obs.runlog import (
     SelfProfile,
     make_record,
     session_log_path,
+)
+from repro.obs.spans import (
+    Span,
+    SpanTracer,
+    bridge_probe_spans,
+    spans_to_trace_events,
 )
 
 __all__ = [
@@ -46,12 +63,20 @@ __all__ = [
     "RunLog",
     "RunObservation",
     "SelfProfile",
+    "Span",
+    "SpanTracer",
     "Subscription",
+    "bridge_probe_spans",
+    "build_multiprocess_trace",
     "default_bus",
     "install_standard_metrics",
     "make_record",
+    "merge_typed_snapshots",
     "session_log_path",
+    "spans_to_trace_events",
+    "typed_to_plain",
     "validate_trace",
+    "write_trace",
 ]
 
 

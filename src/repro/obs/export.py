@@ -191,14 +191,96 @@ class ChromeTraceBuilder:
         return path
 
 
+def build_multiprocess_trace(
+        processes: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Assemble one Perfetto trace with one process track per pid.
+
+    Each entry of *processes* describes one OS process of a sweep::
+
+        {"pid": 1234, "label": "worker Camel/svr16",
+         "events": [...chrome events (ts already in trace µs)...]}
+
+    Entries sharing a pid (inline execution, recycled worker pids) are
+    folded into one process track.  Every pid gets ``process_name``
+    metadata and every ``(pid, tid)`` seen in its events gets
+    ``thread_name`` metadata (the event's ``cat`` as a fallback name),
+    so the merged trace passes the multi-pid checks of
+    :func:`validate_trace`.  Timestamps are shifted so the earliest
+    event starts at 0 — raw monotonic-clock microseconds put the
+    viewport hours into the timeline.
+    """
+    by_pid: dict[int, dict[str, Any]] = {}
+    order: list[int] = []
+    for proc in processes:
+        pid = proc["pid"]
+        entry = by_pid.get(pid)
+        if entry is None:
+            entry = {"label": proc.get("label") or f"pid {pid}",
+                     "events": []}
+            by_pid[pid] = entry
+            order.append(pid)
+        entry["events"].extend(proc.get("events") or [])
+
+    origin = min((ev["ts"] for entry in by_pid.values()
+                  for ev in entry["events"]
+                  if isinstance(ev.get("ts"), (int, float))),
+                 default=0.0)
+    meta: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
+    for sort_index, pid in enumerate(order):
+        entry = by_pid[pid]
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "args": {"name": entry["label"]}})
+        meta.append({"name": "process_sort_index", "ph": "M", "pid": pid,
+                     "args": {"sort_index": sort_index}})
+        tids: dict[int, str] = {}
+        for ev in entry["events"]:
+            ev = dict(ev, pid=pid)
+            if isinstance(ev.get("ts"), (int, float)):
+                ev["ts"] = ev["ts"] - origin
+            tid = ev.get("tid")
+            if tid is not None and tid not in tids:
+                tids[tid] = str(ev.get("cat") or f"track {tid}")
+            events.append(ev)
+        for tid in sorted(tids):
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": tids[tid]}})
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.export.multiprocess",
+                      "processes": len(by_pid)},
+    }
+
+
+def write_trace(trace: dict[str, Any], path: str | Path) -> Path:
+    """Serialise any trace dict (builder or merged) to *path*."""
+    path = Path(path)
+    if path.parent != Path(""):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace), encoding="utf-8")
+    return path
+
+
 def validate_trace(trace: dict[str, Any]) -> list[str]:
     """Cheap structural validation against the trace-event format; returns
     a list of problems (empty = well-formed).  Used by tests and by users
-    sanity-checking exported files."""
+    sanity-checking exported files.
+
+    Beyond per-event shape, traces that carry metadata are checked for
+    track-naming consistency — the multi-pid merge contract: every pid
+    with events needs ``process_name`` metadata, and in a multi-pid trace
+    every ``(pid, tid)`` track needs ``thread_name`` metadata, or
+    Perfetto renders anonymous interleaved tracks.
+    """
     problems: list[str] = []
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents is not a list"]
+    event_pids: set[Any] = set()
+    event_tracks: set[tuple[Any, Any]] = set()
+    named_pids: set[Any] = set()
+    named_tracks: set[tuple[Any, Any]] = set()
     for i, ev in enumerate(events):
         ph = ev.get("ph")
         if ph not in ("X", "B", "E", "b", "e", "n", "i", "I", "M", "C"):
@@ -207,13 +289,31 @@ def validate_trace(trace: dict[str, Any]) -> list[str]:
         if "pid" not in ev:
             problems.append(f"event {i}: missing pid")
         if ph == "M":
+            name = ev.get("name")
+            if name == "process_name":
+                named_pids.add(ev.get("pid"))
+            elif name == "thread_name":
+                named_tracks.add((ev.get("pid"), ev.get("tid")))
             continue
         if not isinstance(ev.get("ts"), (int, float)):
             problems.append(f"event {i}: missing/bad ts")
         if "tid" not in ev:
             problems.append(f"event {i}: missing tid")
+        else:
+            event_tracks.add((ev.get("pid"), ev.get("tid")))
+        if "pid" in ev:
+            event_pids.add(ev["pid"])
         if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
             problems.append(f"event {i}: X without dur")
         if ph in ("b", "e", "n") and "id" not in ev:
             problems.append(f"event {i}: async event without id")
+    if named_pids or named_tracks:
+        for pid in sorted(event_pids - named_pids, key=str):
+            problems.append(
+                f"pid {pid} has events but no process_name metadata")
+        if len(event_pids) > 1:
+            for pid, tid in sorted(event_tracks - named_tracks, key=str):
+                problems.append(
+                    f"track pid={pid} tid={tid} has events but no "
+                    "thread_name metadata (multi-pid trace)")
     return problems

@@ -134,6 +134,85 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def typed_snapshot(self) -> dict[str, dict[str, Any]]:
+        """Kind-tagged export, the cross-process wire format.
+
+        A plain :meth:`snapshot` cannot be merged — a bare number does
+        not say whether it sums (counter) or overwrites (gauge).  Worker
+        processes ship this form; :func:`merge_typed_snapshots` folds
+        them back together.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {"kind": "histogram", **metric.snapshot()}
+            elif isinstance(metric, Gauge):
+                out[name] = {"kind": "gauge", "value": metric.value}
+            else:
+                out[name] = {"kind": "counter", "value": metric.value}
+        return out
+
+
+def _merge_histogram(into: dict[str, Any], snap: dict[str, Any]) -> None:
+    into["count"] += snap["count"]
+    into["sum"] += snap["sum"]
+    for bound in ("min", "max"):
+        pick = min if bound == "min" else max
+        values = [v for v in (into[bound], snap[bound]) if v is not None]
+        into[bound] = pick(values) if values else None
+    buckets = into["buckets"]
+    for label, count in snap["buckets"].items():
+        buckets[label] = buckets.get(label, 0) + count
+    into["mean"] = into["sum"] / into["count"] if into["count"] else 0.0
+
+
+def merge_typed_snapshots(
+        snapshots: "list[dict[str, dict[str, Any]]]",
+        ) -> dict[str, dict[str, Any]]:
+    """Aggregate worker metric snapshots (:meth:`typed_snapshot` form).
+
+    Counters sum, gauges keep the last write (in the order given — pass
+    snapshots in a deterministic order for reproducible gauges), and
+    log2 histograms merge bucket-wise; the result for counters and
+    histograms is therefore identical for any snapshot order.  A name
+    changing kind between snapshots is a wiring bug and raises.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, entry in snapshot.items():
+            kind = entry.get("kind")
+            have = merged.get(name)
+            if have is None:
+                copy = dict(entry)
+                if kind == "histogram":
+                    copy["buckets"] = dict(entry["buckets"])
+                merged[name] = copy
+                continue
+            if have["kind"] != kind:
+                raise ValueError(
+                    f"metric {name!r} is {have['kind']} in one snapshot "
+                    f"and {kind} in another")
+            if kind == "counter":
+                have["value"] += entry["value"]
+            elif kind == "gauge":
+                have["value"] = entry["value"]
+            else:
+                _merge_histogram(have, entry)
+    return {name: merged[name] for name in sorted(merged)}
+
+
+def typed_to_plain(typed: dict[str, dict[str, Any]]) -> dict[str, Any]:
+    """Collapse a typed (or merged) snapshot to the plain
+    :meth:`MetricsRegistry.snapshot` shape used by reports and tests."""
+    out: dict[str, Any] = {}
+    for name, entry in typed.items():
+        if entry.get("kind") == "histogram":
+            out[name] = {k: v for k, v in entry.items() if k != "kind"}
+        else:
+            out[name] = entry["value"]
+    return out
+
 
 def install_standard_metrics(bus: ProbeBus,
                              registry: MetricsRegistry) -> list[Subscription]:

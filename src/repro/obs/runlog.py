@@ -12,14 +12,18 @@ loaded incrementally.  The schema is documented in
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
 from contextlib import contextmanager
+from datetime import datetime, timezone
 from pathlib import Path
-from typing import Any
+from typing import Any, IO
 
-SCHEMA_VERSION = 1
+# v2: fractional-second timestamps plus per-process ``seq``/``pid`` so
+# same-second records (common in tight sweeps) stay totally ordered.
+SCHEMA_VERSION = 2
 
 
 class SelfProfile:
@@ -42,44 +46,95 @@ class SelfProfile:
                 for name in sorted(self.seconds)}
 
 
+# Per-process monotonic record counter: same-timestamp records (even at
+# microsecond resolution two records can tie) sort by (pid, seq).
+_SEQ = itertools.count()
+
+
 def make_record(kind: str, **fields: Any) -> dict[str, Any]:
     """A schema-stamped record; *fields* are merged in verbatim.
 
-    Timestamps are UTC (``...Z``): local-time ``%z`` rendered records
-    non-comparable across machines and as an empty offset on platforms
-    whose ``strftime`` lacks zone data.
+    Timestamps are UTC (``...Z``) with fractional seconds: local-time
+    ``%z`` rendered records non-comparable across machines, and
+    whole-second resolution left same-second records unordered.  ``seq``
+    is a per-process monotonic counter and ``pid`` the writing process,
+    so merged multi-process logs have a total order ``(timestamp, pid,
+    seq)``.
     """
+    now = datetime.now(timezone.utc)
     record: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "kind": kind,
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "timestamp": now.strftime("%Y-%m-%dT%H:%M:%S.%fZ"),
+        "seq": next(_SEQ),
+        "pid": os.getpid(),
     }
     record.update(fields)
     return record
 
 
 class RunLog:
-    """Append-only JSONL writer; parent directories are created lazily."""
+    """Append-only JSONL writer holding one open handle.
+
+    The first :meth:`append` opens the file (creating parent directories)
+    and every subsequent append reuses the handle with an explicit flush
+    per record — reopening per record turned hot sweeps into an
+    open/close storm.  Use as a context manager, or call :meth:`close`;
+    a dropped ``RunLog`` closes its handle on garbage collection.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
+        self._fh: IO[str] | None = None
 
     def append(self, record: dict[str, Any]) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, sort_keys=True, default=str))
-            fh.write("\n")
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True, default=str))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:       # interpreter teardown; nothing to do
+            pass
 
     def read(self) -> list[dict[str, Any]]:
-        """Load every record back (convenience for tests and notebooks)."""
+        """Load every record back (convenience for tests and notebooks).
+
+        A truncated *final* line — the signature of a writer killed
+        mid-append — is skipped; a malformed line anywhere else is real
+        corruption and still raises :class:`json.JSONDecodeError`.
+        """
         if not self.path.exists():
             return []
-        out = []
         with self.path.open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    out.append(json.loads(line))
+            lines = [line.strip() for line in fh]
+        while lines and not lines[-1]:
+            lines.pop()
+        out: list[dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break       # torn tail from a crash mid-write
+                raise
         return out
 
 

@@ -43,6 +43,15 @@ class TestExamples:
         assert "perfetto" in out
         assert trace.exists()
 
+    def test_observe_sweep(self, tmp_path):
+        out = run_example("observe_sweep.py", "Camel", "tiny",
+                          str(tmp_path))
+        assert "merged metrics" in out
+        assert "well-formed" in out
+        assert "process tracks" in out
+        assert (tmp_path / "trace.json").exists()
+        assert (tmp_path / "report.html").exists()
+
     def test_timeline(self):
         out = run_example("timeline.py", "Camel", "12")
         assert "inorder" in out and "svr16" in out

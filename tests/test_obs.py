@@ -262,7 +262,7 @@ class TestRunLog:
         log.append(make_record("figure", name="fig1"))
         records = log.read()
         assert len(records) == 2
-        assert records[0]["schema"] == 1
+        assert records[0]["schema"] == 2
         assert records[0]["kind"] == "run"
         assert records[0]["workload"] == "Camel"
         assert records[1]["name"] == "fig1"
@@ -271,18 +271,70 @@ class TestRunLog:
     def test_read_missing_file(self, tmp_path):
         assert RunLog(tmp_path / "absent.jsonl").read() == []
 
-    def test_timestamps_are_utc(self):
+    def test_timestamps_are_utc_with_fractional_seconds(self):
         import re
         import time
 
         before = time.gmtime(time.time() - 2)
         record = make_record("run")
         stamp = record["timestamp"]
-        # Explicit Z suffix, never a local offset (or an empty one).
+        # Explicit Z suffix, never a local offset; microsecond digits so
+        # same-second records stay distinguishable.
         assert re.fullmatch(
-            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}Z", stamp)
-        parsed = time.strptime(stamp, "%Y-%m-%dT%H:%M:%SZ")
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{6}Z", stamp)
+        parsed = time.strptime(stamp.split(".")[0] + "Z",
+                               "%Y-%m-%dT%H:%M:%SZ")
         assert time.mktime(parsed) >= time.mktime(before)
+
+    def test_records_carry_seq_and_pid(self):
+        import os
+
+        a = make_record("run")
+        b = make_record("run")
+        assert b["seq"] == a["seq"] + 1
+        assert a["pid"] == os.getpid()
+
+    def test_append_holds_one_open_handle(self, tmp_path):
+        log = RunLog(tmp_path / "session.jsonl")
+        log.append(make_record("run", n=1))
+        handle = log._fh
+        assert handle is not None and not handle.closed
+        log.append(make_record("run", n=2))
+        assert log._fh is handle          # reused, not reopened
+        log.close()
+        assert handle.closed
+        # Appending after close transparently reopens.
+        log.append(make_record("run", n=3))
+        log.close()
+        assert len(log.read()) == 3
+
+    def test_context_manager_closes(self, tmp_path):
+        with RunLog(tmp_path / "session.jsonl") as log:
+            log.append(make_record("run"))
+            handle = log._fh
+        assert handle.closed
+
+    def test_read_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        log = RunLog(path)
+        log.append(make_record("run", n=1))
+        log.append(make_record("run", n=2))
+        log.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"schema": 2, "kind": "ru')   # killed mid-append
+        records = log.read()
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_read_raises_on_mid_file_corruption(self, tmp_path):
+        import json as json_mod
+
+        import pytest
+
+        path = tmp_path / "session.jsonl"
+        path.write_text('{"ok": 1}\nnot json at all\n{"ok": 2}\n',
+                        encoding="utf-8")
+        with pytest.raises(json_mod.JSONDecodeError):
+            RunLog(path).read()
 
 
 class TestSelfProfile:
@@ -388,6 +440,95 @@ class TestChromeTrace:
         ]}
         problems = validate_trace(bad)
         assert len(problems) == 4
+
+
+class TestMultiprocessTrace:
+    def _event(self, ts, pid=1, tid=1, name="work"):
+        return {"name": name, "cat": "span", "ph": "X", "ts": ts,
+                "dur": 1.0, "pid": pid, "tid": tid}
+
+    def test_one_process_track_per_pid(self):
+        from repro.obs import build_multiprocess_trace
+
+        trace = build_multiprocess_trace([
+            {"pid": 100, "label": "worker A",
+             "events": [self._event(50.0, pid=100)]},
+            {"pid": 200, "label": "worker B",
+             "events": [self._event(80.0, pid=200)]},
+        ])
+        assert validate_trace(trace) == []
+        names = {ev["pid"]: ev["args"]["name"]
+                 for ev in trace["traceEvents"]
+                 if ev.get("ph") == "M"
+                 and ev.get("name") == "process_name"}
+        assert names == {100: "worker A", 200: "worker B"}
+        assert trace["otherData"]["processes"] == 2
+        # Timestamps origin-shifted so the earliest event starts at 0.
+        slices = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        assert min(ev["ts"] for ev in slices) == 0.0
+
+    def test_same_pid_entries_fold_into_one_track(self):
+        from repro.obs import build_multiprocess_trace
+
+        trace = build_multiprocess_trace([
+            {"pid": 7, "label": "cell 1", "events": [self._event(1.0,
+                                                                 pid=7)]},
+            {"pid": 7, "label": "cell 2", "events": [self._event(2.0,
+                                                                 pid=7)]},
+        ])
+        assert trace["otherData"]["processes"] == 1
+        process_meta = [ev for ev in trace["traceEvents"]
+                        if ev.get("ph") == "M"
+                        and ev.get("name") == "process_name"]
+        assert len(process_meta) == 1
+
+    def test_validate_flags_unnamed_pid_when_metadata_present(self):
+        trace = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "worker"}},
+            self._event(0.0, pid=1),
+            self._event(1.0, pid=2),     # events but no process_name
+        ]}
+        problems = validate_trace(trace)
+        assert any("pid 2" in p and "process_name" in p
+                   for p in problems)
+
+    def test_validate_flags_unnamed_track_in_multi_pid_trace(self):
+        trace = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "a"}},
+            {"name": "process_name", "ph": "M", "pid": 2,
+             "args": {"name": "b"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+             "args": {"name": "t"}},
+            self._event(0.0, pid=1, tid=1),
+            self._event(1.0, pid=2, tid=9),   # unnamed (2, 9) track
+        ]}
+        problems = validate_trace(trace)
+        assert any("tid=9" in p and "thread_name" in p
+                   for p in problems)
+
+    def test_single_pid_trace_needs_no_thread_names(self):
+        trace = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "only"}},
+            self._event(0.0, pid=1, tid=3),
+        ]}
+        assert validate_trace(trace) == []
+
+    def test_metadata_free_trace_skips_naming_checks(self):
+        trace = {"traceEvents": [self._event(0.0, pid=1),
+                                 self._event(1.0, pid=2)]}
+        assert validate_trace(trace) == []
+
+    def test_write_trace_round_trips(self, tmp_path):
+        from repro.obs import build_multiprocess_trace, write_trace
+
+        trace = build_multiprocess_trace(
+            [{"pid": 5, "label": "w", "events": [self._event(3.0,
+                                                             pid=5)]}])
+        path = write_trace(trace, tmp_path / "deep" / "trace.json")
+        assert json.loads(path.read_text()) == trace
 
 
 class TestRunObservation:
