@@ -511,6 +511,111 @@ def _cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def _analyze_one(target: str, args) -> dict:
+    """Analyze one CLI target; returns a result bundle for rendering.
+
+    ``plan`` is always present; ``oracle`` only with ``--oracle`` on a
+    registered workload (assembly files carry no memory image to run);
+    ``drift`` lists deviations from the pinned expectation with ``--check``.
+    """
+    import os
+
+    from repro.analysis import build_plan, oracle_check
+    from repro.isa.assembler import assemble
+    from repro.workloads.expectations import plan_expectation
+    from repro.workloads.registry import build_workload
+
+    looks_like_file = (target.endswith(".s") or os.path.sep in target
+                       or os.path.isfile(target))
+    memory = None
+    if looks_like_file:
+        name = os.path.basename(target)
+        with open(target, encoding="utf-8") as fh:
+            program = assemble(fh.read(), name=name)
+    else:
+        name = target
+        workload = build_workload(target, scale=args.scale)
+        program = workload.program
+        memory = workload.memory
+    plan = build_plan(program, name=name, vector_length=args.vector_length)
+
+    result: dict = {"name": name, "plan": plan, "oracle": None, "drift": []}
+    if args.oracle:
+        if memory is None:
+            result["drift"].append(
+                f"{name}: --oracle needs a registered workload "
+                "(assembly files have no memory image)")
+        else:
+            result["oracle"] = oracle_check(
+                program, memory, plan, max_steps=args.steps)
+    if args.check:
+        expect = plan_expectation(name)
+        if expect is None:
+            result["drift"].append(f"{name}: no pinned plan expectation")
+        elif expect != plan.summary:
+            result["drift"].append(
+                f"{name}: plan drifted from pinned expectation: "
+                f"pinned {expect} != computed {plan.summary}")
+    return result
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import format_oracle_report, format_plan
+    from repro.workloads.registry import workload_names
+
+    targets = list(args.targets)
+    if args.all:
+        targets += [n for n in
+                    workload_names("irregular") + workload_names("spec")
+                    if n not in targets]
+    if not targets:
+        print("analyze: no targets (give workload names, .s files or "
+              "--all)", file=sys.stderr)
+        return 2
+    try:
+        results = [_analyze_one(t, args) for t in targets]
+    except (OSError, ValueError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 2
+
+    drift = [line for r in results for line in r["drift"]]
+    oracle_ok = all(r["oracle"] is None or r["oracle"].ok for r in results)
+    ok = oracle_ok and not drift
+    payload = {
+        "ok": ok,
+        "drift": drift,
+        "reports": [
+            {"name": r["name"],
+             "plan": r["plan"].to_dict(),
+             "fingerprint": r["plan"].fingerprint(),
+             "summary": [[s[0], s[1], list(s[2]), list(s[3])]
+                         for s in r["plan"].summary],
+             "oracle": None if r["oracle"] is None
+             else r["oracle"].to_dict()}
+            for r in results
+        ],
+    }
+    if args.jsonl:
+        from repro.obs import RunLog, make_record
+
+        RunLog(args.jsonl).append(make_record("analyze", **payload))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    for r in results:
+        print(format_plan(r["plan"]))
+        if r["oracle"] is not None:
+            print(format_oracle_report(r["oracle"]))
+        print()
+    for line in drift:
+        print(f"analyze: {line}", file=sys.stderr)
+    n_oracle = sum(1 for r in results if r["oracle"] is not None)
+    print(f"analyzed {len(results)} target(s), "
+          f"{n_oracle} oracle-validated: "
+          f"{'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
 def _render_bench_table(summary: dict) -> str:
     benches = summary["benchmarks"]
     width = max(len(name) for name in benches)
@@ -722,6 +827,31 @@ def main(argv: list[str] | None = None) -> int:
     lint_p.add_argument("--jsonl", default="", metavar="PATH",
                         help="append a structured lint record to PATH")
 
+    ana_p = sub.add_parser(
+        "analyze", help="memory-dependence & vectorization-legality plans "
+                        "with an optional dynamic oracle gate")
+    ana_p.add_argument("targets", nargs="*", metavar="TARGET",
+                       help="workload names or assembly (.s) files")
+    ana_p.add_argument("--all", action="store_true",
+                       help="analyze every registered workload")
+    ana_p.add_argument("--scale", default="tiny",
+                       choices=("tiny", "bench", "default"))
+    ana_p.add_argument("--vector-length", type=int, default=16, metavar="VL",
+                       help="lanes assumed by the legality analysis "
+                            "(default 16)")
+    ana_p.add_argument("--oracle", action="store_true",
+                       help="run the workload and cross-validate every "
+                            "static claim against observed behaviour")
+    ana_p.add_argument("--steps", type=int, default=400_000, metavar="N",
+                       help="oracle run step budget (default 400000)")
+    ana_p.add_argument("--check", action="store_true",
+                       help="fail if a plan drifts from the pinned "
+                            "expectation in workloads/expectations.py")
+    ana_p.add_argument("--json", action="store_true",
+                       help="print machine-readable JSON instead of text")
+    ana_p.add_argument("--jsonl", default="", metavar="PATH",
+                       help="append a structured analyze record to PATH")
+
     bench_p = sub.add_parser(
         "bench", help="self-benchmark the simulator; write a BENCH_*.json "
                       "trajectory artifact")
@@ -787,8 +917,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"list": _cmd_list, "run": _cmd_run, "stats": _cmd_stats,
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "overhead": _cmd_overhead,
-                "lint": _cmd_lint, "bench": _cmd_bench,
-                "report": _cmd_report}
+                "lint": _cmd_lint, "analyze": _cmd_analyze,
+                "bench": _cmd_bench, "report": _cmd_report}
     return handlers[args.command](args)
 
 

@@ -288,3 +288,30 @@ def dead_definitions(cfg: CFG,
                 if reg not in live.live_out(pc):
                     findings.append((pc, reg))
     return findings
+
+
+def dead_stores(cfg: CFG) -> list[tuple[int, int, int]]:
+    """``(pc, reg, kill_pc)`` definitions overwritten before any read.
+
+    The stronger form of a dead definition: the value is not merely unread
+    (which also happens at program exit), it is clobbered by a later write
+    to the same register that the definition still reaches.  ``kill_pc`` is
+    the earliest such overwriting definition.  Liveness guarantees no path
+    reads the value, so attributing the kill through may-reaching
+    definitions cannot mislabel a value that is consumed somewhere.
+    """
+    live = LiveRegisters(cfg)
+    reach = ReachingDefinitions(cfg)
+    kills: dict[Def, int] = {}
+    for start in cfg.rpo:
+        for kill_pc in cfg.blocks[start].pcs:
+            for reg in _writes(cfg.program[kill_pc]):
+                for def_pc in reach.reaching(kill_pc, reg):
+                    if def_pc == kill_pc:
+                        continue
+                    if reg in live.live_out(def_pc):
+                        continue
+                    key = (def_pc, reg)
+                    if key not in kills or kill_pc < kills[key]:
+                        kills[key] = kill_pc
+    return sorted((pc, reg, kill) for (pc, reg), kill in kills.items())

@@ -16,6 +16,11 @@ Checks
 ``W102``  basic block unreachable from the entry
 ``W103``  dead definition: the value written is never read on any path
 ``W104``  write to ``x0`` is architecturally discarded
+``W105``  a loop anchors an SVR chain yet its vectorization plan is
+          ``SCALAR_ONLY`` — runahead seeds exist but lane batching is
+          statically illegal, so the SoA executor will serialise it
+``W106``  dead store: the register is overwritten before any read (the
+          in-flow variant of ``W103``, with the clobbering pc identified)
 """
 
 from __future__ import annotations
@@ -24,10 +29,20 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.analysis.cfg import CFG, build_cfg
-from repro.analysis.dataflow import dead_definitions, unassigned_reads
+from repro.analysis.dataflow import (
+    dead_definitions,
+    dead_stores,
+    unassigned_reads,
+)
 from repro.analysis.induction import LoadInfo, StrideAnalysis
 from repro.analysis.taint import StaticChain, chains_for_program
+from repro.analysis.vectorplan import SCALAR_ONLY, build_plan
 from repro.isa.program import Program
+
+# Serialization format version for LintReport.to_dict()/Diagnostic.to_dict().
+# Reports emitted before the field existed are implicitly schema 1; schema 2
+# added the version fields themselves plus the W105/W106 checks.
+LINT_SCHEMA = 2
 
 DIAGNOSTIC_CATALOG: dict[str, str] = {
     "E001": "control flow can fall off the end of the program",
@@ -36,6 +51,8 @@ DIAGNOSTIC_CATALOG: dict[str, str] = {
     "W102": "basic block is unreachable from the entry",
     "W103": "dead definition: the written value is never read",
     "W104": "write to x0 is discarded",
+    "W105": "loop seeds an SVR chain but its plan is SCALAR_ONLY",
+    "W106": "dead store: the register is overwritten before any read",
 }
 
 
@@ -66,6 +83,7 @@ class Diagnostic:
 
     def to_dict(self) -> dict:
         return {
+            "schema": LINT_SCHEMA,
             "severity": self.severity.value,
             "code": self.code,
             "pc": self.pc,
@@ -102,6 +120,7 @@ class LintReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema": LINT_SCHEMA,
             "name": self.name,
             "ok": self.ok,
             "errors": len(self.errors),
@@ -153,11 +172,19 @@ def lint_program(program: Program, name: str | None = None) -> LintReport:
             f"x{reg} may be read before assignment "
             "(reads architectural zero)", _disasm(program, pc)))
 
+    kills = {(pc, reg): kill for pc, reg, kill in dead_stores(cfg)}
     for pc, reg in sorted(dead_definitions(cfg)):
-        diags.append(Diagnostic(
-            Severity.WARNING, "W103", pc,
-            f"dead definition of x{reg}: value is never read",
-            _disasm(program, pc)))
+        kill = kills.get((pc, reg))
+        if kill is not None:
+            diags.append(Diagnostic(
+                Severity.WARNING, "W106", pc,
+                f"dead store to x{reg}: overwritten at pc {kill} "
+                "before any read", _disasm(program, pc)))
+        else:
+            diags.append(Diagnostic(
+                Severity.WARNING, "W103", pc,
+                f"dead definition of x{reg}: value is never read",
+                _disasm(program, pc)))
 
     for start in cfg.rpo:
         for pc in cfg.blocks[start].pcs:
@@ -170,5 +197,17 @@ def lint_program(program: Program, name: str | None = None) -> LintReport:
     analysis = StrideAnalysis(cfg)
     report.loads = analysis.loads()
     report.chains = chains_for_program(cfg, report.loads)
+
+    # W105: runahead will seed chains here, but the vectorization plan says
+    # lane batching is illegal — the SoA executor would serialise the loop.
+    plan = build_plan(program, name=report.name)
+    for lp in plan.loops:
+        if lp.seeds and lp.verdict == SCALAR_ONLY:
+            kinds = ", ".join(sorted({r.kind for r in lp.reasons}))
+            diags.append(Diagnostic(
+                Severity.WARNING, "W105", lp.header,
+                f"loop seeds an SVR chain but its plan is SCALAR_ONLY "
+                f"({kinds})", _disasm(program, lp.header)))
+
     diags.sort(key=lambda d: (d.pc, d.code))
     return report

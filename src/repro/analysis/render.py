@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.analysis.lint import LintReport
+
+if TYPE_CHECKING:                                    # pragma: no cover
+    from repro.analysis.oracle import OracleReport
+    from repro.analysis.vectorplan import VectorizationPlan
 
 
 def _table(headers: list[str], rows: list[list[str]],
@@ -63,6 +69,44 @@ def format_chain_table(report: LintReport) -> str:
         ])
     return _table(["seed", "loop", "chain/iter", "dep-loads",
                    "srf-regs", "total-chain"], rows)
+
+
+def format_plan_table(plan: "VectorizationPlan") -> str:
+    """Per-loop vectorization verdict table for ``repro analyze``."""
+    if not plan.loops:
+        return "  (no loops)"
+    rows = []
+    for lp in plan.loops:
+        rows.append([
+            str(lp.header),
+            lp.verdict,
+            ",".join(f"{pc}/{stride}" for pc, stride in lp.seeds) or "-",
+            "; ".join(str(g) for g in lp.guards) or "-",
+            "; ".join(r.kind for r in lp.reasons) or "-",
+        ])
+    return _table(["loop", "verdict", "seeds(pc/stride)", "guards",
+                   "reasons"], rows)
+
+
+def format_plan(plan: "VectorizationPlan") -> str:
+    """Full human-readable plan output for one program."""
+    head = (f"{plan.name}: {len(plan.loops)} loop(s), "
+            f"VL={plan.vector_length}, "
+            f"fingerprint {plan.fingerprint()[:12]}")
+    return "\n".join([head, format_plan_table(plan)])
+
+
+def format_oracle_report(report: "OracleReport") -> str:
+    """Oracle verdict line plus one line per violation."""
+    status = "validated" if report.ok else "UNSOUND"
+    lines = [f"{report.name}: oracle {status} "
+             f"({report.checks} check(s), {report.rounds} round(s), "
+             f"{report.commits} commit(s), "
+             f"{report.mask_events} mask event(s))"]
+    lines.extend(f"  {report.name}: {v.kind} at pc(s) "
+                 f"{','.join(str(p) for p in v.pcs)}: {v.detail}"
+                 for v in report.violations)
+    return "\n".join(lines)
 
 
 def format_report(report: LintReport, *, verbose: bool = True) -> str:

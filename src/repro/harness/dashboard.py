@@ -171,9 +171,41 @@ def build_report_data(journals: Sequence[str | Path] = (),
     }
 
     runlog_rows = []
+    lint_rows: dict[str, dict[str, Any]] = {}
+    plan_rows: dict[str, dict[str, Any]] = {}
     for path in runlogs:
         for record in _read_jsonl(Path(path)):
-            if record.get("kind") != "run":
+            kind = record.get("kind")
+            if kind == "lint":
+                # Latest lint record per target wins.
+                for report in record.get("reports") or []:
+                    name = report.get("name", "?")
+                    lint_rows[name] = {
+                        "name": name,
+                        "ok": bool(report.get("ok")),
+                        "errors": report.get("errors", 0),
+                        "warnings": report.get("warnings", 0),
+                    }
+                continue
+            if kind == "analyze":
+                for report in record.get("reports") or []:
+                    name = report.get("name", "?")
+                    oracle = report.get("oracle")
+                    plan_rows[name] = {
+                        "name": name,
+                        "loops": [
+                            {"header": s[0], "verdict": s[1],
+                             "guards": list(s[2]), "reasons": list(s[3])}
+                            for s in report.get("summary") or []
+                            if isinstance(s, (list, tuple)) and len(s) == 4],
+                        "oracle_ok": (None if oracle is None
+                                      else bool(oracle.get("ok"))),
+                        "violations": (0 if oracle is None
+                                       else len(oracle.get("violations")
+                                                or [])),
+                    }
+                continue
+            if kind != "run":
                 continue
             profile = record.get("profile") or {}
             runlog_rows.append({
@@ -196,6 +228,8 @@ def build_report_data(journals: Sequence[str | Path] = (),
         "metrics": merged_metrics,
         "resources": resources,
         "runlogs": runlog_rows,
+        "lints": sorted(lint_rows.values(), key=lambda r: r["name"]),
+        "plans": sorted(plan_rows.values(), key=lambda r: r["name"]),
         "bench": _load_bench_trajectory(bench_dir),
     }
 
@@ -444,6 +478,59 @@ def _bench_section(bench: list[dict[str, Any]]) -> str:
             f'<tbody>{"".join(rows)}</tbody></table>')
 
 
+def _lint_section(lints: list[dict[str, Any]]) -> str:
+    if not lints:
+        return ""
+    rows = []
+    for r in lints:
+        cls = "status-ok" if r["ok"] else "status-failed"
+        verdict = ("clean" if r["ok"] and not r["warnings"] else
+                   "ok" if r["ok"] else "FAILED")
+        rows.append(
+            "<tr>"
+            f'<td>{_esc(r["name"])}</td>'
+            f'<td class="{cls}">{_esc(verdict)}</td>'
+            f'<td class="num">{_esc(r["errors"])}</td>'
+            f'<td class="num">{_esc(r["warnings"])}</td>'
+            "</tr>")
+    return ("<h2>Lint</h2>"
+            "<table><thead><tr><th>target</th><th>verdict</th>"
+            '<th class="num">errors</th><th class="num">warnings</th>'
+            f'</tr></thead><tbody>{"".join(rows)}</tbody></table>')
+
+
+def _plan_section(plans: list[dict[str, Any]]) -> str:
+    """Per-workload vectorization-plan verdicts next to the lint table,
+    one row per loop, with the oracle's cross-validation verdict."""
+    if not plans:
+        return ""
+    rows = []
+    for r in plans:
+        if r["oracle_ok"] is None:
+            oracle = "—"
+            cls = ""
+        elif r["oracle_ok"]:
+            oracle, cls = "validated", "status-ok"
+        else:
+            oracle = f'UNSOUND ({r["violations"]} violation(s))'
+            cls = "status-failed"
+        for i, loop in enumerate(r["loops"]):
+            rows.append(
+                "<tr>"
+                f'<td>{_esc(r["name"]) if i == 0 else ""}</td>'
+                f'<td class="num">{_esc(loop["header"])}</td>'
+                f'<td>{_esc(loop["verdict"])}</td>'
+                f'<td>{_esc(", ".join(loop["guards"]) or "—")}</td>'
+                f'<td>{_esc(", ".join(loop["reasons"]) or "—")}</td>'
+                f'<td class="{cls}">{_esc(oracle) if i == 0 else ""}</td>'
+                "</tr>")
+    return ("<h2>Vectorization plans (lane-batching legality)</h2>"
+            "<table><thead><tr><th>workload</th>"
+            '<th class="num">loop</th><th>verdict</th><th>guards</th>'
+            "<th>reasons</th><th>oracle</th></tr></thead>"
+            f'<tbody>{"".join(rows)}</tbody></table>')
+
+
 def _runlog_section(runlogs: list[dict[str, Any]]) -> str:
     if not runlogs:
         return ""
@@ -494,6 +581,8 @@ def render_html(data: dict[str, Any], title: str = "repro report") -> str:
         "<h2>Failures and retries</h2>",
         _failure_section(data),
         _metrics_section(data["metrics"]),
+        _lint_section(data.get("lints") or []),
+        _plan_section(data.get("plans") or []),
         "<h2>Bench trajectory</h2>",
         _bench_section(data["bench"]),
         _runlog_section(data["runlogs"]),

@@ -158,6 +158,7 @@ class Instruction:
     opclass: OpClass = field(init=False, repr=False, compare=False)
     is_load: bool = field(init=False, repr=False, compare=False)
     is_store: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
     is_branch: bool = field(init=False, repr=False, compare=False)
     is_control: bool = field(init=False, repr=False, compare=False)
     # Multiplies pay the longer ALU latency in the timing cores.
@@ -174,6 +175,7 @@ class Instruction:
         set_(self, "opindex", opindex)
         set_(self, "is_load", is_load)
         set_(self, "is_store", is_store)
+        set_(self, "is_mem", is_load or is_store)
         set_(self, "is_branch", is_branch)
         set_(self, "is_control", is_control)
         set_(self, "is_multiply", is_multiply)

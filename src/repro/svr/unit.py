@@ -92,6 +92,10 @@ class ScalarVectorUnit:
         self.monitor.probe = self.bus.probe("svr.accuracy_ban")
         self.chain_log = ChainRecorder()
         self.stats = SvrStats()
+        # Opt-in dynamic oracle (repro.analysis.oracle.OracleRecorder).
+        # When None — the default — every hook site pays one `is not None`
+        # test, keeping the simulator hot path clean.
+        self.oracle = None
         self.core = None
         self._context_slots = None      # decoupled-context ablation
         self.in_prm = False
@@ -144,6 +148,8 @@ class ScalarVectorUnit:
         opclass = inst.opclass
         p_svi = self._p_svi
         svi_before = self.stats.svi_lanes if p_svi.enabled else 0
+        if self.oracle is not None:
+            self.oracle.observe_commit(pc, inst, result)
 
         if self.in_prm:
             self._prm_instructions += 1
@@ -272,6 +278,8 @@ class ScalarVectorUnit:
         self._generation_stopped = False
         self.mask = [lane < length for lane in range(cfg.vector_length)]
         self.stats.prm_rounds += 1
+        if self.oracle is not None:
+            self.oracle.on_round_start(entry.pc)
         if self._p_enter.enabled:
             self._p_enter.emit(pc=entry.pc, time=issue_time, length=length,
                                stride=entry.stride, addr=addr)
@@ -294,6 +302,11 @@ class ScalarVectorUnit:
                 self.stats.rounds_skipped_zero_length += 1
                 return
         self.chain_log.record_seed(entry.pc, entry.stride)
+        oracle = self.oracle
+        if oracle is not None:
+            oracle.observe_stride_round(entry.pc, entry.stride)
+            if shared_mask:
+                oracle.on_round_join(entry.pc)
         srf_id = self.srf.allocate(inst.rd, self.taint)
         if srf_id is None:
             self.taint.entry(inst.rd).tainted = True
@@ -312,6 +325,8 @@ class ScalarVectorUnit:
             self.stats.svi_lanes += 1
             self.stats.svi_load_lanes += 1
             target = wrap64(addr + (lane + 1) * stride)
+            if oracle is not None:
+                oracle.observe_svi(entry.pc, target, is_store=False)
             completion = hierarchy.prefetch(target, slot, "svr",
                                             drop_on_full=False)
             try:
@@ -350,7 +365,7 @@ class ScalarVectorUnit:
 
         if inst.is_branch:
             if vectorizable:
-                self._mask_divergent_lanes(inst, result, issue_time)
+                self._mask_divergent_lanes(pc, inst, result, issue_time)
             return
 
         if not tainted_srcs:
@@ -383,10 +398,10 @@ class ScalarVectorUnit:
                 taint_entry.mapped = False
             return
         if inst.is_load:
-            self._generate_dependent_load(inst, issue_time)
+            self._generate_dependent_load(pc, inst, issue_time)
             self._lil_offset = self._prm_instructions
         elif inst.is_store:
-            self._generate_dependent_store(inst, issue_time)
+            self._generate_dependent_store(pc, inst, issue_time)
         elif opclass in (OpClass.ALU, OpClass.FP, OpClass.CMP):
             self._generate_dependent_alu(inst, issue_time)
 
@@ -402,7 +417,8 @@ class ScalarVectorUnit:
     def _active_lanes(self):
         return [lane for lane, on in enumerate(self.mask) if on]
 
-    def _mask_divergent_lanes(self, inst, result, issue_time: float) -> None:
+    def _mask_divergent_lanes(self, pc: int, inst, result,
+                              issue_time: float) -> None:
         """Section IV-B1: mask lanes whose branch outcome diverges."""
         cfg = self.config
         slot = issue_time
@@ -419,11 +435,15 @@ class ScalarVectorUnit:
             if lane_taken != result.taken:
                 self.mask[lane] = False
                 self.stats.masked_lanes += 1
+                if self.oracle is not None:
+                    self.oracle.observe_mask(pc)
 
-    def _generate_dependent_load(self, inst, issue_time: float) -> None:
+    def _generate_dependent_load(self, pc: int, inst,
+                                 issue_time: float) -> None:
         cfg = self.config
         hierarchy = self.core.hierarchy
         memory = self.core.memory
+        oracle = self.oracle
         lanes = self._active_lanes()
         values: list[tuple[int, int, float]] = []   # (lane, value, ready)
         slot = issue_time
@@ -438,6 +458,8 @@ class ScalarVectorUnit:
                 self.stats.masked_lanes += 1
                 continue
             target = wrap64(base + inst.imm)
+            if oracle is not None:
+                oracle.observe_svi(pc, target, is_store=False)
             start = max(slot, src_ready)
             completion = hierarchy.prefetch(target, start, "svr",
                                             drop_on_full=False)
@@ -451,13 +473,15 @@ class ScalarVectorUnit:
                            completion if completion is not None else start))
         self._write_dest_lanes(inst.rd, values)
 
-    def _generate_dependent_store(self, inst, issue_time: float) -> None:
+    def _generate_dependent_store(self, pc: int, inst,
+                                  issue_time: float) -> None:
         """Transient stores only prefetch their target lines (write-allocate);
         they must never modify memory."""
         if not self.taint.is_vectorizable(inst.rs1):
             return
         cfg = self.config
         hierarchy = self.core.hierarchy
+        oracle = self.oracle
         slot = issue_time
         for count, lane in enumerate(self._active_lanes()):
             if count % cfg.scalars_per_unit == 0:
@@ -467,6 +491,8 @@ class ScalarVectorUnit:
             if not valid:
                 continue
             target = wrap64(base + inst.imm)
+            if oracle is not None:
+                oracle.observe_svi(pc, target, is_store=True)
             hierarchy.prefetch(target, max(slot, src_ready), "svr",
                                drop_on_full=False)
 
@@ -521,6 +547,8 @@ class ScalarVectorUnit:
         self.srf.release_all()
         self.mask = [False] * self.config.vector_length
         self.in_prm = False
+        if self.oracle is not None:
+            self.oracle.on_round_end()
         self._generation_stopped = False
         self.stats.terminations[cause] += 1
         if self._p_exit.enabled:

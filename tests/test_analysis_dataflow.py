@@ -6,6 +6,7 @@ from repro.analysis.dataflow import (
     LiveRegisters,
     ReachingDefinitions,
     dead_definitions,
+    dead_stores,
     unassigned_reads,
 )
 from repro.isa.program import ProgramBuilder
@@ -130,3 +131,117 @@ class TestDeadDefinitions:
     def test_clean_kernel_has_no_dead_defs(self):
         cfg = build_cfg(gather_program(0x1000, 0x2000, 8))
         assert dead_definitions(cfg) == []
+
+
+class TestDeadStores:
+    def test_kill_pc_identified(self):
+        b = ProgramBuilder("killed")
+        b.li("t0", 1)          # pc 0: clobbered at pc 1, never read
+        b.li("t0", 2)
+        b.mv("t1", "t0")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert dead_stores(cfg) == [(0, T0, 1)]
+
+    def test_value_dead_at_exit_is_not_a_store_kill(self):
+        # t0's last value is unread, but nothing overwrites it: that's a
+        # plain dead definition (W103 territory), not a dead store.
+        b = ProgramBuilder("exitdead")
+        b.li("t0", 1)
+        b.addi("t0", "t0", 1)  # pc 1: dead at exit, no later write
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert (1, T0) in dead_definitions(cfg)
+        assert dead_stores(cfg) == []
+
+    def test_cross_block_kill(self):
+        b = ProgramBuilder("crossblock")
+        b.li("t0", 1)          # pc 0: killed at pc 3 in another block
+        b.li("t1", 0)
+        b.beqz("t1", "over")
+        b.label("over")
+        b.li("t0", 2)          # pc 3
+        b.mv("t2", "t0")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert (0, T0, 3) in dead_stores(cfg)
+
+    def test_read_on_one_path_is_not_dead(self):
+        # The def is overwritten on the fallthrough path but read on the
+        # taken path: liveness keeps it out of the dead-store set.
+        b = ProgramBuilder("onepath")
+        b.li("t0", 1)
+        b.li("t1", 0)
+        b.beqz("t1", "use")
+        b.li("t0", 2)          # overwrite on one path only
+        b.jmp("end")
+        b.label("use")
+        b.mv("t2", "t0")       # read on the other
+        b.label("end")
+        b.halt()
+        cfg = build_cfg(b.build())
+        assert all(pc != 0 for pc, _, _ in dead_stores(cfg))
+
+
+class TestEdgeCaseCFGs:
+    """The engine must degrade gracefully off the happy path: unreachable
+    code, one-block self-loops, and irreducible (multi-entry) cycles."""
+
+    def test_unreachable_block_queries_are_safe(self):
+        b = ProgramBuilder("unreach")
+        b.jmp("end")
+        b.li("t0", 1)          # pc 1: unreachable
+        b.mv("t1", "t0")       # pc 2: unreachable read
+        b.label("end")
+        b.halt()
+        cfg = build_cfg(b.build())
+        # Solvers only visit reachable blocks; point queries on unreachable
+        # pcs return the safe defaults instead of raising.
+        assert ReachingDefinitions(cfg).reaching(2, T0) == frozenset()
+        assert LiveRegisters(cfg).live_out(1) == frozenset()
+        assert DefiniteAssignment(cfg).assigned_before(2) == \
+            DefiniteAssignment.ALL
+        # ... and the whole-program sweeps skip them entirely.
+        assert unassigned_reads(cfg) == []
+        assert dead_definitions(cfg) == []
+        assert dead_stores(cfg) == []
+
+    def test_single_block_self_loop(self):
+        b = ProgramBuilder("spin")
+        b.label("spin")
+        b.addi("t0", "t0", 1)  # pc 0: loop-carried through the back edge
+        b.cmp_lt("t1", "t0", "x0")
+        b.bnez("t1", "spin")
+        b.halt()
+        cfg = build_cfg(b.build())
+        # The block is its own predecessor: the def at pc 0 must reach its
+        # own top through the back edge, and t0 stays live across it.
+        assert 0 in ReachingDefinitions(cfg).reaching(0, T0)
+        assert T0 in LiveRegisters(cfg).live_out(0)
+        # t0 is read at pc 0 before any assignment on the entry path.
+        assert (0, T0) in unassigned_reads(cfg)
+
+    def test_irreducible_control_flow_terminates(self):
+        # Two entries into one cycle (branch jumps into the middle): no
+        # natural loop exists, but the fixpoint must still converge and
+        # every query stay consistent.
+        b = ProgramBuilder("irreducible")
+        b.li("t0", 0)
+        b.beqz("t0", "mid")
+        b.label("head")
+        b.addi("t0", "t0", 1)
+        b.label("mid")
+        b.addi("t0", "t0", 2)
+        b.cmp_lt("t1", "t0", "x0")
+        b.bnez("t1", "head")
+        b.halt()
+        cfg = build_cfg(b.build())
+        # The cycle head..mid has two entries, so it is not a natural loop.
+        assert all(loop.header not in (2, 3) for loop in cfg.loops)
+        # Both entry paths (the branch at pc 1 and the cycle's back edge
+        # through head at pc 2) merge their defs at mid's top.
+        reach = ReachingDefinitions(cfg)
+        assert reach.reaching(3, T0) == frozenset({0, 2})
+        # t0 is assigned at entry on every path: no bogus W101-style hits.
+        assert unassigned_reads(cfg) == []
+        assert T0 in DefiniteAssignment(cfg).assigned_before(3)

@@ -52,8 +52,11 @@ class TestBrokenKernels:
         b.st("t1", "t0", 0)          # keeps t1 live
         b.halt()
         report = lint_program(b.build())
-        w103 = [d for d in report.diagnostics if d.code == "W103"]
-        assert [(d.pc) for d in w103] == [0]
+        # Overwritten-before-read is the specific W106 form, not plain W103.
+        w106 = [d for d in report.diagnostics if d.code == "W106"]
+        assert [(d.pc) for d in w106] == [0]
+        assert "overwritten at pc 1" in w106[0].message
+        assert not [d for d in report.diagnostics if d.code == "W103"]
 
     def test_missing_halt_is_error(self):
         b = ProgramBuilder("nohalt")

@@ -1,0 +1,82 @@
+"""Tests for the ``python -m repro analyze`` CLI surface."""
+
+import json
+
+from repro.__main__ import main
+
+SWEEP_S = """\
+start:
+    li   a0, 0x1000
+    li   a1, 8
+    li   t4, 0
+    li   t0, 0
+loop:
+    slli t1, t0, 3
+    add  t1, a0, t1
+    ld   t2, t1, 0
+    add  t4, t4, t2
+    addi t0, t0, 1
+    cmp_lt t3, t0, a1
+    bnez t3, loop
+    st   t4, a0, 0
+    halt
+"""
+
+
+class TestWorkloadTargets:
+    def test_workload_plan_text(self, capsys):
+        assert main(["analyze", "HJ2"]) == 0
+        out = capsys.readouterr().out
+        assert "HJ2" in out and "BATCHABLE" in out
+        assert "analyzed 1 target(s)" in out
+
+    def test_json_payload(self, capsys):
+        assert main(["analyze", "PR_KR", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        (report,) = payload["reports"]
+        assert report["name"] == "PR_KR"
+        assert len(report["fingerprint"]) == 64
+        verdicts = {entry[1] for entry in report["summary"]}
+        assert verdicts & {"BATCHABLE", "BATCHABLE_WITH_GUARD"}
+
+    def test_oracle_validates_workload(self, capsys):
+        assert main(["analyze", "HJ2", "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle validated" in out
+        assert "1 oracle-validated" in out
+
+    def test_check_against_pinned_expectations(self, capsys):
+        assert main(["analyze", "PR_KR", "BFS_KR", "--check"]) == 0
+        assert "analyzed 2 target(s)" in capsys.readouterr().out
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert main(["analyze", "NOPE"]) == 2
+        assert "NOPE" in capsys.readouterr().err
+
+    def test_no_targets_is_usage_error(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "no targets" in capsys.readouterr().err
+
+
+class TestFileTargets:
+    def test_assembly_file_gets_a_plan(self, tmp_path, capsys):
+        path = tmp_path / "sweep.s"
+        path.write_text(SWEEP_S)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "BATCHABLE" in out
+
+    def test_oracle_on_file_is_drift(self, tmp_path, capsys):
+        # .s files carry no memory image, so --oracle cannot run; that is
+        # reported as drift and fails the invocation.
+        path = tmp_path / "sweep.s"
+        path.write_text(SWEEP_S)
+        assert main(["analyze", str(path), "--oracle"]) == 1
+        assert "oracle" in capsys.readouterr().err
+
+    def test_check_on_file_is_drift(self, tmp_path, capsys):
+        # No pinned expectation exists for an ad-hoc file.
+        path = tmp_path / "sweep.s"
+        path.write_text(SWEEP_S)
+        assert main(["analyze", str(path), "--check"]) == 1

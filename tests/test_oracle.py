@@ -1,0 +1,118 @@
+"""Tests for the dynamic vectorization oracle (repro.analysis.oracle).
+
+The oracle is the trust anchor for the static plans: it records per-lane
+address/branch streams from a real SVR run and fails loudly when a static
+claim (independence, stride, divergence containment) does not hold.
+"""
+
+import dataclasses
+import json
+
+from repro.analysis.oracle import (
+    _MAX_SAMPLES,
+    AccessStream,
+    collect_trace,
+    oracle_check,
+    validate_plan,
+)
+from repro.analysis.vectorplan import BATCHABLE, build_plan
+
+from conftest import build_gather_workload
+
+
+def _tamper_loop(plan, header, **changes):
+    loops = tuple(
+        dataclasses.replace(lp, **changes) if lp.header == header else lp
+        for lp in plan.loops)
+    return dataclasses.replace(plan, loops=loops)
+
+
+class TestCleanRun:
+    def test_gather_plan_validates(self):
+        program, memory = build_gather_workload()
+        plan = build_plan(program, name="gather")
+        report = oracle_check(program, memory, plan)
+        assert report.ok, [str(v) for v in report.violations]
+        assert report.rounds > 0
+        assert report.checks > 0
+        assert report.commits > 0
+
+    def test_recorder_streams(self):
+        program, memory = build_gather_workload()
+        recorder = collect_trace(program, memory)
+        # The striding index load (pc 7) commits architecturally, so it
+        # must have a real stream with a sane range.
+        rng = recorder.real_range(7)
+        assert rng is not None and rng[0] <= rng[1]
+        samples, truncated = recorder.real_samples(7)
+        assert samples and not truncated
+        assert recorder.rounds > 0
+        blob = json.loads(json.dumps(recorder.to_dict()))
+        assert blob["rounds"] == recorder.rounds
+
+
+class TestViolations:
+    def test_wrong_stride_claim_is_caught(self):
+        program, memory = build_gather_workload()
+        plan = build_plan(program, name="gather")
+        lp = plan.loops[0]
+        bad = _tamper_loop(plan, lp.header,
+                           seeds=tuple((pc, stride * 2)
+                                       for pc, stride in lp.seeds))
+        report = oracle_check(program, memory, bad)
+        kinds = {v.kind for v in report.violations}
+        assert not report.ok
+        assert "stride" in kinds
+
+    def test_stripped_guard_is_unsound(self):
+        # PR's rank-update loop needs a lane-mask guard; forging it as
+        # plain BATCHABLE must trip the divergence-containment check.
+        from repro.workloads import build_workload
+
+        workload = build_workload("PR_KR", scale="tiny")
+        plan = build_plan(workload.program, name="PR_KR")
+        guarded = [lp for lp in plan.loops
+                   if any(g.kind == "lane-mask" for g in lp.guards)]
+        assert guarded, plan.summary
+        bad = plan
+        for lp in guarded:
+            bad = _tamper_loop(bad, lp.header,
+                               verdict=BATCHABLE, guards=())
+        report = oracle_check(workload.program, workload.memory, bad)
+        assert not report.ok
+        assert "unsound-batchable" in {v.kind for v in report.violations}
+
+    def test_report_serializes_violations(self):
+        program, memory = build_gather_workload()
+        plan = build_plan(program, name="gather")
+        lp = plan.loops[0]
+        bad = _tamper_loop(plan, lp.header,
+                           seeds=tuple((pc, 3) for pc, _ in lp.seeds))
+        report = oracle_check(program, memory, bad)
+        blob = json.loads(json.dumps(report.to_dict()))
+        assert blob["ok"] is False
+        assert blob["violations"][0]["kind"] == "stride"
+
+
+class TestAccessStream:
+    def test_sample_cap_marks_truncation(self):
+        stream = AccessStream(pc=0, is_store=False)
+        for i in range(_MAX_SAMPLES + 8):
+            stream.observe(i * 8)
+        assert stream.truncated
+        assert len(stream.samples) <= _MAX_SAMPLES
+        assert stream.count == _MAX_SAMPLES + 8
+        assert stream.min_addr == 0
+        assert stream.max_addr == (_MAX_SAMPLES + 7) * 8
+
+    def test_truncated_samples_disable_proved_checks(self):
+        # validate_plan must skip (not fail) sample-intersection checks
+        # when either stream overflowed — range info alone can't prove
+        # an interleaving clean.
+        program, memory = build_gather_workload()
+        recorder = collect_trace(program, memory)
+        for stream in recorder.real.values():
+            stream.truncated = True
+        plan = build_plan(program, name="gather")
+        report = validate_plan(program, plan, recorder)
+        assert report.ok

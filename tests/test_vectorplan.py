@@ -1,0 +1,124 @@
+"""Tests for per-loop lane-batching legality plans (repro.analysis.vectorplan)."""
+
+import json
+
+from repro.analysis.vectorplan import (
+    BATCHABLE,
+    BATCHABLE_WITH_GUARD,
+    SCALAR_ONLY,
+    build_plan,
+)
+from repro.isa.program import ProgramBuilder
+from repro.workloads import build_workload, workload_names
+from repro.workloads.expectations import plan_expectation
+
+from conftest import gather_program
+
+
+def _short_flow_kernel():
+    """for i: a[i] = a[i-1] + 1 — a distance-1 flow through memory."""
+    b = ProgramBuilder("shortflow")
+    b.li("a0", 0x1000)
+    b.li("a2", 64)
+    b.li("t0", 1)
+    b.label("loop")
+    b.slli("t1", "t0", 3)
+    b.add("t1", "a0", "t1")
+    b.ld("t2", "t1", -8)
+    b.addi("t2", "t2", 1)
+    b.st("t2", "t1", 0)
+    b.addi("t0", "t0", 1)
+    b.cmp_lt("t3", "t0", "a2")
+    b.bnez("t3", "loop")
+    b.halt()
+    return b.build()
+
+
+class TestVerdicts:
+    def test_gather_loop_is_batchable(self):
+        plan = build_plan(gather_program(0x1000, 0x2000, 64))
+        assert len(plan.loops) == 1
+        lp = plan.loops[0]
+        assert lp.verdict == BATCHABLE
+        assert lp.seeds == ((7, 8),)        # striding index load, stride 8
+        assert lp.guards == () and lp.reasons == ()
+        assert lp.trip_branch_pcs == (14,)
+
+    def test_short_flow_forces_scalar_only(self):
+        plan = build_plan(_short_flow_kernel(), vector_length=16)
+        lp = plan.loops[0]
+        assert lp.verdict == SCALAR_ONLY
+        assert "short-flow" in {r.kind for r in lp.reasons}
+
+    def test_short_flow_vanishes_at_vl1(self):
+        # With one lane there is no intra-batch reordering, so a
+        # distance-1 flow is harmless and the verdict flips.
+        plan = build_plan(_short_flow_kernel(), vector_length=1)
+        lp = plan.loops[0]
+        assert lp.verdict != SCALAR_ONLY
+        assert "short-flow" not in {r.kind for r in lp.reasons}
+
+    def test_unseeded_loop_reports_no_striding_seed(self):
+        b = ProgramBuilder("noseed")
+        b.li("t0", 0)
+        b.li("a2", 8)
+        b.label("loop")
+        b.addi("t0", "t0", 1)
+        b.cmp_lt("t3", "t0", "a2")
+        b.bnez("t3", "loop")
+        b.halt()
+        lp = build_plan(b.build()).loops[0]
+        assert lp.verdict == SCALAR_ONLY
+        assert lp.seeds == ()
+        assert "no-striding-seed" in {r.kind for r in lp.reasons}
+
+
+class TestPlanObject:
+    def test_summary_and_lookup(self):
+        plan = build_plan(gather_program(0x1000, 0x2000, 64), name="gather")
+        assert plan.name == "gather"
+        assert plan.summary == ((5, BATCHABLE, (), ()),)
+        lp = plan.plan_for_seed(7)
+        assert lp is not None and lp.header == 5
+        assert plan.plan_for_seed(999) is None
+
+    def test_fingerprint_is_deterministic(self):
+        p1 = build_plan(gather_program(0x1000, 0x2000, 64), name="g")
+        p2 = build_plan(gather_program(0x1000, 0x2000, 64), name="g")
+        assert p1.fingerprint() == p2.fingerprint()
+        assert len(p1.fingerprint()) == 64
+        # Changing the vector length changes the plan identity.
+        p3 = build_plan(gather_program(0x1000, 0x2000, 64), name="g",
+                        vector_length=4)
+        assert p3.fingerprint() != p1.fingerprint()
+
+    def test_to_dict_is_json_ready(self):
+        plan = build_plan(_short_flow_kernel(), name="sf")
+        blob = json.loads(json.dumps(plan.to_dict()))
+        assert blob["schema"] == 1
+        assert blob["name"] == "sf"
+        assert blob["loops"][0]["verdict"] == SCALAR_ONLY
+
+
+class TestPinnedExpectations:
+    def test_every_registered_workload_matches_its_pin(self):
+        mismatches = []
+        for name in list(workload_names()) + list(workload_names("spec")):
+            workload = build_workload(name, scale="tiny")
+            plan = build_plan(workload.program, name=name)
+            expected = plan_expectation(name)
+            if expected is None:
+                mismatches.append((name, "unpinned"))
+            elif plan.summary != expected:
+                mismatches.append((name, plan.summary, expected))
+        assert not mismatches, mismatches
+
+    def test_gap_kernels_have_guarded_or_batchable_loops(self):
+        # The paper's target workloads must never be wholly SCALAR_ONLY:
+        # SVR's lane batching has to have something to chew on.
+        for name in workload_names():
+            workload = build_workload(name, scale="tiny")
+            plan = build_plan(workload.program, name=name)
+            verdicts = {lp.verdict for lp in plan.loops if lp.seeds}
+            assert verdicts & {BATCHABLE, BATCHABLE_WITH_GUARD}, (
+                name, plan.summary)
