@@ -21,6 +21,13 @@ Commands
 ``report [options]``              self-contained HTML dashboard from
                                   exec journals, run logs and
                                   ``BENCH_*.json`` trajectory files
+``serve [options]``               long-lived simulation service: warm
+                                  worker pool, admission control,
+                                  circuit breakers and a crash-safe
+                                  content-addressed result cache
+``submit WORKLOAD TECH [opts]``   submit one cell to a running server
+                                  (``--wait`` polls to the verdict)
+``jobs [options]``                list a running server's jobs / health
 
 ``run`` and ``stats`` accept ``--json`` (print ``SimResult.to_dict()`` as
 JSON), ``--jsonl PATH`` (append a structured run record) and
@@ -65,6 +72,9 @@ Examples::
         --jobs 2 --journal results/sweep.jsonl --trace results/sweep-trace.json
     python -m repro report --journal results/sweep.jsonl --bench-dir . \\
         -o results/report.html
+    python -m repro serve --port 8177 --workers 4 --timeout 300
+    python -m repro submit PR_KR svr16 --scale tiny --wait
+    python -m repro jobs --url http://127.0.0.1:8177
 """
 
 from __future__ import annotations
@@ -711,6 +721,118 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.exec import FaultPlan, parse_fault
+    from repro.serve import ReproServer, ServeConfig
+
+    faults = None
+    if args.inject:
+        faults = FaultPlan(specs=tuple(parse_fault(t) for t in args.inject),
+                           seed=args.fault_seed)
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            queue_limit=args.queue_limit, rate=args.rate, burst=args.burst,
+            timeout_s=args.timeout or None, retries=args.retries,
+            store_dir=args.store, ledger=args.ledger or None,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown_s=args.breaker_cooldown,
+            drain_timeout_s=args.drain_timeout, faults=faults)
+    except ValueError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    server = ReproServer(config)
+
+    def _on_signal(signum, _frame) -> None:
+        server.request_drain(signal.Signals(signum).name)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    server.start()
+    print(f"repro serve listening on http://{config.host}:{server.port} "
+          f"({config.workers} warm worker(s), queue limit "
+          f"{config.queue_limit})", file=sys.stderr)
+    while not server.wait(timeout=0.5):
+        pass
+    health = server.health()
+    print(f"repro serve drained ({server._drain_reason or 'done'}): "
+          f"{health['store']['entries']} stored result(s), "
+          f"{health['worker_restarts']} worker restart(s)",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.url, client_id=args.client or None)
+    try:
+        job = client.submit(
+            args.workload, args.technique, scale=args.scale,
+            warmup=args.warmup if args.warmup >= 0 else None,
+            measure=args.measure if args.measure >= 0 else None,
+            backpressure_timeout_s=args.backpressure_timeout)
+        payload: dict = {"job": job}
+        if args.wait and job["state"] not in ("ok", "failed", "quarantined"):
+            payload = client.wait(job["job_id"], timeout_s=args.wait_timeout)
+    except ServeClientError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+    job = payload["job"]
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    else:
+        line = (f"{job['job_id']}  {job['workload']}/{job['technique']} "
+                f"[{job['scale']}]  {job['state']}")
+        if job.get("cached"):
+            line += "  (cache hit)"
+        print(line)
+        if job.get("failure"):
+            print(f"  failure: {job['failure']['kind']} — "
+                  f"{job['failure']['message']}")
+        result = payload.get("result")
+        if result:
+            print(f"  ipc {result['ipc']:.3f}  cycles "
+                  f"{result['cycles']:.0f}  key {job['key']}")
+    return 0 if job["state"] in ("ok", "queued", "running") else 1
+
+
+def _cmd_jobs(args) -> int:
+    from repro.serve import ServeClient, ServeClientError
+
+    client = ServeClient(args.url)
+    try:
+        health = client.health()
+        jobs = client.jobs()
+    except ServeClientError as exc:
+        print(f"jobs: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"health": health, "jobs": jobs}, indent=2,
+                         sort_keys=True, default=str))
+        return 0
+    print(f"server {args.url}: {health['status']}, "
+          f"uptime {health['uptime_s']:.0f}s, "
+          f"queue {health['queue_depth']}, "
+          f"inflight {health['inflight']}, "
+          f"restarts {health['worker_restarts']}, "
+          f"store {health['store']['entries']} entries")
+    if health["breaker"]:
+        for key, entry in health["breaker"].items():
+            print(f"  breaker {key}: {entry['state']} "
+                  f"({entry['opens']} open(s))")
+    for job in jobs:
+        flags = "".join(
+            f" ({name})" for name, on in
+            (("cache hit", job.get("cached")),
+             ("coalesced", job.get("coalesced"))) if on)
+        print(f"  {job['job_id']:<8} {job['workload']}/{job['technique']} "
+              f"[{job['scale']}]  {job['state']}{flags}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -909,6 +1031,83 @@ def main(argv: list[str] | None = None) -> int:
     report_p.add_argument("--json", action="store_true",
                           help="also print the report data as JSON")
 
+    serve_p = sub.add_parser(
+        "serve", help="long-lived simulation service (warm workers, "
+                      "admission control, breakers, result cache)")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8177,
+                         help="listen port (0 = ephemeral; default 8177)")
+    serve_p.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="warm worker processes (default 2)")
+    serve_p.add_argument("--queue-limit", type=int, default=32, metavar="N",
+                         help="distinct queued cells before 429 "
+                              "(default 32)")
+    serve_p.add_argument("--rate", type=float, default=0.0, metavar="R",
+                         help="per-client token-bucket refill rate in "
+                              "jobs/s (0 = unlimited)")
+    serve_p.add_argument("--burst", type=float, default=10.0, metavar="B",
+                         help="per-client token-bucket capacity")
+    serve_p.add_argument("--timeout", type=float, default=120.0,
+                         metavar="SECONDS",
+                         help="wall-clock hang fence per cell attempt "
+                              "(0 = none)")
+    serve_p.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="extra attempts for crash/hang verdicts")
+    serve_p.add_argument("--store", default="results/store", metavar="DIR",
+                         help="content-addressed result store directory")
+    serve_p.add_argument("--ledger", default="results/serve-ledger.jsonl",
+                         metavar="PATH",
+                         help="JSONL service ledger ('' disables)")
+    serve_p.add_argument("--breaker-threshold", type=int, default=3,
+                         metavar="N",
+                         help="consecutive crash/hang verdicts that open "
+                              "a config's circuit")
+    serve_p.add_argument("--breaker-cooldown", type=float, default=300.0,
+                         metavar="SECONDS",
+                         help="open-circuit cooldown before one trial job")
+    serve_p.add_argument("--drain-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="graceful-drain budget on shutdown")
+    serve_p.add_argument("--inject", action="append", default=[],
+                         metavar="WORKLOAD/TECH:KIND[:TIMES]",
+                         help="inject deterministic faults into workers "
+                              "(drills, tests); repeatable")
+    serve_p.add_argument("--fault-seed", type=int, default=0, metavar="SEED")
+
+    submit_p = sub.add_parser(
+        "submit", help="submit one cell to a running repro serve")
+    submit_p.add_argument("workload")
+    submit_p.add_argument("technique")
+    submit_p.add_argument("--url", default="http://127.0.0.1:8177",
+                          help="server base URL")
+    submit_p.add_argument("--scale", default="bench",
+                          choices=("tiny", "bench", "default"))
+    submit_p.add_argument("--warmup", type=int, default=-1, metavar="N",
+                          help="override warmup window (-1 = default)")
+    submit_p.add_argument("--measure", type=int, default=-1, metavar="N",
+                          help="override measure window (-1 = default)")
+    submit_p.add_argument("--client", default="",
+                          help="client id for rate limiting "
+                               "(default: remote address)")
+    submit_p.add_argument("--wait", action="store_true",
+                          help="poll until the job reaches a terminal "
+                               "verdict")
+    submit_p.add_argument("--wait-timeout", type=float, default=300.0,
+                          metavar="SECONDS")
+    submit_p.add_argument("--backpressure-timeout", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="retry 429 refusals (honouring Retry-After) "
+                               "up to this long")
+    submit_p.add_argument("--json", action="store_true",
+                          help="print machine-readable JSON instead of text")
+
+    jobs_p = sub.add_parser(
+        "jobs", help="list a running repro serve's jobs and health")
+    jobs_p.add_argument("--url", default="http://127.0.0.1:8177",
+                        help="server base URL")
+    jobs_p.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
+
     ovh_p = sub.add_parser("overhead", help="Table II budget")
     ovh_p.add_argument("n", nargs="?", type=int, default=16)
     ovh_p.add_argument("k", nargs="?", type=int, default=8)
@@ -918,7 +1117,9 @@ def main(argv: list[str] | None = None) -> int:
                 "figure": _cmd_figure, "sweep": _cmd_sweep,
                 "trace": _cmd_trace, "overhead": _cmd_overhead,
                 "lint": _cmd_lint, "analyze": _cmd_analyze,
-                "bench": _cmd_bench, "report": _cmd_report}
+                "bench": _cmd_bench, "report": _cmd_report,
+                "serve": _cmd_serve, "submit": _cmd_submit,
+                "jobs": _cmd_jobs}
     return handlers[args.command](args)
 
 

@@ -34,6 +34,7 @@ from repro.exec.failures import (
     FAILURE_KINDS,
     HANG,
     INVALID_CONFIG,
+    QUARANTINED,
     CellFailedError,
     RunFailure,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "FaultSpec",
     "HANG",
     "INVALID_CONFIG",
+    "QUARANTINED",
     "InjectedCrash",
     "InjectedHang",
     "ResultView",

@@ -46,7 +46,13 @@ from repro.exec.failures import (
     CellFailedError,
     RunFailure,
 )
-from repro.exec.faults import FaultPlan, InjectedCrash, InjectedHang, apply_fault
+from repro.exec.faults import (
+    FaultPlan,
+    InjectedCrash,
+    InjectedHang,
+    _unit_interval,
+    apply_fault,
+)
 from repro.exec.journal import RunJournal
 from repro.exec.spec import ResultView, RunSpec
 from repro.exec.telemetry import (
@@ -71,6 +77,8 @@ class ExecConfig:
     backoff_s: float = 0.25           # first retry delay ...
     backoff_factor: float = 2.0       # ... growing by this factor ...
     max_backoff_s: float = 5.0        # ... capped here
+    backoff_jitter: float = 0.1       # ± fraction of seeded jitter per delay
+    jitter_seed: int = 0              # decorrelates whole fleets of runs
     isolate: bool | None = None       # None = auto: jobs > 1 or timeout set
     journal: str | None = None        # JSONL checkpoint path
     resume: bool = False              # serve journaled successes, re-run rest
@@ -91,6 +99,10 @@ class ExecConfig:
                 f"ExecConfig.timeout_s must be > 0, got {self.timeout_s}")
         if self.backoff_s < 0 or self.max_backoff_s < 0:
             raise ValueError("ExecConfig backoff delays must be >= 0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError(
+                f"ExecConfig.backoff_jitter must be in [0, 1], "
+                f"got {self.backoff_jitter}")
         if self.resume and not self.journal:
             raise ValueError("ExecConfig.resume requires a journal path")
         if self.timeout_s is not None and self.isolate is False:
@@ -104,9 +116,24 @@ class ExecConfig:
             return self.isolate
         return self.jobs > 1 or self.timeout_s is not None
 
-    def backoff_delay(self, failed_attempt: int) -> float:
+    def backoff_delay(self, failed_attempt: int, key: str = "") -> float:
+        """Delay before re-running *key* after its Nth failed attempt.
+
+        Exponential growth capped at ``max_backoff_s``, then spread by a
+        deterministic ± ``backoff_jitter`` fraction hashed from
+        ``(jitter_seed, key, attempt)`` — every cell backs off at its own
+        phase, so a fleet of workers retrying the same transient outage
+        cannot re-converge into a synchronized retry storm, yet the same
+        run always produces the same delays.  Without a *key* (or with
+        jitter 0) the delay is the bare capped exponential.
+        """
         delay = self.backoff_s * self.backoff_factor ** (failed_attempt - 1)
-        return min(delay, self.max_backoff_s)
+        delay = min(delay, self.max_backoff_s)
+        if self.backoff_jitter and key:
+            u = _unit_interval(self.jitter_seed,
+                               f"{key}:a{failed_attempt}")
+            delay *= 1.0 + self.backoff_jitter * (2.0 * u - 1.0)
+        return min(max(delay, 0.0), self.max_backoff_s)
 
 
 @dataclass
@@ -264,7 +291,7 @@ class _Sink:
         self.p_failure = bus.probe("exec.failure")
         self.p_retry = bus.probe("exec.retry")
         self.p_timeout = bus.probe("exec.timeout")
-        self.journal = (RunJournal(config.journal)
+        self.journal = (RunJournal(config.journal, bus=bus)
                         if config.journal else None)
         self.tracer = (SpanTracer()
                        if config.telemetry is not None
@@ -431,7 +458,7 @@ def _run_inline(pending: list[RunSpec], config: ExecConfig,
             failure.elapsed_s = elapsed_total
             if (failure.kind in config.retry_kinds
                     and attempt <= config.retries):
-                delay = config.backoff_delay(attempt)
+                delay = config.backoff_delay(attempt, spec.key)
                 sink.retry(spec, attempt, failure.kind, delay)
                 if delay > 0:
                     time.sleep(delay)
@@ -510,7 +537,7 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
         failure.elapsed_s = cell.elapsed
         if (failure.kind in config.retry_kinds
                 and cell.attempt <= config.retries):
-            delay = config.backoff_delay(cell.attempt)
+            delay = config.backoff_delay(cell.attempt, cell.spec.key)
             sink.retry(cell.spec, cell.attempt, failure.kind, delay)
             cell.attempt += 1
             cell.ready_at = time.monotonic() + delay

@@ -8,10 +8,15 @@ Every way a cell can die is folded into one of three kinds:
                        own watchdog fence raised
                        :class:`~repro.cores.base.SimulationError`;
 * ``invalid-config`` — the cell's configuration was rejected before any
-                       simulation ran (bad field value, unknown workload).
+                       simulation ran (bad field value, unknown workload);
+* ``quarantined``    — the serving layer's circuit breaker short-circuited
+                       the cell: its config hash crashed or hung repeatedly
+                       and is refused without running (the failure message
+                       carries the recorded history).
 
 ``crash`` and ``hang`` are presumed transient and eligible for retry;
-``invalid-config`` is deterministic and never retried.
+``invalid-config`` and ``quarantined`` are deterministic verdicts and
+never retried.
 """
 
 from __future__ import annotations
@@ -21,8 +26,9 @@ from dataclasses import asdict, dataclass
 CRASH = "crash"
 HANG = "hang"
 INVALID_CONFIG = "invalid-config"
+QUARANTINED = "quarantined"
 
-FAILURE_KINDS = (CRASH, HANG, INVALID_CONFIG)
+FAILURE_KINDS = (CRASH, HANG, INVALID_CONFIG, QUARANTINED)
 
 # Kinds worth retrying by default: transient by presumption.  A
 # deterministic bug fails again and ends up in the journal as failed — the

@@ -5,8 +5,15 @@ record.  Re-invoking a sweep or figure with ``resume=True`` loads the
 journal, serves previously-successful cells from their stored result
 dicts, and re-runs only the cells whose *last* record is a failure (or
 that never completed).  Appends are flushed and fsynced per record so a
-killed run loses at most the cell in flight; a torn trailing line from a
-hard kill is tolerated and ignored on load.
+killed run loses at most the cell in flight.
+
+Corruption tolerance on load: a torn **trailing** line from a hard kill
+is expected and silently ignored; a corrupt line **mid-file** (disk
+fault, concurrent writer, manual edit) is skipped with a warning and
+counted — in :attr:`RunJournal.skipped_records` and, when the journal
+carries a probe bus, as an ``exec.journal.skip`` probe event feeding the
+``exec.journal_skipped_records`` metric — instead of poisoning the
+resume (every parseable record still loads).
 """
 
 from __future__ import annotations
@@ -14,8 +21,12 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.probes import ProbeBus
 
 JOURNAL_VERSION = 1
 
@@ -23,8 +34,12 @@ JOURNAL_VERSION = 1
 class RunJournal:
     """Append-only JSONL checkpoint of completed cells."""
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(self, path: str | os.PathLike,
+                 bus: "ProbeBus | None" = None) -> None:
         self.path = Path(path)
+        self.skipped_records = 0        # cumulative across load() calls
+        self._p_skip = (bus.probe("exec.journal.skip")
+                        if bus is not None else None)
 
     def exists(self) -> bool:
         return self.path.is_file()
@@ -36,19 +51,31 @@ class RunJournal:
         if not self.exists():
             return records
         with self.path.open(encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue    # torn tail from a killed writer
-                if (isinstance(record, dict)
-                        and record.get("event") == "cell"
-                        and "key" in record):
-                    records[record["key"]] = record
+            lines = [(no, line.strip())
+                     for no, line in enumerate(fh, start=1)]
+        lines = [(no, line) for no, line in lines if line]
+        for index, (no, line) in enumerate(lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    continue    # torn tail from a killed writer: expected
+                self._skip(no)
+                continue
+            if (isinstance(record, dict)
+                    and record.get("event") == "cell"
+                    and "key" in record):
+                records[record["key"]] = record
         return records
+
+    def _skip(self, line_no: int) -> None:
+        self.skipped_records += 1
+        warnings.warn(
+            f"journal {self.path}: skipping corrupt record at line "
+            f"{line_no} (mid-file corruption; resume continues without "
+            "it)", RuntimeWarning, stacklevel=3)
+        if self._p_skip is not None:
+            self._p_skip.emit(path=str(self.path), line=line_no)
 
     def append(self, record: dict[str, Any]) -> None:
         record.setdefault("v", JOURNAL_VERSION)

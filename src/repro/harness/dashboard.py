@@ -115,6 +115,7 @@ def build_report_data(journals: Sequence[str | Path] = (),
     dict :func:`render_html` renders (and ``--json`` dumps)."""
     cells: dict[str, dict[str, Any]] = {}
     events: list[dict[str, Any]] = []
+    serve_events: list[dict[str, Any]] = []
     for path in journals:
         for record in _read_jsonl(Path(path)):
             kind = record.get("event")
@@ -122,6 +123,8 @@ def build_report_data(journals: Sequence[str | Path] = (),
                 cells[record["key"]] = record   # latest record wins
             elif kind in ("retry", "timeout"):
                 events.append(record)
+            elif isinstance(kind, str) and kind.startswith("serve."):
+                serve_events.append(record)
 
     cell_rows = []
     for record in sorted(cells.values(), key=lambda r: r["key"]):
@@ -231,6 +234,42 @@ def build_report_data(journals: Sequence[str | Path] = (),
         "lints": sorted(lint_rows.values(), key=lambda r: r["name"]),
         "plans": sorted(plan_rows.values(), key=lambda r: r["name"]),
         "bench": _load_bench_trajectory(bench_dir),
+        "service": _build_service_data(serve_events),
+    }
+
+
+def _build_service_data(serve_events: list[dict[str, Any]],
+                        ) -> dict[str, Any]:
+    """Fold a serve ledger's ``serve.*`` marker records into the
+    dashboard's service section (empty dict when nothing served)."""
+    jobs = [e for e in serve_events if e.get("event") == "serve.job"]
+    breakers = [e for e in serve_events
+                if e.get("event") == "serve.breaker"]
+    drains = [e for e in serve_events if e.get("event") == "serve.drain"]
+    if not jobs and not breakers and not drains:
+        return {}
+    by_state: dict[str, int] = {}
+    waits = [e["wait_s"] for e in jobs
+             if isinstance(e.get("wait_s"), (int, float))]
+    runs = [e["run_s"] for e in jobs
+            if isinstance(e.get("run_s"), (int, float))]
+    for event in jobs:
+        state = event.get("state", "?")
+        by_state[state] = by_state.get(state, 0) + 1
+    return {
+        "jobs": len(jobs),
+        "by_state": by_state,
+        "cache_hits": sum(1 for e in jobs if e.get("cached")),
+        "coalesced": sum(1 for e in jobs if e.get("coalesced")),
+        "wait_s_mean": (round(sum(waits) / len(waits), 6)
+                        if waits else None),
+        "wait_s_max": round(max(waits), 6) if waits else None,
+        "run_s_mean": (round(sum(runs) / len(runs), 6)
+                       if runs else None),
+        "breaker_opens": len(breakers),
+        "breaker_keys": sorted({e.get("key", "?") for e in breakers}),
+        "drains": [{"reason": e.get("reason", "?"),
+                    "restarts": e.get("restarts", 0)} for e in drains],
     }
 
 
@@ -531,6 +570,42 @@ def _plan_section(plans: list[dict[str, Any]]) -> str:
             f'<tbody>{"".join(rows)}</tbody></table>')
 
 
+def _service_section(service: dict[str, Any]) -> str:
+    """The ``repro serve`` slice of a ledger: job verdicts, cache and
+    coalescing effectiveness, breaker opens, drains."""
+    if not service:
+        return ""
+    states = ", ".join(f"{state}: {count}" for state, count in
+                       sorted(service["by_state"].items())) or "—"
+    rows = [
+        ("jobs settled", str(service["jobs"])),
+        ("by state", states),
+        ("cache hits", str(service["cache_hits"])),
+        ("coalesced submissions", str(service["coalesced"])),
+        ("mean / max queue wait", f'{_fmt(service["wait_s_mean"])}s / '
+                                  f'{_fmt(service["wait_s_max"])}s'),
+        ("mean run time", f'{_fmt(service["run_s_mean"])}s'),
+        ("breaker opens", str(service["breaker_opens"])),
+    ]
+    if service["breaker_keys"]:
+        rows.append(("quarantined config hashes",
+                     ", ".join(service["breaker_keys"])))
+    for drain in service["drains"]:
+        rows.append(("drain", f'{drain["reason"]} '
+                              f'({drain["restarts"]} worker restart(s))'))
+    body = "".join(
+        f"<tr><td>{_esc(label)}</td><td>{_esc(value)}</td></tr>"
+        for label, value in rows)
+    bad = service["breaker_opens"] > 0
+    cls = ' class="status-failed"' if bad else ""
+    return ("<h2>Service (repro serve)</h2>"
+            f"<p class=\"sub\"{cls}>"
+            + ("Breaker opened — at least one config hash was "
+               "quarantined." if bad else
+               "All served jobs ran without opening a breaker.")
+            + "</p><table><tbody>" + body + "</tbody></table>")
+
+
 def _runlog_section(runlogs: list[dict[str, Any]]) -> str:
     if not runlogs:
         return ""
@@ -580,6 +655,7 @@ def render_html(data: dict[str, Any], title: str = "repro report") -> str:
          else '<p class="sub">No cell records found.</p>'),
         "<h2>Failures and retries</h2>",
         _failure_section(data),
+        _service_section(data.get("service") or {}),
         _metrics_section(data["metrics"]),
         _lint_section(data.get("lints") or []),
         _plan_section(data.get("plans") or []),

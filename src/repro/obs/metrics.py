@@ -247,6 +247,7 @@ def install_standard_metrics(bus: ProbeBus,
     exec_failures = counter("exec.failures")
     exec_retries = counter("exec.retries")
     exec_timeouts = counter("exec.timeouts")
+    journal_skips = counter("exec.journal_skipped_records")
     watchdog_trips = counter("core.watchdog_trips")
 
     def on_commit(_name: str, _ev: dict) -> None:
@@ -330,6 +331,9 @@ def install_standard_metrics(bus: ProbeBus,
     def on_exec_timeout(_name: str, _ev: dict) -> None:
         exec_timeouts.inc()
 
+    def on_journal_skip(_name: str, _ev: dict) -> None:
+        journal_skips.inc()
+
     def on_watchdog(_name: str, ev: dict) -> None:
         watchdog_trips.inc()
         counter(f"core.watchdog_trips.{ev['kind']}").inc()
@@ -356,6 +360,7 @@ def install_standard_metrics(bus: ProbeBus,
         "exec.failure": on_exec_failure,
         "exec.retry": on_exec_retry,
         "exec.timeout": on_exec_timeout,
+        "exec.journal.skip": on_journal_skip,
         "core.watchdog": on_watchdog,
     }
     return [bus.subscribe(name, fn) for name, fn in wiring.items()]

@@ -1,0 +1,73 @@
+"""Simulation as a service: the robustness layer behind ``repro serve``.
+
+The batch executor (:mod:`repro.exec`) runs a fixed cell matrix and
+exits; this package keeps a simulator fleet alive behind an HTTP
+endpoint, able to absorb crashes, hangs, floods and disk corruption
+without falling over (design rationale in ``docs/serving.md``):
+
+* :mod:`repro.serve.pool`      — warm worker pool with heartbeats and
+  automatic restart (:class:`WorkerPool`);
+* :mod:`repro.serve.queue`     — bounded, coalescing job queue
+  (:class:`JobQueue`, :class:`QueueFull`);
+* :mod:`repro.serve.ratelimit` — per-client token buckets
+  (:class:`RateLimiter`, :class:`TokenBucket`);
+* :mod:`repro.serve.breaker`   — per-config-hash circuit breaker
+  (:class:`CircuitBreaker`);
+* :mod:`repro.serve.store`     — crash-safe content-addressed result
+  store (:class:`ResultStore`);
+* :mod:`repro.serve.server`    — the HTTP front end and scheduler
+  (:class:`ReproServer`, :class:`ServeConfig`);
+* :mod:`repro.serve.client`    — stdlib client used by ``repro submit``
+  (:class:`ServeClient`).
+"""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.pool import Completion, WorkerPool
+from repro.serve.queue import (
+    FAILED,
+    OK,
+    QUARANTINED_STATE,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobQueue,
+    QueueFull,
+)
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+from repro.serve.server import (
+    Reject,
+    ReproServer,
+    ServeConfig,
+    install_serve_metrics,
+)
+from repro.serve.store import ResultStore, record_digest
+
+__all__ = [
+    "CLOSED",
+    "CircuitBreaker",
+    "Completion",
+    "FAILED",
+    "HALF_OPEN",
+    "Job",
+    "JobQueue",
+    "OK",
+    "OPEN",
+    "QUARANTINED_STATE",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "RateLimiter",
+    "Reject",
+    "ReproServer",
+    "ResultStore",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "TERMINAL_STATES",
+    "TokenBucket",
+    "WorkerPool",
+    "install_serve_metrics",
+    "record_digest",
+]

@@ -1,0 +1,169 @@
+"""Per-config-hash circuit breaker for the serving layer.
+
+A config that keeps crashing or hanging burns a worker (and its restart
+cost) every time it is submitted.  The breaker watches **terminal**
+failures per config hash, classified by the executor's taxonomy
+(:mod:`repro.exec.failures`):
+
+* ``closed``    — healthy; jobs run normally;
+* ``open``      — ``threshold`` consecutive crash/hang verdicts were
+  recorded; submissions short-circuit to an immediate ``quarantined``
+  failure verdict carrying the recorded history, no worker is touched;
+* ``half-open`` — ``cooldown_s`` after opening, exactly one trial job is
+  let through; success closes the breaker, failure reopens it (and
+  restarts the cooldown).
+
+``invalid-config`` failures never trip the breaker — they are rejected
+at admission (HTTP 400) before reaching it, and they say nothing about
+the health of the simulation path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.exec.failures import CRASH, HANG, QUARANTINED, RunFailure
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+# Failure kinds that count toward opening the breaker.
+TRIP_KINDS = (CRASH, HANG)
+
+
+class _Entry:
+    __slots__ = ("consecutive", "history", "opened_at", "state",
+                 "trial_inflight", "opens")
+
+    def __init__(self) -> None:
+        self.consecutive = 0
+        self.history: list[dict[str, Any]] = []
+        self.opened_at = 0.0
+        self.state = CLOSED
+        self.trial_inflight = False
+        self.opens = 0
+
+
+class CircuitBreaker:
+    """Thread-safe breaker table keyed by deterministic config hash."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 300.0,
+                 history_limit: int = 16,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError(
+                f"CircuitBreaker.threshold must be >= 1, got {threshold}")
+        if cooldown_s < 0:
+            raise ValueError(
+                f"CircuitBreaker.cooldown_s must be >= 0, got {cooldown_s}")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.history_limit = history_limit
+        self.clock = clock
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+
+    def _entry(self, key: str) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _Entry()
+            self._entries[key] = entry
+        return entry
+
+    def state(self, key: str) -> str:
+        """Current state, promoting ``open`` to ``half-open`` once the
+        cooldown has elapsed."""
+        with self._lock:
+            return self._state_locked(key)
+
+    def _state_locked(self, key: str) -> str:
+        entry = self._entries.get(key)
+        if entry is None or entry.state == CLOSED:
+            return CLOSED
+        if (entry.state == OPEN
+                and self.clock() - entry.opened_at >= self.cooldown_s):
+            entry.state = HALF_OPEN
+            entry.trial_inflight = False
+        return entry.state
+
+    def admit(self, key: str) -> tuple[bool, str]:
+        """Admission decision for one job: ``(run_it, state)``.
+
+        ``half-open`` admits exactly one in-flight trial; concurrent
+        submissions of the same key stay short-circuited until the trial
+        settles.
+        """
+        with self._lock:
+            state = self._state_locked(key)
+            if state == CLOSED:
+                return True, state
+            entry = self._entry(key)
+            if state == HALF_OPEN and not entry.trial_inflight:
+                entry.trial_inflight = True
+                return True, state
+            return False, state
+
+    def record_success(self, key: str) -> None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            entry.consecutive = 0
+            entry.state = CLOSED
+            entry.trial_inflight = False
+
+    def record_failure(self, key: str, kind: str, message: str) -> str:
+        """Record a terminal failure verdict; returns the new state."""
+        with self._lock:
+            entry = self._entry(key)
+            entry.trial_inflight = False
+            if kind not in TRIP_KINDS:
+                return self._state_locked(key)
+            entry.consecutive += 1
+            entry.history.append({
+                "kind": kind, "message": message,
+                "ts": round(time.time(), 3)})
+            del entry.history[:-self.history_limit]
+            if (entry.state == HALF_OPEN
+                    or entry.consecutive >= self.threshold):
+                entry.state = OPEN
+                entry.opened_at = self.clock()
+                entry.opens += 1
+            return entry.state
+
+    def history(self, key: str) -> list[dict[str, Any]]:
+        with self._lock:
+            entry = self._entries.get(key)
+            return list(entry.history) if entry is not None else []
+
+    def quarantine_failure(self, key: str, workload: str,
+                           technique: str) -> RunFailure:
+        """The immediate failure verdict for a short-circuited job."""
+        history = self.history(key)
+        last = history[-1] if history else {}
+        return RunFailure(
+            key=key, workload=workload, technique=technique,
+            kind=QUARANTINED,
+            message=(f"circuit open after {len(history)} recorded "
+                     f"crash/hang failure(s); last: "
+                     f"{last.get('kind', '?')} — "
+                     f"{last.get('message', 'no history')}"))
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-ready view of every non-closed entry (health endpoint,
+        dashboard)."""
+        with self._lock:
+            out = {}
+            for key in sorted(self._entries):
+                state = self._state_locked(key)
+                entry = self._entries[key]
+                if state == CLOSED and not entry.opens:
+                    continue
+                out[key] = {"state": state,
+                            "consecutive": entry.consecutive,
+                            "opens": entry.opens,
+                            "history": list(entry.history)}
+            return out

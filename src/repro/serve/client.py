@@ -1,0 +1,139 @@
+"""Stdlib HTTP client for a running ``repro serve`` instance.
+
+Used by the ``repro submit`` / ``repro jobs`` CLI subcommands, the test
+suite and the CI smoke job.  Backpressure is first-class: a 429 surfaces
+as :class:`ServeClientError` carrying the server's ``Retry-After`` hint,
+and :meth:`ServeClient.submit` can optionally honour it in a bounded
+retry loop instead of failing the caller.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+
+class ServeClientError(RuntimeError):
+    """An HTTP-level refusal or failure from the serving endpoint."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: float | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client bound to one server base URL."""
+
+    def __init__(self, base_url: str, client_id: str | None = None,
+                 timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> tuple[int, bytes]:
+        headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw).get("error", raw.decode())
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode(errors="replace")
+            retry_after = exc.headers.get("Retry-After")
+            raise ServeClientError(
+                exc.code, message,
+                float(retry_after) if retry_after else None) from None
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                0, f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict[str, Any]:
+        _status, raw = self._request(method, path, payload)
+        return json.loads(raw)
+
+    # -- endpoints ----------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> dict[str, Any]:
+        return self._json("GET", "/metrics")
+
+    def jobs(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def spans(self) -> list[dict[str, Any]]:
+        return self._json("GET", "/admin/spans")["spans"]
+
+    def result_bytes(self, key: str) -> bytes:
+        """Raw store-entry bytes for *key* (byte-identity checks)."""
+        _status, raw = self._request("GET", f"/results/{key}")
+        return raw
+
+    def drain(self) -> dict[str, Any]:
+        return self._json("POST", "/admin/drain")
+
+    def submit(self, workload: str, technique: str, *,
+               scale: str = "bench", warmup: int | None = None,
+               measure: int | None = None,
+               backpressure_timeout_s: float = 0.0) -> dict[str, Any]:
+        """Submit one cell; returns the job dict (state may already be
+        terminal for cache hits and quarantined configs).
+
+        ``backpressure_timeout_s > 0`` retries 429 refusals, sleeping
+        the server's Retry-After hint, until the deadline.
+        """
+        payload: dict[str, Any] = {"workload": workload,
+                                   "technique": technique, "scale": scale}
+        if warmup is not None:
+            payload["warmup"] = warmup
+        if measure is not None:
+            payload["measure"] = measure
+        deadline = time.monotonic() + backpressure_timeout_s
+        while True:
+            try:
+                return self._json("POST", "/jobs", payload)["job"]
+            except ServeClientError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                time.sleep(min(exc.retry_after_s or 0.5,
+                               max(0.0, deadline - time.monotonic())))
+
+    def wait(self, job_id: str, timeout_s: float = 300.0,
+             poll_s: float = 0.2) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the
+        final ``{"job": ..., "result": ...}`` payload."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            payload = self.job(job_id)
+            if payload["job"]["state"] in ("ok", "failed", "quarantined"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    0, f"job {job_id} still {payload['job']['state']!r} "
+                       f"after {timeout_s:g}s")
+            time.sleep(poll_s)

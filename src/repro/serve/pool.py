@@ -1,0 +1,380 @@
+"""Warm worker pool: long-lived isolated simulation processes.
+
+The batch executor (:mod:`repro.exec.executor`) pays a process spawn per
+cell — correct for sweeps, wasteful for a server where cells arrive one
+at a time forever.  The pool keeps ``size`` worker processes **warm**:
+each imports the simulator once and then loops, receiving one
+:class:`~repro.exec.spec.RunSpec` at a time over its pipe and reporting
+a classified verdict back, reusing the executor's process-isolation
+guarantees (a crash or hang takes down the worker, never the server).
+
+Health machinery:
+
+* a worker that dies mid-job surfaces as a ``crash`` verdict and is
+  **restarted** automatically;
+* a worker that blows the per-job wall-clock deadline is killed,
+  classified ``hang``, and restarted;
+* **idle workers are heartbeated** (ping/pong over the job pipe); one
+  that stops answering is declared wedged and restarted — so a stuck
+  worker cannot silently shrink capacity;
+* :meth:`WorkerPool.drain` stops dispatch, waits for in-flight jobs up
+  to a deadline, then shuts every worker down cleanly (kill only as the
+  last resort).
+
+Fault injection (:class:`~repro.exec.faults.FaultPlan`) is honoured in
+the worker exactly as in the batch executor, with one sharpening: an
+injected ``crash`` kills the worker process outright (``os._exit``),
+exercising the death-detection and restart path rather than the
+in-process exception path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback as traceback_mod
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable
+
+from repro.cores.base import SimulationError
+from repro.exec.failures import CRASH, HANG, INVALID_CONFIG
+from repro.exec.faults import FaultPlan, InjectedCrash, apply_fault
+from repro.exec.spec import RunSpec, execute_spec
+
+# Exit code a worker uses for an injected crash, distinguishable from an
+# interpreter fatality in the restart log.
+_INJECTED_EXIT = 23
+
+_PING_TIMEOUT_S = 5.0
+
+
+def _pool_worker_main(conn) -> None:
+    """Worker process body: serve jobs until told to stop."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "ping":
+            try:
+                conn.send(("pong", message[1]))
+            except (OSError, BrokenPipeError):
+                break
+            continue
+        if kind != "run":
+            continue
+        _, spec, attempt, faults = message
+        try:
+            reply = _run_job(spec, attempt, faults)
+        except InjectedCrash:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            os._exit(_INJECTED_EXIT)   # the real thing: die, don't report
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def _run_job(spec: RunSpec, attempt: int,
+             faults: FaultPlan | None) -> tuple:
+    """One cell in the warm worker; classified like the batch executor."""
+    try:
+        if faults is not None and faults.active:
+            kind = faults.decide(spec.key, spec.workload,
+                                 spec.technique_name, attempt)
+            if kind is not None:
+                apply_fault(kind, inline=False, label=spec.label())
+        return ("ok", execute_spec(spec))
+    except InjectedCrash:
+        raise
+    except SimulationError as exc:
+        return ("fail", HANG, str(exc),
+                {"cycle": exc.cycle, "pc": exc.pc})
+    except (KeyError, ValueError, TypeError) as exc:
+        return ("fail", INVALID_CONFIG, f"{type(exc).__name__}: {exc}", {})
+    except BaseException as exc:   # noqa: BLE001 — report, stay warm
+        return ("fail", CRASH, f"{type(exc).__name__}: {exc}",
+                {"traceback": traceback_mod.format_exc(limit=20)})
+
+
+@dataclass
+class Completion:
+    """One settled job attempt, as the scheduler sees it."""
+
+    spec: RunSpec
+    attempt: int
+    status: str                    # 'ok' | 'fail'
+    result: dict | None = None
+    kind: str | None = None        # failure taxonomy when status == 'fail'
+    message: str = ""
+    extra: dict = field(default_factory=dict)
+    worker_restarted: bool = False
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn", "state", "spec", "attempt",
+                 "deadline", "started", "jobs_done", "ping_sent",
+                 "ping_deadline")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc: mp.process.BaseProcess | None = None
+        self.conn: Any = None
+        self.state = "idle"            # 'idle' | 'busy' | 'dead'
+        self.spec: RunSpec | None = None
+        self.attempt = 0
+        self.deadline: float | None = None
+        self.started = 0.0
+        self.jobs_done = 0
+        self.ping_sent: float | None = None
+        self.ping_deadline: float | None = None
+
+
+class WorkerPool:
+    """Fixed-size pool of warm simulation workers.
+
+    Single-consumer by design: dispatch/poll/drain are called from the
+    server's one scheduler thread (the HTTP threads never touch worker
+    pipes).
+    """
+
+    def __init__(self, size: int, timeout_s: float | None = None,
+                 faults: FaultPlan | None = None,
+                 heartbeat_s: float = 5.0,
+                 on_event: Callable[..., None] | None = None) -> None:
+        if size < 1:
+            raise ValueError(f"WorkerPool.size must be >= 1, got {size}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(
+                f"WorkerPool.timeout_s must be > 0, got {timeout_s}")
+        self.size = size
+        self.timeout_s = timeout_s
+        self.faults = faults
+        self.heartbeat_s = heartbeat_s
+        self.on_event = on_event or (lambda _event, **_f: None)
+        self.restarts = 0
+        self._ctx = mp.get_context()
+        self._workers = [_Worker(i) for i in range(size)]
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        for worker in self._workers:
+            self._spawn(worker)
+        self._started = True
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True,
+            name=f"repro-serve-w{worker.index}")
+        proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.state = "idle"
+        worker.spec = None
+        worker.deadline = None
+        worker.ping_sent = None
+        worker.ping_deadline = None
+        self.on_event("start", worker=worker.index, pid=proc.pid)
+
+    def _reap(self, worker: _Worker) -> None:
+        proc = worker.proc
+        if proc is not None:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+            proc.close()
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        worker.proc = None
+        worker.conn = None
+        worker.state = "dead"
+
+    def _restart(self, worker: _Worker, reason: str) -> None:
+        self.restarts += 1
+        self.on_event("restart", worker=worker.index, reason=reason)
+        self._reap(worker)
+        self._spawn(worker)
+
+    # -- dispatch -----------------------------------------------------
+
+    def idle_count(self) -> int:
+        return sum(1 for w in self._workers if w.state == "idle")
+
+    def busy_count(self) -> int:
+        return sum(1 for w in self._workers if w.state == "busy")
+
+    def dispatch(self, spec: RunSpec, attempt: int) -> bool:
+        """Hand one cell to an idle worker; False when none is free."""
+        for worker in self._workers:
+            if worker.state != "idle":
+                continue
+            try:
+                worker.conn.send(("run", spec, attempt, self.faults))
+            except (OSError, BrokenPipeError):
+                self._restart(worker, "dead at dispatch")
+                continue
+            worker.state = "busy"
+            worker.spec = spec
+            worker.attempt = attempt
+            worker.started = time.monotonic()
+            worker.deadline = (worker.started + self.timeout_s
+                               if self.timeout_s is not None else None)
+            worker.ping_sent = None
+            worker.ping_deadline = None
+            return True
+        return False
+
+    # -- harvest ------------------------------------------------------
+
+    def poll(self, timeout: float) -> list[Completion]:
+        """Wait up to *timeout* for completions; also runs deadline
+        enforcement and idle heartbeats."""
+        completions: list[Completion] = []
+        now = time.monotonic()
+        horizons = [now + timeout]
+        horizons += [w.deadline for w in self._workers
+                     if w.state == "busy" and w.deadline is not None]
+        horizons += [w.ping_deadline for w in self._workers
+                     if w.ping_deadline is not None]
+        conns = [w.conn for w in self._workers
+                 if w.conn is not None and w.state in ("idle", "busy")]
+        wait_s = max(0.0, min(horizons) - now)
+        ready = mp_connection.wait(conns, timeout=wait_s) if conns else []
+        for worker in list(self._workers):
+            if worker.conn in ready:
+                completion = self._harvest(worker)
+                if completion is not None:
+                    completions.append(completion)
+        now = time.monotonic()
+        for worker in self._workers:
+            if (worker.state == "busy" and worker.deadline is not None
+                    and now >= worker.deadline):
+                completions.append(self._expire(worker))
+            elif (worker.ping_deadline is not None
+                    and now >= worker.ping_deadline):
+                self._restart(worker, "heartbeat timeout")
+        self._heartbeat(now)
+        return completions
+
+    def _harvest(self, worker: _Worker) -> Completion | None:
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            return self._died(worker)
+        if message[0] == "pong":
+            worker.ping_sent = None
+            worker.ping_deadline = None
+            return None
+        if worker.state != "busy" or worker.spec is None:
+            return None                 # stray message from a stopping worker
+        spec, attempt = worker.spec, worker.attempt
+        worker.state = "idle"
+        worker.spec = None
+        worker.deadline = None
+        worker.jobs_done += 1
+        if message[0] == "ok":
+            return Completion(spec=spec, attempt=attempt, status="ok",
+                              result=message[1])
+        _, kind, text, extra = message
+        return Completion(spec=spec, attempt=attempt, status="fail",
+                          kind=kind, message=text, extra=extra or {})
+
+    def _died(self, worker: _Worker) -> Completion | None:
+        """Pipe EOF: the worker process is gone."""
+        spec, attempt = worker.spec, worker.attempt
+        exitcode = worker.proc.exitcode if worker.proc is not None else None
+        busy = worker.state == "busy" and spec is not None
+        self._restart(worker, f"worker died (exit code {exitcode})")
+        if not busy:
+            return None
+        return Completion(
+            spec=spec, attempt=attempt, status="fail", kind=CRASH,
+            message=(f"worker died without reporting a result "
+                     f"(exit code {exitcode})"),
+            worker_restarted=True)
+
+    def _expire(self, worker: _Worker) -> Completion:
+        spec, attempt = worker.spec, worker.attempt
+        elapsed = time.monotonic() - worker.started
+        self._restart(worker, f"deadline exceeded after {elapsed:.1f}s")
+        return Completion(
+            spec=spec, attempt=attempt, status="fail", kind=HANG,
+            message=(f"wall-clock timeout: no result within "
+                     f"{self.timeout_s:g}s (attempt {attempt})"),
+            worker_restarted=True)
+
+    def _heartbeat(self, now: float) -> None:
+        for worker in self._workers:
+            if (worker.state != "idle" or worker.conn is None
+                    or worker.ping_sent is not None):
+                continue
+            worker.ping_sent = now
+            worker.ping_deadline = now + _PING_TIMEOUT_S
+            try:
+                worker.conn.send(("ping", now))
+            except (OSError, BrokenPipeError):
+                self._restart(worker, "dead at heartbeat")
+
+    # -- shutdown -----------------------------------------------------
+
+    def drain(self, timeout_s: float = 30.0) -> list[Completion]:
+        """Finish in-flight work (bounded), then stop every worker."""
+        deadline = time.monotonic() + timeout_s
+        completions: list[Completion] = []
+        while (self.busy_count()
+               and time.monotonic() < deadline):
+            completions.extend(self.poll(0.2))
+        for worker in self._workers:
+            if worker.state == "busy":    # still stuck at the deadline
+                completions.append(self._expire(worker))
+        self.stop()
+        return completions
+
+    def stop(self) -> None:
+        for worker in self._workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in self._workers:
+            if worker.proc is not None:
+                worker.proc.join(timeout=2.0)
+            self._reap(worker)
+        self._started = False
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        out = []
+        for worker in self._workers:
+            out.append({
+                "worker": worker.index,
+                "pid": (worker.proc.pid
+                        if worker.proc is not None else None),
+                "state": worker.state,
+                "jobs_done": worker.jobs_done,
+                "running": (worker.spec.label()
+                            if worker.spec is not None else None),
+            })
+        return out

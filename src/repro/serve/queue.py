@@ -1,0 +1,241 @@
+"""Bounded job queue with coalescing — the admission-control core.
+
+A :class:`Job` is one client submission; its *cell* is the underlying
+``(workload, technique, scale)`` simulation keyed by the deterministic
+config hash.  Duplicate submissions of an active cell **coalesce**: they
+become additional jobs attached to the same in-flight cell instead of
+re-simulating it, and all settle together when the cell reaches a
+terminal verdict.
+
+Backpressure is explicit: :meth:`JobQueue.submit` raises
+:class:`QueueFull` (carrying a Retry-After hint) when the number of
+*distinct queued cells* reaches the bound, rather than letting the
+backlog — and every submitter's latency — grow without limit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exec.failures import RunFailure
+from repro.exec.spec import RunSpec
+
+QUEUED = "queued"
+RUNNING = "running"
+OK = "ok"
+FAILED = "failed"
+QUARANTINED_STATE = "quarantined"
+
+TERMINAL_STATES = (OK, FAILED, QUARANTINED_STATE)
+
+
+class QueueFull(RuntimeError):
+    """Raised at admission when the queue is at capacity."""
+
+    def __init__(self, depth: int, limit: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"job queue full ({depth}/{limit} cells queued)")
+        self.retry_after_s = retry_after_s
+
+
+@dataclass
+class Job:
+    """One client submission through its lifecycle."""
+
+    job_id: str
+    spec: RunSpec
+    client: str
+    state: str = QUEUED
+    submitted_ts: float = field(default_factory=time.time)
+    started_mono: float | None = None
+    finished_mono: float | None = None
+    queued_mono: float = field(default_factory=time.monotonic)
+    attempts: int = 0
+    cached: bool = False
+    coalesced: bool = False
+    failure: RunFailure | None = None
+
+    @property
+    def key(self) -> str:
+        return self.spec.key
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def wait_s(self) -> float | None:
+        if self.started_mono is None:
+            return None
+        return self.started_mono - self.queued_mono
+
+    def run_s(self) -> float | None:
+        if self.started_mono is None or self.finished_mono is None:
+            return None
+        return self.finished_mono - self.started_mono
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "job_id": self.job_id, "key": self.key,
+            "workload": self.spec.workload,
+            "technique": self.spec.technique_name,
+            "scale": self.spec.scale, "client": self.client,
+            "state": self.state, "submitted_ts": self.submitted_ts,
+            "attempts": self.attempts, "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.wait_s() is not None:
+            out["wait_s"] = round(self.wait_s(), 6)
+        if self.run_s() is not None:
+            out["run_s"] = round(self.run_s(), 6)
+        if self.failure is not None:
+            out["failure"] = self.failure.to_dict()
+        return out
+
+
+class JobQueue:
+    """Thread-safe bounded queue of jobs, coalesced per config hash."""
+
+    def __init__(self, limit: int = 64, retry_after_s: float = 2.0,
+                 max_done: int = 512) -> None:
+        if limit < 1:
+            raise ValueError(f"JobQueue.limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.retry_after_s = retry_after_s
+        self.max_done = max_done
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._jobs: dict[str, Job] = {}          # job_id -> Job
+        self._order: list[str] = []              # insertion order
+        self._pending: list[str] = []            # queued cell keys, FIFO
+        self._active: dict[str, list[str]] = {}  # key -> job_ids in flight
+
+    # -- admission ----------------------------------------------------
+
+    def submit(self, spec: RunSpec, client: str) -> Job:
+        """Admit one submission; raises :class:`QueueFull` at capacity.
+
+        A submission whose cell is already queued or running coalesces
+        onto it (and is exempt from the capacity check — it adds no
+        simulation work).
+        """
+        with self._lock:
+            key = spec.key
+            coalesced = key in self._active
+            if not coalesced and len(self._pending) >= self.limit:
+                raise QueueFull(len(self._pending), self.limit,
+                                self.retry_after_s)
+            job = Job(job_id=f"job-{next(self._ids)}", spec=spec,
+                      client=client, coalesced=coalesced)
+            self._remember(job)
+            if coalesced:
+                job.state = self._jobs[self._active[key][0]].state
+                self._active[key].append(job.job_id)
+            else:
+                self._active[key] = [job.job_id]
+                self._pending.append(key)
+            return job
+
+    def admit_terminal(self, spec: RunSpec, client: str, state: str,
+                       *, cached: bool = False,
+                       failure: RunFailure | None = None) -> Job:
+        """Record a job that settles at admission time (cache hit or
+        breaker quarantine) without ever entering the queue."""
+        with self._lock:
+            job = Job(job_id=f"job-{next(self._ids)}", spec=spec,
+                      client=client, state=state, cached=cached,
+                      failure=failure)
+            now = time.monotonic()
+            job.started_mono = job.finished_mono = now
+            self._remember(job)
+            return job
+
+    def _remember(self, job: Job) -> None:
+        self._jobs[job.job_id] = job
+        self._order.append(job.job_id)
+        # Bound memory: evict the oldest *terminal* jobs beyond max_done.
+        if len(self._order) > self.max_done:
+            for job_id in list(self._order):
+                if len(self._order) <= self.max_done:
+                    break
+                if self._jobs[job_id].terminal:
+                    self._order.remove(job_id)
+                    del self._jobs[job_id]
+
+    # -- scheduler side -----------------------------------------------
+
+    def next_cell(self) -> RunSpec | None:
+        """Pop the oldest queued cell and mark its jobs running."""
+        with self._lock:
+            if not self._pending:
+                return None
+            key = self._pending.pop(0)
+            spec = None
+            now = time.monotonic()
+            for job_id in self._active.get(key, ()):
+                job = self._jobs[job_id]
+                job.state = RUNNING
+                job.started_mono = now
+                spec = job.spec
+            return spec
+
+    def requeue(self, key: str) -> None:
+        """Put a cell back at the head (retry after a transient failure)."""
+        with self._lock:
+            if key in self._active and key not in self._pending:
+                self._pending.insert(0, key)
+                for job_id in self._active[key]:
+                    self._jobs[job_id].state = QUEUED
+
+    def settle(self, key: str, state: str, *, attempts: int = 1,
+               failure: RunFailure | None = None) -> list[Job]:
+        """Finish every job riding *key*; returns the settled jobs."""
+        if state not in TERMINAL_STATES:
+            raise ValueError(f"settle needs a terminal state, got {state!r}")
+        with self._lock:
+            settled = []
+            now = time.monotonic()
+            for job_id in self._active.pop(key, ()):
+                job = self._jobs[job_id]
+                job.state = state
+                job.attempts = attempts
+                job.failure = failure
+                if job.started_mono is None:
+                    job.started_mono = now
+                job.finished_mono = now
+                settled.append(job)
+            if key in self._pending:       # settled while still queued
+                self._pending.remove(key)
+            return settled
+
+    def bump_attempts(self, key: str, attempts: int) -> None:
+        with self._lock:
+            for job_id in self._active.get(key, ()):
+                self._jobs[job_id].attempts = attempts
+
+    def active_keys(self) -> list[str]:
+        """Cells admitted but not yet settled (queued + running)."""
+        with self._lock:
+            return list(self._active)
+
+    # -- introspection ------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order]
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def inflight(self) -> int:
+        """Cells admitted but not yet settled (queued + running)."""
+        with self._lock:
+            return len(self._active)

@@ -1,0 +1,91 @@
+"""Per-client token-bucket rate limiting for the serving layer.
+
+Each client (the ``X-Repro-Client`` header, falling back to the remote
+address) owns one :class:`TokenBucket`: ``burst`` tokens of capacity
+refilled at ``rate`` tokens per second on a caller-supplied monotonic
+clock (injectable so tests are deterministic).  A denied acquisition
+reports how long until the next token — which the HTTP layer surfaces
+verbatim as ``Retry-After``.
+
+The per-client table is bounded: when it exceeds ``max_clients`` the
+stalest buckets (oldest last touch) are evicted, so an adversarial
+client-id churn cannot grow server memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated", "clock")
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Clock = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError(
+                f"TokenBucket needs rate > 0 and burst > 0, "
+                f"got rate={rate}, burst={burst}")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.clock = clock
+        self.updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def acquire(self, n: float = 1.0) -> tuple[bool, float]:
+        """Take *n* tokens; returns ``(granted, retry_after_s)`` where
+        ``retry_after_s`` is 0 on grant and the wait until *n* tokens
+        accumulate on denial."""
+        now = self.clock()
+        self._refill(now)
+        if self.tokens >= n:
+            self.tokens -= n
+            return True, 0.0
+        return False, (n - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe table of per-client token buckets."""
+
+    def __init__(self, rate: float, burst: float, max_clients: int = 1024,
+                 clock: Clock = time.monotonic) -> None:
+        if max_clients < 1:
+            raise ValueError(
+                f"RateLimiter.max_clients must be >= 1, got {max_clients}")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, client: str, n: float = 1.0) -> tuple[bool, float]:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self.max_clients:
+                    self._evict_stalest()
+                bucket = TokenBucket(self.rate, self.burst, self.clock)
+                self._buckets[client] = bucket
+            return bucket.acquire(n)
+
+    def _evict_stalest(self) -> None:
+        stale = sorted(self._buckets.items(),
+                       key=lambda kv: kv[1].updated)
+        for client, _bucket in stale[:max(1, self.max_clients // 4)]:
+            del self._buckets[client]
+
+    def clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -1,0 +1,164 @@
+"""Crash-safe content-addressed result store.
+
+The resume journal (:mod:`repro.exec.journal`) is an append-only ledger:
+correct, but linear to read and only as durable as its single file.  The
+serving layer promotes completed cells into a **content-addressed
+store** — one file per deterministic config hash
+(:attr:`repro.exec.spec.RunSpec.key`), so a resubmitted cell is a cache
+hit served byte-identically without replaying a journal.
+
+Durability and corruption model:
+
+* every entry is written to a temp file in the store directory, flushed,
+  fsynced and then :func:`os.replace`'d into place — a crash mid-write
+  leaves either the old entry or no entry, never a torn one;
+* every entry embeds a sha256 over the canonical JSON of its record; a
+  read that finds bad JSON, a checksum mismatch or a key mismatch
+  **quarantines** the file (renamed to ``*.corrupt``) and reports a
+  miss, so the cell is simply re-simulated instead of crashing the
+  service;
+* :meth:`ResultStore.rebuild` replays a journal to repopulate entries
+  lost to quarantine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.exec.journal import RunJournal
+
+STORE_VERSION = 1
+
+_KEY_CHARS = set("0123456789abcdef")
+
+
+def _canonical(record: dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def record_digest(record: dict[str, Any]) -> str:
+    """sha256 hex digest of the canonical JSON of *record*."""
+    return hashlib.sha256(_canonical(record)).hexdigest()
+
+
+class ResultStore:
+    """Directory of checksummed result records keyed by config hash."""
+
+    def __init__(self, root: str | os.PathLike,
+                 on_corrupt: Callable[[str, str], None] | None = None,
+                 ) -> None:
+        self.root = Path(root)
+        self.on_corrupt = on_corrupt
+        self.corrupt_detected = 0
+        self.writes = 0
+
+    def _path(self, key: str) -> Path:
+        if not key or not set(key) <= _KEY_CHARS:
+            raise ValueError(f"store key must be a hex config hash, "
+                             f"got {key!r}")
+        return self.root / f"{key}.json"
+
+    def entry_path(self, key: str) -> Path:
+        """Where *key*'s entry lives (or would live); the raw-bytes
+        endpoint reads this file directly after a validated ``get``."""
+        return self._path(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def keys(self) -> list[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def put(self, key: str, record: dict[str, Any]) -> Path:
+        """Atomically write *record* under *key* (last write wins)."""
+        path = self._path(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"v": STORE_VERSION, "key": key,
+                 "sha256": record_digest(record), "record": record}
+        blob = json.dumps(entry, sort_keys=True, default=str)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root,
+                                        prefix=f".{key}.", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored record for *key*, or None on miss **or** on a
+        corrupt entry (which is quarantined, never raised)."""
+        path = self._path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(path, key, f"unreadable: {exc}")
+            return None
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(path, key, "invalid JSON")
+            return None
+        if not isinstance(entry, dict) or "record" not in entry:
+            self._quarantine(path, key, "malformed entry")
+            return None
+        record = entry["record"]
+        if (entry.get("key") != key
+                or entry.get("sha256") != record_digest(record)):
+            self._quarantine(path, key, "checksum mismatch")
+            return None
+        return record
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        self.corrupt_detected += 1
+        target = path.with_suffix(f".corrupt.{int(time.time())}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            pass
+        if self.on_corrupt is not None:
+            self.on_corrupt(key, reason)
+
+    def verify(self) -> tuple[list[str], list[str]]:
+        """Read every entry; returns ``(ok_keys, quarantined_keys)``.
+        Corrupt entries are quarantined as a side effect, exactly as a
+        :meth:`get` would have."""
+        ok, bad = [], []
+        for key in self.keys():
+            (ok if self.get(key) is not None else bad).append(key)
+        return ok, bad
+
+    def rebuild(self, journal: str | os.PathLike | RunJournal) -> int:
+        """Repopulate from a journal's successful cell records; returns
+        the number of entries written.  Existing healthy entries keep
+        their bytes (the journal record is identical content)."""
+        if not isinstance(journal, RunJournal):
+            journal = RunJournal(journal)
+        written = 0
+        for key, record in journal.load().items():
+            if record.get("status") != "ok" or record.get("result") is None:
+                continue
+            if key in self and self.get(key) is not None:
+                continue
+            self.put(key, record)
+            written += 1
+        return written
