@@ -28,6 +28,10 @@ Commands
 ``submit WORKLOAD TECH [opts]``   submit one cell to a running server
                                   (``--wait`` polls to the verdict)
 ``jobs [options]``                list a running server's jobs / health
+                                  (queue wait + live progress per job)
+``top [options]``                 self-refreshing terminal view of a
+                                  server (or a local journal): workers,
+                                  queue depth, per-job progress bars
 
 ``run`` and ``stats`` accept ``--json`` (print ``SimResult.to_dict()`` as
 JSON), ``--jsonl PATH`` (append a structured run record) and
@@ -75,6 +79,8 @@ Examples::
     python -m repro serve --port 8177 --workers 4 --timeout 300
     python -m repro submit PR_KR svr16 --scale tiny --wait
     python -m repro jobs --url http://127.0.0.1:8177
+    python -m repro top --url http://127.0.0.1:8177 --interval 1
+    python -m repro top --journal results/sweep.jsonl --once
 """
 
 from __future__ import annotations
@@ -739,7 +745,9 @@ def _cmd_serve(args) -> int:
             store_dir=args.store, ledger=args.ledger or None,
             breaker_threshold=args.breaker_threshold,
             breaker_cooldown_s=args.breaker_cooldown,
-            drain_timeout_s=args.drain_timeout, faults=faults)
+            drain_timeout_s=args.drain_timeout,
+            progress_interval=args.progress_interval,
+            sample_interval_s=args.sample_interval, faults=faults)
     except ValueError as exc:
         print(f"serve: {exc}", file=sys.stderr)
         return 2
@@ -823,14 +831,39 @@ def _cmd_jobs(args) -> int:
         for key, entry in health["breaker"].items():
             print(f"  breaker {key}: {entry['state']} "
                   f"({entry['opens']} open(s))")
+    from repro.serve.top import frame_fraction, progress_bar
+
     for job in jobs:
         flags = "".join(
             f" ({name})" for name, on in
             (("cache hit", job.get("cached")),
              ("coalesced", job.get("coalesced"))) if on)
-        print(f"  {job['job_id']:<8} {job['workload']}/{job['technique']} "
-              f"[{job['scale']}]  {job['state']}{flags}")
+        line = (f"  {job['job_id']:<8} {job['workload']}/{job['technique']} "
+                f"[{job['scale']}]  {job['state']}{flags}")
+        if job.get("wait_s") is not None:
+            line += f"  wait {job['wait_s']:.2f}s"
+        frame = job.get("progress")
+        if job["state"] == "running" and frame:
+            line += (f"  {progress_bar(frame_fraction(frame), width=12)} "
+                     f"cycles {frame.get('cycle', 0):.0f}  "
+                     f"ipc {frame.get('ipc', 0):.2f}")
+        print(line)
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    if args.journal:
+        source: dict = {"journal": args.journal}
+    else:
+        source = {"url": args.url}
+    try:
+        return run_top(interval_s=args.interval, once=args.once,
+                       out=sys.stdout, **source)
+    except ValueError as exc:
+        print(f"top: {exc}", file=sys.stderr)
+        return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1068,6 +1101,14 @@ def main(argv: list[str] | None = None) -> int:
     serve_p.add_argument("--drain-timeout", type=float, default=30.0,
                          metavar="SECONDS",
                          help="graceful-drain budget on shutdown")
+    serve_p.add_argument("--progress-interval", type=int, default=1_000,
+                         metavar="N",
+                         help="instructions between worker progress "
+                              "frames (0 disables live progress)")
+    serve_p.add_argument("--sample-interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="cadence of the metrics-history gauge "
+                              "samples (/metrics/history)")
     serve_p.add_argument("--inject", action="append", default=[],
                          metavar="WORKLOAD/TECH:KIND[:TIMES]",
                          help="inject deterministic faults into workers "
@@ -1108,6 +1149,21 @@ def main(argv: list[str] | None = None) -> int:
     jobs_p.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of text")
 
+    top_p = sub.add_parser(
+        "top", help="self-refreshing terminal view of live simulation "
+                    "(server workers/queue/progress, or a local journal)")
+    top_p.add_argument("--url", default="http://127.0.0.1:8177",
+                       help="server base URL")
+    top_p.add_argument("--journal", default="", metavar="PATH",
+                       help="render a local exec/sweep journal instead "
+                            "of a server")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh cadence (default 2s)")
+    top_p.add_argument("--once", action="store_true",
+                       help="print one frame without ANSI refresh codes "
+                            "and exit")
+
     ovh_p = sub.add_parser("overhead", help="Table II budget")
     ovh_p.add_argument("n", nargs="?", type=int, default=16)
     ovh_p.add_argument("k", nargs="?", type=int, default=8)
@@ -1119,7 +1175,7 @@ def main(argv: list[str] | None = None) -> int:
                 "lint": _cmd_lint, "analyze": _cmd_analyze,
                 "bench": _cmd_bench, "report": _cmd_report,
                 "serve": _cmd_serve, "submit": _cmd_submit,
-                "jobs": _cmd_jobs}
+                "jobs": _cmd_jobs, "top": _cmd_top}
     return handlers[args.command](args)
 
 

@@ -203,11 +203,23 @@ class OutOfOrderCore:
         self.pc = result.next_pc
         return not self.halted
 
-    def run(self, max_instructions: int) -> CoreStats:
+    def run(self, max_instructions: int, progress=None) -> CoreStats:
         executed = 0
         cfg = self.config
         fenced = (cfg.watchdog_max_cycles is not None
                   or cfg.watchdog_max_instructions is not None)
+        if progress is not None:
+            countdown = progress.interval
+            while executed < max_instructions and self.step():
+                executed += 1
+                self.lifetime_instructions += 1
+                if fenced:
+                    check_watchdog(self)
+                countdown -= 1
+                if countdown <= 0:
+                    countdown = progress.interval
+                    progress.sample(self)
+            return self.stats
         while executed < max_instructions and self.step():
             executed += 1
             self.lifetime_instructions += 1

@@ -46,6 +46,7 @@ from repro.exec.faults import (
     parse_fault,
 )
 from repro.exec.journal import RunJournal
+from repro.obs.progress import ProgressConfig
 from repro.exec.spec import ResultView, RunSpec, config_key, result_metric
 from repro.exec.telemetry import (
     CellCapture,
@@ -70,6 +71,7 @@ __all__ = [
     "QUARANTINED",
     "InjectedCrash",
     "InjectedHang",
+    "ProgressConfig",
     "ResultView",
     "RunFailure",
     "RunJournal",

@@ -64,6 +64,7 @@ from repro.exec.telemetry import (
     telemetry_records,
 )
 from repro.obs.probes import ProbeBus, default_bus
+from repro.obs.progress import ProgressConfig, advancing
 from repro.obs.spans import SpanTracer
 
 
@@ -87,6 +88,7 @@ class ExecConfig:
     retry_kinds: tuple[str, ...] = DEFAULT_RETRY_KINDS
     bus: ProbeBus | None = None       # probe bus; None = the default bus
     telemetry: TelemetryConfig | None = None   # per-cell capture; None = off
+    progress: ProgressConfig | None = None     # in-flight frames; None = off
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -236,23 +238,37 @@ class ExecReport:
 
 def _worker_main(conn, spec: RunSpec, attempt: int,
                  faults: FaultPlan | None,
-                 telemetry: TelemetryConfig | None = None) -> None:
+                 telemetry: TelemetryConfig | None = None,
+                 progress: ProgressConfig | None = None) -> None:
     """Run one cell in an isolated process; report over *conn*.
 
-    Protocol: ``("ok", result_dict, telemetry_dict_or_None)`` or
+    Protocol: zero or more ``("progress", frame_dict)`` messages while
+    the simulation runs, then exactly one terminal message —
+    ``("ok", result_dict, telemetry_dict_or_None)`` or
     ``("fail", kind, message, extra_dict, telemetry_dict_or_None)``.
     Both pipe endpoints always run the same code version, so extending
     the tuple is safe; the harvest side also accepts the pre-telemetry
     3/4-tuples defensively.
     """
     capture = CellCapture(telemetry, spec, attempt)
+    reporter = None
+    if progress is not None:
+        def _ship(frame) -> None:
+            # A dead parent must not turn a good cell into a crash: the
+            # terminal send will surface the broken pipe if it matters.
+            try:
+                conn.send(("progress", frame.to_dict()))
+            except (BrokenPipeError, OSError):
+                pass
+        reporter = progress.reporter(_ship, workload=spec.workload,
+                                     technique=spec.technique_name)
     try:
         if faults is not None and faults.active:
             kind = faults.decide(spec.key, spec.workload,
                                  spec.technique_name, attempt)
             if kind is not None:
                 apply_fault(kind, inline=False, label=spec.label())
-        result = capture.run()
+        result = capture.run(reporter)
         conn.send(("ok", result, capture.snapshot("ok")))
     except InjectedCrash as exc:
         conn.send(("fail", CRASH, str(exc), {},
@@ -291,6 +307,7 @@ class _Sink:
         self.p_failure = bus.probe("exec.failure")
         self.p_retry = bus.probe("exec.retry")
         self.p_timeout = bus.probe("exec.timeout")
+        self.p_progress = bus.probe("exec.progress")
         self.journal = (RunJournal(config.journal, bus=bus)
                         if config.journal else None)
         self.tracer = (SpanTracer()
@@ -483,7 +500,8 @@ class _Cell:
 
 
 class _Running:
-    __slots__ = ("cell", "proc", "conn", "deadline", "started", "spawn_s")
+    __slots__ = ("cell", "proc", "conn", "deadline", "started", "spawn_s",
+                 "last_frame")
 
     def __init__(self, cell, proc, conn, deadline, started,
                  spawn_s=0.0) -> None:
@@ -493,6 +511,7 @@ class _Running:
         self.deadline = deadline
         self.started = started
         self.spawn_s = spawn_s
+        self.last_frame: dict | None = None   # latest progress snapshot
 
 
 def _reap(proc: mp.Process) -> None:
@@ -518,7 +537,7 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
         proc = ctx.Process(
             target=_worker_main,
             args=(child_conn, cell.spec, cell.attempt, config.faults,
-                  config.telemetry),
+                  config.telemetry, config.progress),
             daemon=True,
             name=f"repro-exec-{cell.spec.key}-a{cell.attempt}")
         spawn_start = time.monotonic()
@@ -549,14 +568,42 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
                 _reap(other.proc)
             raise CellFailedError(failure)
 
+    def note_progress(r: _Running, frame: dict) -> None:
+        """Record a live frame; an *advancing* simulated clock extends
+        the wall-clock deadline into a stall fence — a slow cell that is
+        still making simulated progress is left alone, while one whose
+        cycle count froze is killed at the original cadence."""
+        if (r.deadline is not None and config.timeout_s is not None
+                and advancing(r.last_frame, frame)):
+            r.deadline = time.monotonic() + config.timeout_s
+        r.last_frame = frame
+        spec = r.cell.spec
+        if sink.p_progress.enabled:
+            # The frame names its own workload/technique; spec values
+            # only fill in if a (stub) frame omitted them.
+            sink.p_progress.emit(**{"key": spec.key,
+                                    "workload": spec.workload,
+                                    "technique": spec.technique_name,
+                                    "attempt": r.cell.attempt, **frame})
+
     def harvest(r: _Running) -> None:
+        spec = r.cell.spec
+        message = None
+        alive = True
+        try:
+            while r.conn.poll():
+                received = r.conn.recv()
+                if received[0] == "progress":
+                    note_progress(r, received[1])
+                    continue
+                message = received
+                break
+        except (EOFError, OSError):
+            alive = False
+        if message is None and alive:
+            return                    # only progress so far; still running
         running.remove(r)
         r.cell.elapsed += time.monotonic() - r.started
-        spec = r.cell.spec
-        try:
-            message = r.conn.recv() if r.conn.poll() else None
-        except (EOFError, OSError):
-            message = None
         exitcode = r.proc.exitcode
         reap_start = time.monotonic()
         _reap(r.proc)
@@ -571,7 +618,8 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
                 key=spec.key, workload=spec.workload,
                 technique=spec.technique_name, kind=CRASH,
                 message=("worker died without reporting a result "
-                         f"(exit code {exitcode})")))
+                         f"(exit code {exitcode})"),
+                progress=r.last_frame))
             return
         telem = message[-1] if len(message) in (3, 5) else None
         if message[0] == "ok":
@@ -583,7 +631,8 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
             key=spec.key, workload=spec.workload,
             technique=spec.technique_name, kind=kind, message=text,
             cycle=extra.get("cycle"), pc=extra.get("pc"),
-            traceback=extra.get("traceback")), telem)
+            traceback=extra.get("traceback"),
+            progress=r.last_frame), telem)
 
     def expire(r: _Running) -> None:
         running.remove(r)
@@ -597,11 +646,22 @@ def _run_isolated(pending: list[RunSpec], config: ExecConfig,
                           "timeout", spawn_s=r.spawn_s,
                           reap_s=ended - reap_start)
         sink.timeout(spec, r.cell.attempt)
+        frame = r.last_frame
+        if frame is None:
+            text = (f"wall-clock timeout: no result within "
+                    f"{config.timeout_s:g}s (attempt {r.cell.attempt})")
+        else:
+            text = (f"stalled: no simulated-cycle advance within "
+                    f"{config.timeout_s:g}s — last frame at cycle "
+                    f"{frame.get('cycle', 0):.0f}, pc {frame.get('pc')}, "
+                    f"{frame.get('phase')} phase "
+                    f"(attempt {r.cell.attempt})")
         settle_failure(r.cell, RunFailure(
             key=spec.key, workload=spec.workload,
-            technique=spec.technique_name, kind=HANG,
-            message=(f"wall-clock timeout: no result within "
-                     f"{config.timeout_s:g}s (attempt {r.cell.attempt})")))
+            technique=spec.technique_name, kind=HANG, message=text,
+            cycle=frame.get("cycle") if frame else None,
+            pc=frame.get("pc") if frame else None,
+            progress=frame))
 
     try:
         while waiting or running:

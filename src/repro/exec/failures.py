@@ -50,6 +50,7 @@ class RunFailure:
     cycle: float | None = None     # simulator context when available
     pc: int | None = None
     traceback: str | None = None
+    progress: dict | None = None   # last in-flight frame before death
 
     def __post_init__(self) -> None:
         if self.kind not in FAILURE_KINDS:
@@ -67,7 +68,8 @@ class RunFailure:
         fields.update(attempts=data.get("attempts", 1),
                       elapsed_s=data.get("elapsed_s", 0.0),
                       cycle=data.get("cycle"), pc=data.get("pc"),
-                      traceback=data.get("traceback"))
+                      traceback=data.get("traceback"),
+                      progress=data.get("progress"))
         return cls(**fields)
 
     def __str__(self) -> str:

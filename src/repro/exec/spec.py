@@ -206,15 +206,19 @@ class ResultView:
                 f"ipc={self.ipc:.3f})")
 
 
-def execute_spec(spec: RunSpec, obs: Any = None) -> dict[str, Any]:
+def execute_spec(spec: RunSpec, obs: Any = None,
+                 progress: Any = None) -> dict[str, Any]:
     """Run one cell in the current process and export its result dict.
 
     This is the function isolated workers call; keeping it here (importable
     at module top level) makes it picklable under every multiprocessing
     start method.  *obs* (a :class:`repro.obs.RunObservation`) instruments
     the run — the telemetry layer passes its capture observation here.
+    *progress* (a :class:`repro.obs.ProgressReporter`) streams in-flight
+    frames while the core runs.
     """
     from repro.harness.runner import run
 
     return run(spec.workload, spec.tech, scale=spec.scale,
-               warmup=spec.warmup, measure=spec.measure, obs=obs).to_dict()
+               warmup=spec.warmup, measure=spec.measure, obs=obs,
+               progress=progress).to_dict()

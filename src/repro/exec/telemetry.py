@@ -166,17 +166,18 @@ class CellCapture:
             user, system, _ = _rusage()
             self._cpu0 = (user, system)
 
-    def run(self) -> dict[str, Any]:
+    def run(self, progress: Any = None) -> dict[str, Any]:
         from repro.exec.spec import execute_spec
 
         if self.config is None:
-            return execute_spec(self.spec)
+            return execute_spec(self.spec, progress=progress)
         cell = (self.tracer.begin(
                     "cell", key=self.spec.key, workload=self.spec.workload,
                     technique=self.spec.technique_name, attempt=self.attempt)
                 if self.tracer is not None else None)
         try:
-            result = execute_spec(self.spec, obs=self.obs)
+            result = execute_spec(self.spec, obs=self.obs,
+                                  progress=progress)
         except BaseException:
             if cell is not None:
                 self.tracer.end(cell, status="error")

@@ -246,7 +246,9 @@ def _build_service_data(serve_events: list[dict[str, Any]],
     breakers = [e for e in serve_events
                 if e.get("event") == "serve.breaker"]
     drains = [e for e in serve_events if e.get("event") == "serve.drain"]
-    if not jobs and not breakers and not drains:
+    samples = [e for e in serve_events
+               if e.get("event") == "serve.sample"][-240:]
+    if not jobs and not breakers and not drains and not samples:
         return {}
     by_state: dict[str, int] = {}
     waits = [e["wait_s"] for e in jobs
@@ -270,6 +272,10 @@ def _build_service_data(serve_events: list[dict[str, Any]],
         "breaker_keys": sorted({e.get("key", "?") for e in breakers}),
         "drains": [{"reason": e.get("reason", "?"),
                     "restarts": e.get("restarts", 0)} for e in drains],
+        "samples": [{k: s.get(k, 0) for k in
+                     ("queue_depth", "inflight", "busy_workers",
+                      "jobs_ok", "jobs_failed", "progress_frames")}
+                    for s in samples],
     }
 
 
@@ -603,7 +609,32 @@ def _service_section(service: dict[str, Any]) -> str:
             + ("Breaker opened — at least one config hash was "
                "quarantined." if bad else
                "All served jobs ran without opening a breaker.")
-            + "</p><table><tbody>" + body + "</tbody></table>")
+            + "</p><table><tbody>" + body + "</tbody></table>"
+            + _service_history(service.get("samples") or []))
+
+
+def _service_history(samples: list[dict[str, Any]]) -> str:
+    """Live history: the server's periodic gauge samples, one sparkline
+    per signal over the observed window."""
+    if len(samples) < 2:
+        return ""
+    signals = (("busy workers", "busy_workers"),
+               ("queue depth", "queue_depth"),
+               ("cells in flight", "inflight"),
+               ("jobs ok (cumulative)", "jobs_ok"),
+               ("progress frames (cumulative)", "progress_frames"))
+    rows = []
+    for label, key in signals:
+        series = [float(s.get(key, 0) or 0) for s in samples]
+        rows.append(f"<tr><td>{_esc(label)}</td>"
+                    f"<td>{_sparkline(series)}</td>"
+                    f'<td class="num">{series[-1]:,.0f}</td></tr>')
+    return ("<h3>Live history</h3>"
+            f'<p class="sub">{len(samples)} periodic sample(s) from the '
+            "server's metrics ring (latest value on the right).</p>"
+            "<table><thead><tr><th>signal</th><th>history</th>"
+            '<th class="num">latest</th></tr></thead>'
+            f'<tbody>{"".join(rows)}</tbody></table>')
 
 
 def _runlog_section(runlogs: list[dict[str, Any]]) -> str:

@@ -219,7 +219,7 @@ _WINDOWS = {"tiny": (1_000, 4_000), "bench": (8_000, 25_000),
 
 def run(workload: str | Workload, tech: TechniqueConfig | str,
         scale: str = "bench", warmup: int | None = None,
-        measure: int | None = None, obs=None) -> SimResult:
+        measure: int | None = None, obs=None, progress=None) -> SimResult:
     """Simulate one (workload, technique) pair and return its result.
 
     Pass a :class:`repro.obs.RunObservation` as *obs* to instrument the
@@ -227,6 +227,11 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
     trace collectors attach when the measured window starts (warmup stays
     unobserved, matching the stats), and the observation's JSONL record /
     Chrome trace are finalised before returning.
+
+    Pass a :class:`repro.obs.ProgressReporter` as *progress* to stream
+    in-flight frames (cycle, instructions, IPC-so-far, phase, episode
+    count) while the core runs; ``None`` (the default) keeps the core
+    run loops on their original, uninstrumented path.
 
     Unless the technique pins its own watchdog, a window-scaled
     ``watchdog_max_cycles`` fence is installed so a runaway simulation
@@ -272,10 +277,15 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
             raise ValueError(f"unknown core kind: {tech.core!r}")
 
     vr_unit = getattr(core, "vr", None)
+    if progress is not None:
+        progress.annotate(workload=workload.name, technique=tech.name,
+                          target_instructions=warmup + measure)
     try:
         with _section("warmup"):
             if warmup > 0:
-                core.run(warmup)
+                if progress is not None:
+                    progress.set_phase("warmup")
+                core.run(warmup, progress)
         core.reset_stats()
         hierarchy.reset_stats()
         if svr_unit is not None:
@@ -285,7 +295,10 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
         if obs is not None:
             obs.begin_measure()
         with _section("measure"):
-            core.run(measure)
+            if progress is not None:
+                progress.set_phase("measure")
+                progress.sample(core, force=True)
+            core.run(measure, progress)
     except SimulationError as exc:
         if exc.workload is None:
             exc.workload = workload.name
@@ -293,6 +306,8 @@ def run(workload: str | Workload, tech: TechniqueConfig | str,
             exc.technique = tech.name
         raise
 
+    if progress is not None:
+        progress.finish(core)
     stats = core.stats
     hstats = hierarchy.stats
     svr_stats = svr_unit.stats if svr_unit is not None else None

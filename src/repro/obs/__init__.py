@@ -39,6 +39,12 @@ from repro.obs.metrics import (
     typed_to_plain,
 )
 from repro.obs.probes import Probe, ProbeBus, Subscription, default_bus
+from repro.obs.progress import (
+    ProgressConfig,
+    ProgressFrame,
+    ProgressReporter,
+    advancing,
+)
 from repro.obs.runlog import (
     RunLog,
     SelfProfile,
@@ -60,12 +66,16 @@ __all__ = [
     "MetricsRegistry",
     "Probe",
     "ProbeBus",
+    "ProgressConfig",
+    "ProgressFrame",
+    "ProgressReporter",
     "RunLog",
     "RunObservation",
     "SelfProfile",
     "Span",
     "SpanTracer",
     "Subscription",
+    "advancing",
     "bridge_probe_spans",
     "build_multiprocess_trace",
     "default_bus",

@@ -14,6 +14,7 @@ latency/vector-length distributions for free.
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 from repro.obs.probes import ProbeBus, Subscription
@@ -200,6 +201,74 @@ def merge_typed_snapshots(
             else:
                 _merge_histogram(have, entry)
     return {name: merged[name] for name in sorted(merged)}
+
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted metric name to the Prometheus charset
+    (``serve.request_ms`` -> ``repro_serve_request_ms``)."""
+    sanitized = _PROM_BAD_CHARS.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_value(value: float | None) -> str:
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_exposition(registry: "MetricsRegistry", *,
+                          prefix: str = "repro_",
+                          extra_gauges: dict[str, float] | None = None,
+                          ) -> str:
+    """Render *registry* in the Prometheus text exposition format.
+
+    Counters and gauges map directly; log2 histograms become native
+    Prometheus histograms with cumulative ``le`` buckets at the power-of-
+    two upper bounds (bucket ``[2^(k-1),2^k)`` contributes to
+    ``le="2^k"``), plus the conventional ``+Inf`` / ``_sum`` / ``_count``
+    series.  *extra_gauges* lets a caller splice in point-in-time values
+    (queue depth, busy workers) that live outside the registry.  Output
+    is sorted by metric name, so scrapes diff cleanly.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, body: list[str]) -> None:
+        lines.append(f"# HELP {name} repro metric {name}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(body)
+
+    metrics: dict[str, Any] = dict(registry._metrics)
+    for raw in sorted(metrics):
+        metric = metrics[raw]
+        name = prometheus_name(raw, prefix)
+        if isinstance(metric, Counter):
+            emit(name, "counter", [f"{name} {_prom_value(metric.value)}"])
+        elif isinstance(metric, Gauge):
+            emit(name, "gauge", [f"{name} {_prom_value(metric.value)}"])
+        else:
+            body = []
+            cumulative = 0
+            for idx in sorted(metric.buckets):
+                cumulative += metric.buckets[idx]
+                upper = 1 << idx if idx > 0 else 1
+                body.append(f'{name}_bucket{{le="{upper}"}} {cumulative}')
+            body.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            body.append(f"{name}_sum {_prom_value(metric.total)}")
+            body.append(f"{name}_count {metric.count}")
+            emit(name, "histogram", body)
+    for raw in sorted(extra_gauges or {}):
+        name = prometheus_name(raw, prefix)
+        emit(name, "gauge", [f"{name} {_prom_value(extra_gauges[raw])}"])
+    return "\n".join(lines) + "\n"
 
 
 def typed_to_plain(typed: dict[str, dict[str, Any]]) -> dict[str, Any]:

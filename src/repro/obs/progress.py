@@ -1,0 +1,245 @@
+"""In-flight progress reporting for long simulations.
+
+A multi-minute SVR cell is a black box between submission and verdict:
+probes, spans and metrics all surface *after* the run.  This module adds
+the live counterpart — a :class:`ProgressReporter` that the core run
+loops tick on an instruction-count cadence, emitting small JSON-ready
+:class:`ProgressFrame` snapshots (simulated cycle, committed
+instructions, IPC-so-far, phase, SVR episode count) to a caller-supplied
+sink.  Workers forward frames over their result pipe; the parent then
+holds a live per-cell picture and can tell a *stalled* simulation (the
+simulated cycle stopped advancing) from a merely *slow* one.
+
+Cost discipline mirrors the probe bus: when no reporter is passed,
+``core.run()`` executes its original loop untouched — the disabled hot
+path pays nothing, not even a per-instruction branch beyond the single
+``progress is None`` check at window entry.  When enabled, the loop
+decrements a countdown and only on expiry calls :meth:`sample`, which is
+additionally wall-clock rate-limited, so even an enabled run emits a few
+frames per second regardless of simulator speed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "DEFAULT_INTERVAL_INSTRUCTIONS",
+    "DEFAULT_MIN_INTERVAL_S",
+    "ProgressConfig",
+    "ProgressFrame",
+    "ProgressReporter",
+    "advancing",
+]
+
+# How many committed instructions between countdown expiries.  Small
+# enough that a tiny-scale run still produces several frames, large
+# enough that the countdown dominates cost, not the sample calls.
+DEFAULT_INTERVAL_INSTRUCTIONS = 1_000
+
+# Wall-clock floor between emitted frames: a fast simulator hits the
+# countdown thousands of times a second; the rate limit keeps the pipe
+# traffic (and the parent's bookkeeping) bounded.
+DEFAULT_MIN_INTERVAL_S = 0.2
+
+
+@dataclass(frozen=True)
+class ProgressConfig:
+    """Picklable progress knobs, shipped to isolated workers with their
+    spec (same pattern as :class:`repro.exec.telemetry.TelemetryConfig`).
+    ``None`` at the executor/pool layer means progress reporting is off
+    and the core run loops stay on their uninstrumented path."""
+
+    interval: int = DEFAULT_INTERVAL_INSTRUCTIONS
+    min_interval_s: float = DEFAULT_MIN_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(
+                f"ProgressConfig.interval must be >= 1, got {self.interval}")
+        if self.min_interval_s < 0:
+            raise ValueError(
+                f"ProgressConfig.min_interval_s must be >= 0, "
+                f"got {self.min_interval_s}")
+
+    def reporter(self, emit: Callable[["ProgressFrame"], None], *,
+                 workload: str | None = None,
+                 technique: str | None = None) -> "ProgressReporter":
+        return ProgressReporter(emit, interval=self.interval,
+                                min_interval_s=self.min_interval_s,
+                                workload=workload, technique=technique)
+
+
+@dataclass
+class ProgressFrame:
+    """One point-in-time snapshot of a running simulation.
+
+    ``cycle`` and ``instructions`` are *lifetime* values (monotonic
+    across warmup/measure windows) so consumers can assert forward
+    progress; ``ipc`` is the current window's IPC-so-far, which is what
+    an operator actually wants to watch converge.
+    """
+
+    seq: int
+    phase: str                      # build | warmup | measure | done
+    workload: str | None
+    technique: str | None
+    cycle: float                    # absolute simulated cycle
+    instructions: int               # lifetime committed instructions
+    target_instructions: int | None  # warmup + measure, for ETA
+    ipc: float                      # IPC of the current window so far
+    pc: int | None
+    episodes: int                   # SVR PRM rounds / VR episodes so far
+    wall_s: float                   # wall seconds since the reporter began
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "phase": self.phase,
+            "workload": self.workload,
+            "technique": self.technique,
+            "cycle": self.cycle,
+            "instructions": self.instructions,
+            "target_instructions": self.target_instructions,
+            "ipc": self.ipc,
+            "pc": self.pc,
+            "episodes": self.episodes,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ProgressFrame":
+        return cls(
+            seq=int(data.get("seq", 0)),
+            phase=str(data.get("phase", "?")),
+            workload=data.get("workload"),
+            technique=data.get("technique"),
+            cycle=float(data.get("cycle", 0.0)),
+            instructions=int(data.get("instructions", 0)),
+            target_instructions=data.get("target_instructions"),
+            ipc=float(data.get("ipc", 0.0)),
+            pc=data.get("pc"),
+            episodes=int(data.get("episodes", 0)),
+            wall_s=float(data.get("wall_s", 0.0)),
+        )
+
+    @property
+    def fraction(self) -> float | None:
+        """Completed fraction of the run, if a target is known."""
+        if not self.target_instructions:
+            return None
+        return min(1.0, self.instructions / self.target_instructions)
+
+
+def _episodes_of(core: Any) -> int:
+    svr = getattr(core, "svr", None)
+    if svr is not None:
+        return svr.stats.prm_rounds
+    vr = getattr(core, "vr", None)
+    if vr is not None:
+        return vr.stats.episodes
+    return 0
+
+
+class ProgressReporter:
+    """Ticks from a core run loop, emits rate-limited progress frames.
+
+    ``emit`` receives each :class:`ProgressFrame`; it must never raise
+    into the simulation (wrap pipe sends accordingly).  The reporter is
+    deliberately *not* shipped across processes — construct it inside
+    the worker with a pipe-writing ``emit`` instead.
+    """
+
+    __slots__ = ("interval", "_emit", "_min_interval_s", "_clock",
+                 "_start", "_last_wall", "_max_cycle", "seq", "phase",
+                 "workload", "technique", "target_instructions",
+                 "last_frame")
+
+    def __init__(self, emit: Callable[[ProgressFrame], None], *,
+                 interval: int = DEFAULT_INTERVAL_INSTRUCTIONS,
+                 min_interval_s: float = DEFAULT_MIN_INTERVAL_S,
+                 workload: str | None = None,
+                 technique: str | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+        self._emit = emit
+        self._min_interval_s = min_interval_s
+        self._clock = clock
+        self._start = clock()
+        self._last_wall = -float("inf")
+        self._max_cycle = 0.0
+        self.seq = 0
+        self.phase = "build"
+        self.workload = workload
+        self.technique = technique
+        self.target_instructions: int | None = None
+        self.last_frame: ProgressFrame | None = None
+
+    def annotate(self, *, workload: str | None = None,
+                 technique: str | None = None,
+                 target_instructions: int | None = None) -> None:
+        """Attach run identity once the harness has resolved it."""
+        if workload is not None:
+            self.workload = workload
+        if technique is not None:
+            self.technique = technique
+        if target_instructions is not None:
+            self.target_instructions = target_instructions
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    def sample(self, core: Any, force: bool = False) -> ProgressFrame | None:
+        """Build and emit a frame, unless rate-limited (``force`` skips
+        the wall-clock limit — used at phase boundaries)."""
+        now = self._clock()
+        if not force and now - self._last_wall < self._min_interval_s:
+            return None
+        self._last_wall = now
+        stats = core.stats
+        # A stats-window reset (warmup -> measure) can pull end_cycle
+        # back under the previous window's completion horizon; clamp so
+        # the published lifetime cycle never runs backwards.
+        self._max_cycle = max(self._max_cycle, stats.end_cycle)
+        frame = ProgressFrame(
+            seq=self.seq,
+            phase=self.phase,
+            workload=self.workload,
+            technique=self.technique,
+            cycle=self._max_cycle,
+            instructions=core.lifetime_instructions,
+            target_instructions=self.target_instructions,
+            ipc=stats.ipc,
+            pc=getattr(core, "pc", None),
+            episodes=_episodes_of(core),
+            wall_s=round(now - self._start, 6),
+        )
+        self.seq += 1
+        self.last_frame = frame
+        self._emit(frame)
+        return frame
+
+    def finish(self, core: Any) -> ProgressFrame | None:
+        """Emit a final forced frame with phase ``done``."""
+        self.phase = "done"
+        return self.sample(core, force=True)
+
+
+def advancing(previous: dict[str, Any] | None,
+              current: dict[str, Any] | None) -> bool:
+    """Is the simulated clock of *current* ahead of *previous*?
+
+    The stall-detection primitive: a run whose frames keep arriving but
+    whose simulated cycle is frozen is wedged (e.g. an infinite
+    host-side loop), while one with an advancing cycle is merely slow.
+    Missing frames count as not advancing.
+    """
+    if not previous or not current:
+        return False
+    return (float(current.get("cycle", 0.0)) > float(previous.get("cycle", 0.0))
+            or int(current.get("instructions", 0))
+            > int(previous.get("instructions", 0)))

@@ -17,12 +17,17 @@ without falling over (design rationale in ``docs/serving.md``):
   store (:class:`ResultStore`);
 * :mod:`repro.serve.server`    — the HTTP front end and scheduler
   (:class:`ReproServer`, :class:`ServeConfig`);
+* :mod:`repro.serve.events`    — live event fan-out and bounded metric
+  history (:class:`EventBroker`, :class:`MetricsRing`);
 * :mod:`repro.serve.client`    — stdlib client used by ``repro submit``
-  (:class:`ServeClient`).
+  (:class:`ServeClient`);
+* :mod:`repro.serve.top`       — the self-refreshing ``repro top``
+  terminal view.
 """
 
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.events import EventBroker, EventSubscription, MetricsRing
 from repro.serve.pool import Completion, WorkerPool
 from repro.serve.queue import (
     FAILED,
@@ -48,9 +53,12 @@ __all__ = [
     "CLOSED",
     "CircuitBreaker",
     "Completion",
+    "EventBroker",
+    "EventSubscription",
     "FAILED",
     "HALF_OPEN",
     "Job",
+    "MetricsRing",
     "JobQueue",
     "OK",
     "OPEN",

@@ -13,7 +13,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any
+from typing import Any, Iterator
 
 
 class ServeClientError(RuntimeError):
@@ -80,11 +80,67 @@ class ServeClient:
     def metrics(self) -> dict[str, Any]:
         return self._json("GET", "/metrics")
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of ``/metrics``."""
+        _status, raw = self._request("GET", "/metrics?format=prometheus")
+        return raw.decode("utf-8")
+
+    def history(self, last: int = 0) -> list[dict[str, Any]]:
+        """Recent periodic samples from the server's metrics ring."""
+        path = "/metrics/history" + (f"?last={last}" if last else "")
+        return self._json("GET", path)["samples"]
+
     def jobs(self) -> list[dict[str, Any]]:
         return self._json("GET", "/jobs")["jobs"]
 
-    def job(self, job_id: str) -> dict[str, Any]:
-        return self._json("GET", f"/jobs/{job_id}")
+    def job(self, job_id: str, wait_s: float | None = None,
+            version: int | None = None) -> dict[str, Any]:
+        """Fetch one job; ``wait_s`` long-polls until its version
+        exceeds *version* (or any change when *version* is omitted),
+        returning the current state on timeout."""
+        path = f"/jobs/{job_id}"
+        if wait_s is not None:
+            path += f"?wait={wait_s:g}"
+            if version is not None:
+                path += f"&version={version}"
+        return self._json("GET", path)
+
+    def events(self, limit: int = 0, replay: int = 0,
+               heartbeats: bool = False) -> Iterator[dict[str, Any]]:
+        """Stream ``/events`` as parsed ndjson dicts.
+
+        ``limit`` bounds the stream server-side (it closes after that
+        many real events); heartbeat keepalives are filtered out unless
+        *heartbeats* is set.  urllib undoes the chunked transfer
+        encoding, so each iterated line is one event.
+        """
+        query = []
+        if limit:
+            query.append(f"limit={limit}")
+        if replay:
+            query.append(f"replay={replay}")
+        path = "/events" + ("?" + "&".join(query) if query else "")
+        headers = {"Accept": "application/x-ndjson"}
+        if self.client_id:
+            headers["X-Repro-Client"] = self.client_id
+        request = urllib.request.Request(self.base_url + path,
+                                         headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    event = json.loads(line)
+                    if (event.get("event") == "heartbeat"
+                            and not heartbeats):
+                        continue
+                    yield event
+        except urllib.error.URLError as exc:
+            raise ServeClientError(
+                0, f"cannot stream {self.base_url}{path}: "
+                   f"{getattr(exc, 'reason', exc)}") from None
 
     def spans(self) -> list[dict[str, Any]]:
         return self._json("GET", "/admin/spans")["spans"]
@@ -125,15 +181,26 @@ class ServeClient:
 
     def wait(self, job_id: str, timeout_s: float = 300.0,
              poll_s: float = 0.2) -> dict[str, Any]:
-        """Poll until the job reaches a terminal state; returns the
-        final ``{"job": ..., "result": ...}`` payload."""
+        """Block until the job reaches a terminal state; returns the
+        final ``{"job": ..., "result": ...}`` payload.
+
+        Long-polls ``GET /jobs/<id>?wait=...`` so state flips surface
+        immediately; *poll_s* only paces the loop when the server
+        answers without blocking (old servers, instant changes).
+        """
         deadline = time.monotonic() + timeout_s
+        version: int | None = None
         while True:
-            payload = self.job(job_id)
-            if payload["job"]["state"] in ("ok", "failed", "quarantined"):
-                return payload
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServeClientError(
-                    0, f"job {job_id} still {payload['job']['state']!r} "
-                       f"after {timeout_s:g}s")
-            time.sleep(poll_s)
+                    0, f"job {job_id} not terminal after {timeout_s:g}s")
+            chunk = min(remaining, 15.0, max(self.timeout_s - 5.0, 1.0))
+            payload = self.job(job_id, wait_s=chunk, version=version)
+            job = payload["job"]
+            if job["state"] in ("ok", "failed", "quarantined"):
+                return payload
+            new_version = job.get("version")
+            if new_version is not None and new_version == version:
+                time.sleep(poll_s)     # nothing changed; don't spin
+            version = new_version

@@ -1,0 +1,144 @@
+"""Live event fan-out and bounded metric history for the serve layer.
+
+Two small, fully in-memory primitives back the streaming endpoints:
+
+* :class:`EventBroker` — a publish/subscribe hub for job lifecycle,
+  progress, and breaker events.  Each subscriber owns a **bounded**
+  queue; when a slow consumer falls behind, the broker drops that
+  subscriber's *oldest* events (counting them) rather than blocking the
+  publisher — the scheduler thread must never wait on an HTTP client.
+  A small replay ring lets a new subscriber ask for recent history
+  (``/events?replay=N``), which also makes streaming tests
+  deterministic.
+* :class:`MetricsRing` — a bounded ring of periodic gauge samples
+  (queue depth, busy workers, jobs done ...) the scheduler pushes every
+  couple of seconds.  ``/metrics/history`` serves it; the report
+  dashboard sparkles it.
+
+Both are internally locked and safe to touch from HTTP handler threads
+while the scheduler publishes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any
+
+
+class EventSubscription:
+    """One subscriber's bounded view of the event stream."""
+
+    def __init__(self, broker: "EventBroker", maxlen: int,
+                 backlog: list[dict[str, Any]]) -> None:
+        self._broker = broker
+        self._queue: deque[dict[str, Any]] = deque(backlog, maxlen=maxlen)
+        self._cond = threading.Condition()
+        self.dropped = 0
+        self.closed = False
+
+    def _push(self, event: dict[str, Any]) -> None:
+        with self._cond:
+            if len(self._queue) == self._queue.maxlen:
+                self.dropped += 1
+            self._queue.append(event)
+            self._cond.notify()
+
+    def get(self, timeout_s: float | None = None) -> dict[str, Any] | None:
+        """Next event, blocking up to *timeout_s* (None on timeout or
+        after :meth:`close`)."""
+        deadline = (time.monotonic() + timeout_s
+                    if timeout_s is not None else None)
+        with self._cond:
+            while not self._queue:
+                if self.closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._queue.popleft()
+
+    def close(self) -> None:
+        self.closed = True
+        self._broker.unsubscribe(self)
+        with self._cond:
+            self._cond.notify_all()
+
+
+class EventBroker:
+    """Bounded, non-blocking pub/sub for serve events."""
+
+    def __init__(self, queue_size: int = 256, replay_size: int = 64) -> None:
+        if queue_size < 1:
+            raise ValueError(
+                f"EventBroker.queue_size must be >= 1, got {queue_size}")
+        self.queue_size = queue_size
+        self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._subscribers: list[EventSubscription] = []
+        self._replay: deque[dict[str, Any]] = deque(maxlen=max(replay_size, 1))
+        self.published = 0
+
+    def publish(self, event_type: str, **fields: Any) -> dict[str, Any]:
+        """Stamp and fan out one event; never blocks.  Fields must not
+        use the reserved keys ``seq``/``ts``/``event``."""
+        event = {"seq": next(self._seq), "ts": round(time.time(), 6),
+                 "event": event_type, **fields}
+        with self._lock:
+            self.published += 1
+            self._replay.append(event)
+            subscribers = list(self._subscribers)
+        for sub in subscribers:
+            sub._push(event)
+        return event
+
+    def subscribe(self, replay: int = 0) -> EventSubscription:
+        """New subscriber; *replay* pre-seeds it with up to that many of
+        the most recent events."""
+        with self._lock:
+            backlog = (list(self._replay)[-replay:] if replay > 0 else [])
+            sub = EventSubscription(self, self.queue_size, backlog)
+            self._subscribers.append(sub)
+            return sub
+
+    def unsubscribe(self, sub: EventSubscription) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
+
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+
+class MetricsRing:
+    """Bounded ring of periodic point-in-time samples."""
+
+    def __init__(self, size: int = 512) -> None:
+        if size < 1:
+            raise ValueError(f"MetricsRing.size must be >= 1, got {size}")
+        self._lock = threading.Lock()
+        self._samples: deque[dict[str, Any]] = deque(maxlen=size)
+
+    def push(self, sample: dict[str, Any]) -> dict[str, Any]:
+        stamped = {"ts": round(time.time(), 6), **sample}
+        with self._lock:
+            self._samples.append(stamped)
+        return stamped
+
+    def snapshot(self, last: int | None = None) -> list[dict[str, Any]]:
+        with self._lock:
+            samples = list(self._samples)
+        return samples[-last:] if last else samples
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)

@@ -42,6 +42,7 @@ from repro.cores.base import SimulationError
 from repro.exec.failures import CRASH, HANG, INVALID_CONFIG
 from repro.exec.faults import FaultPlan, InjectedCrash, apply_fault
 from repro.exec.spec import RunSpec, execute_spec
+from repro.obs.progress import ProgressConfig, advancing
 
 # Exit code a worker uses for an injected crash, distinguishable from an
 # interpreter fatality in the restart log.
@@ -51,7 +52,13 @@ _PING_TIMEOUT_S = 5.0
 
 
 def _pool_worker_main(conn) -> None:
-    """Worker process body: serve jobs until told to stop."""
+    """Worker process body: serve jobs until told to stop.
+
+    While a job runs, the worker may interleave zero or more
+    ``("progress", frame_dict)`` messages on the pipe before the single
+    terminal ``("ok", ...)`` / ``("fail", ...)`` reply — the parent's
+    harvest treats any non-terminal message as a live snapshot.
+    """
     while True:
         try:
             message = conn.recv()
@@ -68,9 +75,20 @@ def _pool_worker_main(conn) -> None:
             continue
         if kind != "run":
             continue
-        _, spec, attempt, faults = message
+        _, spec, attempt, faults = message[:4]
+        progress = message[4] if len(message) > 4 else None
+        reporter = None
+        if progress is not None:
+            def _ship(frame) -> None:
+                try:
+                    conn.send(("progress", frame.to_dict()))
+                except (OSError, BrokenPipeError):
+                    pass       # parent gone; terminal send will notice
+            reporter = progress.reporter(
+                _ship, workload=spec.workload,
+                technique=spec.technique_name)
         try:
-            reply = _run_job(spec, attempt, faults)
+            reply = _run_job(spec, attempt, faults, reporter)
         except InjectedCrash:
             try:
                 conn.close()
@@ -87,8 +105,8 @@ def _pool_worker_main(conn) -> None:
         pass
 
 
-def _run_job(spec: RunSpec, attempt: int,
-             faults: FaultPlan | None) -> tuple:
+def _run_job(spec: RunSpec, attempt: int, faults: FaultPlan | None,
+             reporter: Any = None) -> tuple:
     """One cell in the warm worker; classified like the batch executor."""
     try:
         if faults is not None and faults.active:
@@ -96,7 +114,7 @@ def _run_job(spec: RunSpec, attempt: int,
                                  spec.technique_name, attempt)
             if kind is not None:
                 apply_fault(kind, inline=False, label=spec.label())
-        return ("ok", execute_spec(spec))
+        return ("ok", execute_spec(spec, progress=reporter))
     except InjectedCrash:
         raise
     except SimulationError as exc:
@@ -126,7 +144,7 @@ class Completion:
 class _Worker:
     __slots__ = ("index", "proc", "conn", "state", "spec", "attempt",
                  "deadline", "started", "jobs_done", "ping_sent",
-                 "ping_deadline")
+                 "ping_deadline", "last_frame")
 
     def __init__(self, index: int) -> None:
         self.index = index
@@ -140,6 +158,7 @@ class _Worker:
         self.jobs_done = 0
         self.ping_sent: float | None = None
         self.ping_deadline: float | None = None
+        self.last_frame: dict | None = None   # latest progress snapshot
 
 
 class WorkerPool:
@@ -153,7 +172,8 @@ class WorkerPool:
     def __init__(self, size: int, timeout_s: float | None = None,
                  faults: FaultPlan | None = None,
                  heartbeat_s: float = 5.0,
-                 on_event: Callable[..., None] | None = None) -> None:
+                 on_event: Callable[..., None] | None = None,
+                 progress: ProgressConfig | None = None) -> None:
         if size < 1:
             raise ValueError(f"WorkerPool.size must be >= 1, got {size}")
         if timeout_s is not None and timeout_s <= 0:
@@ -163,6 +183,7 @@ class WorkerPool:
         self.timeout_s = timeout_s
         self.faults = faults
         self.heartbeat_s = heartbeat_s
+        self.progress = progress
         self.on_event = on_event or (lambda _event, **_f: None)
         self.restarts = 0
         self._ctx = mp.get_context()
@@ -190,6 +211,7 @@ class WorkerPool:
         worker.deadline = None
         worker.ping_sent = None
         worker.ping_deadline = None
+        worker.last_frame = None
         self.on_event("start", worker=worker.index, pid=proc.pid)
 
     def _reap(self, worker: _Worker) -> None:
@@ -231,7 +253,8 @@ class WorkerPool:
             if worker.state != "idle":
                 continue
             try:
-                worker.conn.send(("run", spec, attempt, self.faults))
+                worker.conn.send(("run", spec, attempt, self.faults,
+                                  self.progress))
             except (OSError, BrokenPipeError):
                 self._restart(worker, "dead at dispatch")
                 continue
@@ -243,6 +266,7 @@ class WorkerPool:
                                if self.timeout_s is not None else None)
             worker.ping_sent = None
             worker.ping_deadline = None
+            worker.last_frame = None
             return True
         return False
 
@@ -287,12 +311,17 @@ class WorkerPool:
             worker.ping_sent = None
             worker.ping_deadline = None
             return None
+        if message[0] == "progress":
+            if worker.state == "busy" and worker.spec is not None:
+                self._note_progress(worker, message[1])
+            return None
         if worker.state != "busy" or worker.spec is None:
             return None                 # stray message from a stopping worker
         spec, attempt = worker.spec, worker.attempt
         worker.state = "idle"
         worker.spec = None
         worker.deadline = None
+        worker.last_frame = None
         worker.jobs_done += 1
         if message[0] == "ok":
             return Completion(spec=spec, attempt=attempt, status="ok",
@@ -301,29 +330,56 @@ class WorkerPool:
         return Completion(spec=spec, attempt=attempt, status="fail",
                           kind=kind, message=text, extra=extra or {})
 
+    def _note_progress(self, worker: _Worker, frame: dict) -> None:
+        """A live snapshot from a busy worker: record it, extend the
+        wall-clock fence when the *simulated* clock advanced, and hand
+        the frame to the server."""
+        if (worker.deadline is not None and self.timeout_s is not None
+                and advancing(worker.last_frame, frame)):
+            worker.deadline = time.monotonic() + self.timeout_s
+        worker.last_frame = frame
+        self.on_event("progress", worker=worker.index,
+                      key=worker.spec.key, attempt=worker.attempt,
+                      frame=frame)
+
     def _died(self, worker: _Worker) -> Completion | None:
         """Pipe EOF: the worker process is gone."""
         spec, attempt = worker.spec, worker.attempt
+        frame = worker.last_frame
         exitcode = worker.proc.exitcode if worker.proc is not None else None
         busy = worker.state == "busy" and spec is not None
         self._restart(worker, f"worker died (exit code {exitcode})")
         if not busy:
             return None
+        extra: dict = {}
+        if frame is not None:
+            extra = {"cycle": frame.get("cycle"), "pc": frame.get("pc"),
+                     "progress": frame}
         return Completion(
             spec=spec, attempt=attempt, status="fail", kind=CRASH,
             message=(f"worker died without reporting a result "
                      f"(exit code {exitcode})"),
-            worker_restarted=True)
+            extra=extra, worker_restarted=True)
 
     def _expire(self, worker: _Worker) -> Completion:
         spec, attempt = worker.spec, worker.attempt
+        frame = worker.last_frame
         elapsed = time.monotonic() - worker.started
         self._restart(worker, f"deadline exceeded after {elapsed:.1f}s")
+        if frame is not None:
+            text = (f"stalled: no simulated-cycle advance within "
+                    f"{self.timeout_s:g}s — last frame at cycle "
+                    f"{frame.get('cycle')}, pc {frame.get('pc')}, "
+                    f"phase {frame.get('phase')} (attempt {attempt})")
+            extra = {"cycle": frame.get("cycle"), "pc": frame.get("pc"),
+                     "progress": frame}
+        else:
+            text = (f"wall-clock timeout: no result within "
+                    f"{self.timeout_s:g}s (attempt {attempt})")
+            extra = {}
         return Completion(
             spec=spec, attempt=attempt, status="fail", kind=HANG,
-            message=(f"wall-clock timeout: no result within "
-                     f"{self.timeout_s:g}s (attempt {attempt})"),
-            worker_restarted=True)
+            message=text, extra=extra, worker_restarted=True)
 
     def _heartbeat(self, now: float) -> None:
         for worker in self._workers:
@@ -376,5 +432,6 @@ class WorkerPool:
                 "jobs_done": worker.jobs_done,
                 "running": (worker.spec.label()
                             if worker.spec is not None else None),
+                "progress": worker.last_frame,
             })
         return out

@@ -58,6 +58,8 @@ class Job:
     cached: bool = False
     coalesced: bool = False
     failure: RunFailure | None = None
+    progress: dict | None = None   # latest in-flight frame while running
+    version: int = 0               # bumped on every observable change
 
     @property
     def key(self) -> str:
@@ -68,7 +70,10 @@ class Job:
         return self.state in TERMINAL_STATES
 
     def wait_s(self) -> float | None:
+        """Queue wait: time-to-start once started, time-so-far before."""
         if self.started_mono is None:
+            if self.state == QUEUED:
+                return time.monotonic() - self.queued_mono
             return None
         return self.started_mono - self.queued_mono
 
@@ -85,7 +90,7 @@ class Job:
             "scale": self.spec.scale, "client": self.client,
             "state": self.state, "submitted_ts": self.submitted_ts,
             "attempts": self.attempts, "cached": self.cached,
-            "coalesced": self.coalesced,
+            "coalesced": self.coalesced, "version": self.version,
         }
         if self.wait_s() is not None:
             out["wait_s"] = round(self.wait_s(), 6)
@@ -93,6 +98,8 @@ class Job:
             out["run_s"] = round(self.run_s(), 6)
         if self.failure is not None:
             out["failure"] = self.failure.to_dict()
+        if self.progress is not None:
+            out["progress"] = self.progress
         return out
 
 
@@ -107,6 +114,10 @@ class JobQueue:
         self.retry_after_s = retry_after_s
         self.max_done = max_done
         self._lock = threading.Lock()
+        # Long-poll wakeups: every observable job change bumps the job's
+        # version and notifies.  HTTP threads wait on this condition; the
+        # scheduler thread is the only notifier, so wakeups are cheap.
+        self._changed = threading.Condition(self._lock)
         self._ids = itertools.count(1)
         self._jobs: dict[str, Job] = {}          # job_id -> Job
         self._order: list[str] = []              # insertion order
@@ -179,7 +190,9 @@ class JobQueue:
                 job = self._jobs[job_id]
                 job.state = RUNNING
                 job.started_mono = now
+                job.version += 1
                 spec = job.spec
+            self._changed.notify_all()
             return spec
 
     def requeue(self, key: str) -> None:
@@ -188,7 +201,10 @@ class JobQueue:
             if key in self._active and key not in self._pending:
                 self._pending.insert(0, key)
                 for job_id in self._active[key]:
-                    self._jobs[job_id].state = QUEUED
+                    job = self._jobs[job_id]
+                    job.state = QUEUED
+                    job.version += 1
+                self._changed.notify_all()
 
     def settle(self, key: str, state: str, *, attempts: int = 1,
                failure: RunFailure | None = None) -> list[Job]:
@@ -206,26 +222,73 @@ class JobQueue:
                 if job.started_mono is None:
                     job.started_mono = now
                 job.finished_mono = now
+                job.version += 1
                 settled.append(job)
             if key in self._pending:       # settled while still queued
                 self._pending.remove(key)
+            self._changed.notify_all()
             return settled
 
     def bump_attempts(self, key: str, attempts: int) -> None:
         with self._lock:
             for job_id in self._active.get(key, ()):
-                self._jobs[job_id].attempts = attempts
+                job = self._jobs[job_id]
+                job.attempts = attempts
+                job.version += 1
+            self._changed.notify_all()
+
+    def note_progress(self, key: str, frame: dict) -> list[Job]:
+        """Attach a live progress frame to every job riding *key*;
+        returns the jobs it landed on (empty when the cell settled
+        before the frame arrived)."""
+        with self._lock:
+            updated = []
+            for job_id in self._active.get(key, ()):
+                job = self._jobs[job_id]
+                job.progress = frame
+                job.version += 1
+                updated.append(job)
+            if updated:
+                self._changed.notify_all()
+            return updated
 
     def active_keys(self) -> list[str]:
         """Cells admitted but not yet settled (queued + running)."""
         with self._lock:
             return list(self._active)
 
+    def jobs_for(self, key: str) -> list[Job]:
+        """The jobs currently riding an active cell."""
+        with self._lock:
+            return [self._jobs[job_id]
+                    for job_id in self._active.get(key, ())]
+
     # -- introspection ------------------------------------------------
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
             return self._jobs.get(job_id)
+
+    def wait_for_change(self, job_id: str, version: int,
+                        timeout_s: float) -> Job | None:
+        """Long-poll primitive: block until the job's version exceeds
+        *version* (state flip, attempt bump, or progress frame), the job
+        is terminal, or *timeout_s* elapses.  Returns the job as it
+        stands at wakeup (current state on timeout — never an error),
+        or ``None`` when the job id is unknown.
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        with self._changed:
+            while True:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return None
+                if job.version > version or job.terminal:
+                    return job
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job
+                self._changed.wait(remaining)
 
     def jobs(self) -> list[Job]:
         with self._lock:

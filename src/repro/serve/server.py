@@ -30,6 +30,15 @@ Every stage emits ``serve.*`` probes through a private
 :class:`~repro.obs.probes.ProbeBus`; :func:`install_serve_metrics`
 turns them into the counters/histograms behind ``GET /metrics`` and the
 ``repro report`` service section.
+
+The live observability plane (PR 9) rides the same spine: pool workers
+stream in-flight progress frames that land on jobs (so
+``GET /jobs/<id>?wait=S`` long-polls until something changes),
+``GET /events`` streams job/progress/breaker events as chunked ndjson,
+``GET /metrics`` speaks Prometheus text exposition under content
+negotiation (JSON stays the default), and a bounded
+:class:`~repro.serve.events.MetricsRing` behind ``GET /metrics/history``
+feeds ``repro top`` and the report dashboard.
 """
 
 from __future__ import annotations
@@ -41,17 +50,23 @@ import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.exec.executor import ExecConfig
 from repro.exec.failures import HANG, RunFailure
 from repro.exec.faults import FaultPlan
 from repro.exec.journal import RunJournal
 from repro.exec.spec import RunSpec
-from repro.obs.metrics import MetricsRegistry, install_standard_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    install_standard_metrics,
+    prometheus_exposition,
+)
 from repro.obs.probes import ProbeBus
+from repro.obs.progress import ProgressConfig
 from repro.obs.spans import SpanTracer
 from repro.serve.breaker import OPEN, CircuitBreaker
+from repro.serve.events import EventBroker, MetricsRing
 from repro.serve.pool import Completion, WorkerPool
 from repro.serve.queue import (
     FAILED,
@@ -102,6 +117,11 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     heartbeat_s: float = 5.0          # idle-worker ping cadence
     faults: FaultPlan | None = None   # injected faults (tests, demos)
+    progress_interval: int = 1_000    # instructions between frames; 0 = off
+    sample_interval_s: float = 2.0    # metrics-history push cadence
+    history_size: int = 512           # metrics ring capacity
+    events_queue: int = 256           # per-subscriber event queue bound
+    events_replay: int = 64           # /events?replay=N ring capacity
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -121,6 +141,14 @@ class ServeConfig:
             raise ValueError(
                 f"ServeConfig.drain_timeout_s must be >= 0, "
                 f"got {self.drain_timeout_s}")
+        if self.progress_interval < 0:
+            raise ValueError(
+                f"ServeConfig.progress_interval must be >= 0, "
+                f"got {self.progress_interval}")
+        if self.sample_interval_s <= 0:
+            raise ValueError(
+                f"ServeConfig.sample_interval_s must be > 0, "
+                f"got {self.sample_interval_s}")
 
 
 def install_serve_metrics(bus: ProbeBus,
@@ -168,6 +196,11 @@ def install_serve_metrics(bus: ProbeBus,
     def on_store(_name: str, ev: dict) -> None:
         counter(f"serve.store_{ev['action']}").inc()
 
+    progress_frames = counter("serve.progress_frames")
+
+    def on_progress(_name: str, _ev: dict) -> None:
+        progress_frames.inc()
+
     wiring: dict[str, Any] = {
         "serve.request": on_request,
         "serve.admit": on_admit,
@@ -177,6 +210,7 @@ def install_serve_metrics(bus: ProbeBus,
         "serve.breaker": on_breaker,
         "serve.worker": on_worker,
         "serve.store": on_store,
+        "serve.progress": on_progress,
     }
     for name, handler in wiring.items():
         bus.subscribe(name, handler)
@@ -204,6 +238,7 @@ class ReproServer:
         self._p_breaker = self.bus.probe("serve.breaker")
         self._p_worker = self.bus.probe("serve.worker")
         self._p_store = self.bus.probe("serve.store")
+        self._p_progress = self.bus.probe("serve.progress")
         self._p_cell = self.bus.probe("exec.cell")
         self._p_failure = self.bus.probe("exec.failure")
         self._p_retry = self.bus.probe("exec.retry")
@@ -220,7 +255,15 @@ class ReproServer:
         self.pool = WorkerPool(config.workers, timeout_s=config.timeout_s,
                                faults=config.faults,
                                heartbeat_s=config.heartbeat_s,
-                               on_event=self._on_worker_event)
+                               on_event=self._on_worker_event,
+                               progress=(ProgressConfig(
+                                   interval=config.progress_interval)
+                                   if config.progress_interval > 0
+                                   else None))
+        self.events = EventBroker(queue_size=config.events_queue,
+                                  replay_size=config.events_replay)
+        self.history = MetricsRing(size=config.history_size)
+        self._last_sample = 0.0
         self.tracer = SpanTracer()
         self._delays = ExecConfig(
             retries=config.retries, backoff_s=config.backoff_s,
@@ -251,7 +294,26 @@ class ReproServer:
         self._emit(self._p_store, action="corrupt", key=key, reason=reason)
 
     def _on_worker_event(self, event: str, **fields: Any) -> None:
+        if event == "progress":
+            self._on_progress(fields)
+            return
         self._emit(self._p_worker, action=event, **fields)
+        self.events.publish("worker", action=event, **fields)
+
+    def _on_progress(self, fields: dict[str, Any]) -> None:
+        """A live frame from a busy pool worker: pin it to the jobs
+        riding the cell (long-poll wakeup) and stream it."""
+        frame: dict[str, Any] = fields.get("frame") or {}
+        key = fields.get("key")
+        jobs = self.queue.note_progress(key, frame) if key else []
+        self._emit(self._p_progress, key=key, worker=fields.get("worker"),
+                   phase=frame.get("phase"), cycle=frame.get("cycle"),
+                   instructions=frame.get("instructions"),
+                   ipc=frame.get("ipc"))
+        self.events.publish("progress", key=key,
+                            worker=fields.get("worker"),
+                            jobs=[job.job_id for job in jobs],
+                            frame=frame)
 
     # -- lifecycle ----------------------------------------------------
 
@@ -284,6 +346,7 @@ class ReproServer:
         self._drain_reason = reason
         self._drain_deadline = (time.monotonic()
                                 + self.config.drain_timeout_s)
+        self.events.publish("drain", reason=reason)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Block until the server has fully shut down."""
@@ -325,6 +388,8 @@ class ReproServer:
                                             failure=failure)
             self._emit(self._p_breaker, action="short_circuit", key=key,
                        state=state)
+            self.events.publish("breaker", action="short_circuit",
+                                key=key, state=state)
             self._job_settled(job)
             return job, 200
         try:
@@ -334,6 +399,8 @@ class ReproServer:
             raise Reject(429, str(exc), exc.retry_after_s) from None
         self._emit(self._p_admit, key=key, client=client,
                    coalesced=job.coalesced)
+        self.events.publish("job", job_id=job.job_id, key=key,
+                            state=job.state, coalesced=job.coalesced)
         return job, 202
 
     def _validate(self, payload: Any) -> RunSpec:
@@ -429,8 +496,16 @@ class ReproServer:
                     self.queue.requeue(spec.key)
                     self._attempts[spec.key] = attempt - 1
                     break
+                for job in self.queue.jobs_for(spec.key):
+                    self.events.publish("job", job_id=job.job_id,
+                                        key=spec.key, state=job.state,
+                                        attempt=attempt)
             for completion in self.pool.poll(0.1):
                 self._handle(completion)
+            now = time.monotonic()
+            if now - self._last_sample >= self.config.sample_interval_s:
+                self._last_sample = now
+                self._push_sample()
             if self._draining:
                 idle = (self.queue.inflight() == 0
                         and not self._delayed)
@@ -455,8 +530,31 @@ class ReproServer:
                     "retry", key=key, attempt=c.attempt, kind=c.kind,
                     message=c.message, delay_s=round(delay, 4))
             self._delayed.append((time.monotonic() + delay, key))
+            self.events.publish("retry", key=key, attempt=c.attempt,
+                                kind=c.kind, delay_s=round(delay, 4))
             return
         self._settle_failed(c)
+
+    def _push_sample(self) -> None:
+        """One point-in-time gauge sample into the history ring (and the
+        ledger, so ``repro report`` can replay the service's live
+        history after the fact)."""
+        snap = self.registry.snapshot()
+        sample = {
+            "queue_depth": self.queue.depth(),
+            "inflight": self.queue.inflight(),
+            "busy_workers": self.pool.busy_count(),
+            "idle_workers": self.pool.idle_count(),
+            "worker_restarts": self.pool.restarts,
+            "jobs_ok": snap.get("serve.jobs_ok", 0),
+            "jobs_failed": snap.get("serve.jobs_failed", 0),
+            "requests": snap.get("serve.requests", 0),
+            "progress_frames": snap.get("serve.progress_frames", 0),
+            "events_published": self.events.published,
+        }
+        self.history.push(sample)
+        if self.ledger is not None:
+            self.ledger.append_event("serve.sample", **sample)
 
     def _cell_common(self, c: Completion) -> tuple[int, float]:
         attempts = self._attempts.pop(c.spec.key, c.attempt)
@@ -503,6 +601,7 @@ class ReproServer:
         if state == OPEN:
             self._emit(self._p_breaker, action="open", key=key,
                        consecutive=len(self.breaker.history(key)))
+            self.events.publish("breaker", action="open", key=key)
             if self.ledger is not None:
                 self.ledger.append_event("serve.breaker", key=key,
                                          state=state)
@@ -524,6 +623,9 @@ class ReproServer:
                    state=job.state, cached=job.cached,
                    coalesced=job.coalesced, wait_s=job.wait_s(),
                    run_s=job.run_s())
+        self.events.publish("job", job_id=job.job_id, key=job.key,
+                            state=job.state, cached=job.cached,
+                            coalesced=job.coalesced)
         if self.ledger is not None:
             self.ledger.append_event("serve.job", **job.to_dict())
 
@@ -572,6 +674,21 @@ class ReproServer:
             "store": {"entries": len(self.store.keys()),
                       "writes": self.store.writes,
                       "corrupt_detected": self.store.corrupt_detected},
+            "events_published": self.events.published,
+            "event_subscribers": self.events.subscriber_count(),
+        }
+
+    def live_gauges(self) -> dict[str, float]:
+        """Point-in-time values spliced into the Prometheus exposition
+        (the registry only holds event-driven counters/histograms)."""
+        return {
+            "serve.queue_depth": float(self.queue.depth()),
+            "serve.inflight": float(self.queue.inflight()),
+            "serve.busy_workers": float(self.pool.busy_count()),
+            "serve.idle_workers": float(self.pool.idle_count()),
+            "serve.worker_restarts_total": float(self.pool.restarts),
+            "serve.uptime_s": round(
+                time.monotonic() - self._started_mono, 3),
         }
 
     def spans(self) -> list[dict[str, Any]]:
@@ -645,6 +762,11 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         self._observed("POST")
 
+    def _query(self) -> dict[str, str]:
+        """Last-wins flat view of the request's query string."""
+        parsed = parse_qs(urlparse(self.path).query)
+        return {name: values[-1] for name, values in parsed.items()}
+
     def _route(self, method: str, path: str) -> int:
         rs = self.rs
         if method == "GET":
@@ -652,8 +774,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, rs.health())
                 return 200
             if path == "/metrics":
-                self._json(200, rs.registry.snapshot())
-                return 200
+                return self._get_metrics()
+            if path == "/metrics/history":
+                return self._get_history()
+            if path == "/events":
+                return self._get_events()
             if path == "/jobs":
                 self._json(200, {"jobs": [job.to_dict()
                                           for job in rs.queue.jobs()]})
@@ -676,14 +801,105 @@ class _Handler(BaseHTTPRequestHandler):
         self._error(404, f"no such resource: {method} {path}")
         return 404
 
+    def _get_metrics(self) -> int:
+        """JSON by default (the stable scripting surface); Prometheus
+        text exposition via ``?format=prometheus`` or an ``Accept``
+        header that asks for ``text/plain`` without JSON."""
+        rs = self.rs
+        accept = self.headers.get("Accept", "")
+        wants_prom = (self._query().get("format") == "prometheus"
+                      or ("text/plain" in accept
+                          and "application/json" not in accept))
+        if wants_prom:
+            text = prometheus_exposition(rs.registry,
+                                         extra_gauges=rs.live_gauges())
+            self._send(200, text.encode("utf-8"),
+                       "text/plain; version=0.0.4; charset=utf-8")
+            return 200
+        self._json(200, rs.registry.snapshot())
+        return 200
+
+    def _get_history(self) -> int:
+        query = self._query()
+        try:
+            last = int(query.get("last", "0"))
+        except ValueError:
+            raise Reject(400, "'last' must be an integer") from None
+        samples = self.rs.history.snapshot(last if last > 0 else None)
+        self._json(200, {"samples": samples})
+        return 200
+
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data + b"\r\n")
+        self.wfile.flush()
+
+    def _get_events(self) -> int:
+        """Chunked ndjson stream of live serve events.
+
+        ``?replay=N`` pre-seeds the stream with recent history;
+        ``?limit=N`` closes it after N events (deterministic tests and
+        scripts).  A heartbeat line keeps the connection warm through
+        idle stretches — and is how a vanished client is detected.  A
+        client disconnect only unwinds this handler thread; the
+        scheduler never blocks on a subscriber (bounded queues drop
+        oldest).
+        """
+        rs = self.rs
+        query = self._query()
+        try:
+            limit = int(query.get("limit", "0"))
+            replay = int(query.get("replay", "0"))
+        except ValueError:
+            raise Reject(400, "'limit' and 'replay' must be "
+                              "integers") from None
+        sub = rs.events.subscribe(replay=max(0, replay))
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        sent = 0
+        try:
+            while not (limit and sent >= limit):
+                if rs.draining and rs._done.is_set():
+                    break
+                event = sub.get(timeout_s=2.0)
+                if event is None:
+                    self._write_chunk(b'{"event":"heartbeat"}\n')
+                    continue
+                line = json.dumps(event, sort_keys=True,
+                                  default=str).encode("utf-8")
+                self._write_chunk(line + b"\n")
+                sent += 1
+            self._write_chunk(b"")     # terminal chunk
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass                       # client went away mid-stream
+        finally:
+            sub.close()
+            self.close_connection = True
+        return 200
+
     def _get_job(self, job_id: str) -> int:
-        job = self.rs.queue.get(job_id)
+        rs = self.rs
+        job = rs.queue.get(job_id)
         if job is None:
             self._error(404, f"unknown job: {job_id!r}")
             return 404
+        query = self._query()
+        if "wait" in query and not job.terminal:
+            try:
+                wait_s = min(float(query["wait"]), 60.0)
+            except ValueError:
+                raise Reject(400, "'wait' must be a number") from None
+            try:
+                version = int(query.get("version", job.version))
+            except ValueError:
+                raise Reject(400, "'version' must be an integer") from None
+            job = rs.queue.wait_for_change(job_id, version, wait_s) or job
         payload: dict[str, Any] = {"job": job.to_dict()}
         if job.state == OK:
-            record = self.rs.lookup(job.key)
+            record = rs.lookup(job.key)
             if record is not None:
                 payload["result"] = record.get("result")
         self._json(200, payload)
