@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""CI gate: the SoA lane engine must not change simulated behaviour.
+
+Runs every cell of the pinned equivalence matrix
+(:data:`repro.workloads.expectations.SOA_EQUIVALENCE_CELLS`) at tiny
+scale under ``lane_engine='scalar'`` and ``lane_engine='soa'`` and
+demands byte-identical ``SimResult.to_dict()`` exports.  Any divergence
+prints a per-cell diff summary and exits non-zero.
+
+This is the same contract ``tests/test_svr_soa_equiv.py`` pins, packaged
+without a pytest dependency so the bench-smoke CI job (which only
+installs numpy) can run it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soa_equivalence_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.harness.runner import run, technique
+from repro.workloads.expectations import SOA_EQUIVALENCE_CELLS
+
+
+def _export(workload: str, tech: str, engine: str) -> dict:
+    result = run(workload, technique(tech, lane_engine=engine), scale="tiny")
+    return result.to_dict()
+
+
+def _diff_keys(a: dict, b: dict, prefix: str = "") -> list[str]:
+    """Dotted paths whose values differ between two nested dict exports."""
+    out: list[str] = []
+    for key in sorted(set(a) | set(b)):
+        path = f"{prefix}{key}"
+        va, vb = a.get(key), b.get(key)
+        if isinstance(va, dict) and isinstance(vb, dict):
+            out.extend(_diff_keys(va, vb, prefix=f"{path}."))
+        elif va != vb:
+            out.append(f"{path}: scalar={va!r} soa={vb!r}")
+    return out
+
+
+def main() -> int:
+    failures = 0
+    for workload, tech in SOA_EQUIVALENCE_CELLS:
+        scalar = _export(workload, tech, "scalar")
+        soa = _export(workload, tech, "soa")
+        if json.dumps(scalar, sort_keys=True) == json.dumps(soa,
+                                                            sort_keys=True):
+            print(f"ok: {workload}/{tech} byte-identical across engines")
+            continue
+        failures += 1
+        print(f"FAIL: {workload}/{tech} diverges between engines:")
+        for line in _diff_keys(scalar, soa)[:20]:
+            print(f"  {line}")
+    if failures:
+        print(f"{failures}/{len(SOA_EQUIVALENCE_CELLS)} cells diverged")
+        return 1
+    print(f"all {len(SOA_EQUIVALENCE_CELLS)} cells byte-identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,7 @@ from repro.analysis.vectorplan import (
     PlanReason,
     VectorizationPlan,
     build_plan,
+    plan_for_program,
 )
 from repro.svr.chain import LoadClass
 
@@ -118,6 +119,7 @@ __all__ = [
     "Violation",
     "build_cfg",
     "build_plan",
+    "plan_for_program",
     "chains_for_program",
     "collect_trace",
     "dead_definitions",

@@ -40,6 +40,15 @@ class MainMemory:
 
     # -- functional access --------------------------------------------------
 
+    @property
+    def words(self) -> np.ndarray:
+        """The backing word array (uint64), for vectorized lane gathers.
+
+        Treat as read-only: writes must go through :meth:`write_word` /
+        :meth:`write_array` so wrapping stays uniform.
+        """
+        return self._words
+
     def read_word(self, addr: int) -> int:
         index = (addr & _MASK64) >> 3
         if index >= self._num_words:

@@ -1,0 +1,172 @@
+"""Structure-of-arrays lane engine for batched SVI rounds.
+
+The scalar SVR unit steps every lane as a separate Python object: one
+``_lane_operand`` call, one ALU lambda, one SRF write per lane per SVI.
+This module provides the numpy kernels that execute one SVI across *all*
+active lanes at once — per-lane addresses, operand vectors, ALU results,
+branch outcomes and readiness times as dense arrays over the
+structure-of-arrays SRF (:mod:`repro.svr.srf`) and the HSLR lane mask
+(a ``bool`` ndarray on the unit).
+
+Exactness contract
+------------------
+Every vector kernel is **bit-identical** to the scalar evaluator in
+``repro.isa.executor._ALU_TABLE``: uint64 arithmetic wraps modulo 2^64
+exactly like ``wrap64``, signed comparisons view the same bits as int64,
+and shift amounts are masked to 6 bits.  Opcodes whose scalar semantics
+cannot be reproduced with 64-bit numpy lanes (``FMUL`` needs an exact
+128-bit intermediate) have **no** vector kernel — ``vector_alu_fn``
+returns ``None`` and the unit falls back to the per-lane loop for that
+one instruction, keeping simulator outputs byte-identical between the
+two engines.  ``tests/test_svr_lanes.py`` fuzzes every kernel against
+its scalar twin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.isa.instructions import Instruction, Opcode
+
+_MASK64 = (1 << 64) - 1
+_U64 = np.uint64
+_SHIFT6 = np.uint64(63)
+
+# A vector kernel: (a, b, imm) -> result, all uint64 lane vectors except
+# the Python-int immediate.  ``b`` is a zeros vector when rs2 is None.
+VectorKernel = Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+
+
+def _imm64(imm: int) -> np.uint64:
+    """The immediate as a wrapped uint64 scalar (negative imms wrap)."""
+    return np.uint64(imm & _MASK64)
+
+
+def _signed(a: np.ndarray) -> np.ndarray:
+    return a.view(np.int64)
+
+
+def _k_min(a: np.ndarray, b: np.ndarray, imm: int) -> np.ndarray:
+    return np.where(_signed(a) < _signed(b), a, b)
+
+
+def _k_max(a: np.ndarray, b: np.ndarray, imm: int) -> np.ndarray:
+    return np.where(_signed(a) > _signed(b), a, b)
+
+
+_VECTOR_TABLE: dict[Opcode, VectorKernel] = {
+    Opcode.ADD: lambda a, b, imm: a + b,
+    Opcode.SUB: lambda a, b, imm: a - b,
+    Opcode.MUL: lambda a, b, imm: a * b,
+    Opcode.AND: lambda a, b, imm: a & b,
+    Opcode.OR: lambda a, b, imm: a | b,
+    Opcode.XOR: lambda a, b, imm: a ^ b,
+    Opcode.SLL: lambda a, b, imm: a << (b & _SHIFT6),
+    Opcode.SRL: lambda a, b, imm: a >> (b & _SHIFT6),
+    Opcode.MIN: _k_min,
+    Opcode.MAX: _k_max,
+    Opcode.ADDI: lambda a, b, imm: a + _imm64(imm),
+    Opcode.ANDI: lambda a, b, imm: a & _imm64(imm),
+    Opcode.ORI: lambda a, b, imm: a | _imm64(imm),
+    Opcode.XORI: lambda a, b, imm: a ^ _imm64(imm),
+    Opcode.SLLI: lambda a, b, imm: a << np.uint64(imm & 63),
+    Opcode.SRLI: lambda a, b, imm: a >> np.uint64(imm & 63),
+    Opcode.MULI: lambda a, b, imm: a * _imm64(imm),
+    Opcode.LI: lambda a, b, imm: np.full(a.shape, _imm64(imm), dtype=_U64),
+    Opcode.MV: lambda a, b, imm: a,
+    Opcode.FADD: lambda a, b, imm: a + b,
+    # Opcode.FMUL intentionally absent: the Q32.16 multiply needs an exact
+    # 128-bit intermediate ((sa * sb) >> 16) that 64-bit lanes cannot
+    # represent; those instructions take the per-lane scalar fallback.
+    Opcode.CMP_LT: lambda a, b, imm: (_signed(a) < _signed(b)).astype(_U64),
+    Opcode.CMP_LTU: lambda a, b, imm: (a < b).astype(_U64),
+    Opcode.CMP_EQ: lambda a, b, imm: (a == b).astype(_U64),
+    Opcode.CMP_NE: lambda a, b, imm: (a != b).astype(_U64),
+    Opcode.CMP_GE: lambda a, b, imm: (_signed(a) >= _signed(b)).astype(_U64),
+}
+
+_VECTOR_BY_INDEX: list[VectorKernel | None] = [
+    _VECTOR_TABLE.get(op) for op in Opcode
+]
+
+
+def vector_alu_fn(inst: Instruction) -> VectorKernel | None:
+    """The vector evaluator for *inst*, or ``None`` when the opcode has no
+    exact 64-bit lane kernel and must run the scalar fallback."""
+    return _VECTOR_BY_INDEX[inst.opindex]
+
+
+def branch_outcomes(inst: Instruction, values: np.ndarray) -> np.ndarray:
+    """Per-lane taken bits for a conditional branch over ``rs1`` lanes."""
+    if inst.op is Opcode.BEQZ:
+        return values == 0
+    if inst.op is Opcode.BNEZ:
+        return values != 0
+    if inst.op is Opcode.JMP:
+        return np.ones(values.shape, dtype=bool)
+    raise ValueError(f"not a branch: {inst.op}")
+
+
+def stride_targets(addr: int, stride: int, lanes: np.ndarray) -> np.ndarray:
+    """``wrap64(addr + (lane + 1) * stride)`` for a lane-index vector."""
+    return (np.uint64(addr & _MASK64)
+            + (lanes.astype(_U64) + np.uint64(1)) * _imm64(stride))
+
+
+def offset_targets(base: np.ndarray, imm: int) -> np.ndarray:
+    """``wrap64(base + imm)`` per lane (dependent load/store addresses)."""
+    return base + _imm64(imm)
+
+
+def gather_words(words: np.ndarray, targets: np.ndarray
+                 ) -> tuple[np.ndarray, np.ndarray]:
+    """Functional-memory gather with bounds checking.
+
+    Returns ``(values, in_bounds)``: out-of-bounds lanes read 0 and are
+    flagged False — exactly the lanes whose scalar ``read_word`` raises
+    ``IndexError`` and gets masked.
+    """
+    index = targets >> np.uint64(3)
+    in_bounds = index < np.uint64(words.shape[0])
+    values = np.zeros(targets.shape, dtype=_U64)
+    if in_bounds.all():
+        values[:] = words[index]
+    elif in_bounds.any():
+        values[in_bounds] = words[index[in_bounds]]
+    return values, in_bounds
+
+
+def expand_group_slots(group_slots: np.ndarray, count: int,
+                       scalars_per_unit: int) -> np.ndarray:
+    """Per-lane issue slots from per-group slots (Fig 16 lane grouping)."""
+    if scalars_per_unit == 1:
+        return group_slots
+    return np.repeat(group_slots, scalars_per_unit)[:count]
+
+
+@dataclass
+class LaneEngineStats:
+    """Engine-internal dispatch counters.
+
+    Deliberately *not* part of :class:`repro.svr.unit.SvrStats`: the two
+    engines must produce byte-identical simulator outputs, so anything
+    that differs between them (how rounds were dispatched) lives here.
+    """
+
+    batched_rounds: int = 0        # PRM rounds run on the SoA fast path
+    scalar_rounds: int = 0         # rounds on the per-lane fallback
+    batched_ops: int = 0           # SVIs executed as one vector op
+    guard_scalar_ops: int = 0      # SVIs sent to the scalar loop by a guard
+    plan_misses: int = 0           # rounds whose seed had no loop plan
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "batched_rounds": self.batched_rounds,
+            "scalar_rounds": self.scalar_rounds,
+            "batched_ops": self.batched_ops,
+            "guard_scalar_ops": self.guard_scalar_ops,
+            "plan_misses": self.plan_misses,
+        }

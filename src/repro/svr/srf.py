@@ -1,4 +1,4 @@
-"""Speculative register file (Section IV-A3).
+"""Speculative register file (Section IV-A3) — numpy structure-of-arrays.
 
 K wide registers, each holding N 64-bit lanes with per-lane value and
 ready-time (the scoreboard return-counter of Section IV-A4 collapses to
@@ -6,29 +6,49 @@ per-lane readiness in our event-driven model).  SRF entries are
 deliberately under-provisioned; when they run out SVR recycles the entry
 backing the least-recently-read architectural register, while the DVR
 ablation policy refuses and simply stops vectorizing new values.
+
+Lane state is stored column-major across entries as three dense arrays —
+``values`` ``uint64[K, N]``, ``ready`` ``float64[K, N]``, ``valid``
+``bool[K, N]`` — so the batched lane engine (:mod:`repro.svr.lanes`) can
+read and write whole lane vectors with one fancy-indexed numpy op while
+the scalar fallback keeps the original per-lane ``read_lane`` /
+``write_lane`` API on top of the same storage.  Releasing an entry (one
+or all) invalidates its lanes: a reused entry can never leak a stale
+``valid=True`` lane from a previous mapping.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.svr.config import RecyclingPolicy
 from repro.svr.taint_tracker import TaintTracker
 
 
-class _SrfEntry:
-    __slots__ = ("values", "ready", "valid", "owner")
+class SrfEntryView:
+    """Read/write view of one SRF entry's lane arrays (numpy slices)."""
 
-    def __init__(self, lanes: int) -> None:
-        self.values = [0] * lanes
-        self.ready = [0.0] * lanes
-        self.valid = [False] * lanes
-        self.owner = -1    # architectural register currently mapped here
+    __slots__ = ("_srf", "_srf_id")
 
-    def reset(self, owner: int) -> None:
-        for lane in range(len(self.values)):
-            self.values[lane] = 0
-            self.ready[lane] = 0.0
-            self.valid[lane] = False
-        self.owner = owner
+    def __init__(self, srf: "SpeculativeRegisterFile", srf_id: int) -> None:
+        self._srf = srf
+        self._srf_id = srf_id
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._srf.values[self._srf_id]
+
+    @property
+    def ready(self) -> np.ndarray:
+        return self._srf.ready[self._srf_id]
+
+    @property
+    def valid(self) -> np.ndarray:
+        return self._srf.valid[self._srf_id]
+
+    @property
+    def owner(self) -> int:
+        return int(self._srf.owners[self._srf_id])
 
 
 class SpeculativeRegisterFile:
@@ -38,7 +58,12 @@ class SpeculativeRegisterFile:
                  policy: RecyclingPolicy = RecyclingPolicy.LRU) -> None:
         self._lanes = lanes
         self._policy = policy
-        self._entries = [_SrfEntry(lanes) for _ in range(entries)]
+        # Structure-of-arrays lane state, shared by the scalar and the
+        # batched (SoA) execution paths.
+        self.values = np.zeros((entries, lanes), dtype=np.uint64)
+        self.ready = np.zeros((entries, lanes), dtype=np.float64)
+        self.valid = np.zeros((entries, lanes), dtype=bool)
+        self.owners = np.full(entries, -1, dtype=np.int64)
         self._free = list(range(entries))
         self.allocations = 0
         self.recycles = 0
@@ -50,10 +75,16 @@ class SpeculativeRegisterFile:
 
     @property
     def num_entries(self) -> int:
-        return len(self._entries)
+        return self.values.shape[0]
 
-    def entry(self, srf_id: int) -> _SrfEntry:
-        return self._entries[srf_id]
+    def entry(self, srf_id: int) -> SrfEntryView:
+        return SrfEntryView(self, srf_id)
+
+    def _reset_entry(self, srf_id: int, owner: int) -> None:
+        self.values[srf_id].fill(0)
+        self.ready[srf_id].fill(0.0)
+        self.valid[srf_id].fill(False)
+        self.owners[srf_id] = owner
 
     def allocate(self, reg: int, taint: TaintTracker) -> int | None:
         """Get an SRF entry for architectural register *reg*.
@@ -65,12 +96,11 @@ class SpeculativeRegisterFile:
         """
         tentry = taint.entry(reg)
         if tentry.mapped:
-            srf = self._entries[tentry.srf_id]
-            srf.reset(reg)
+            self._reset_entry(tentry.srf_id, reg)
             return tentry.srf_id
         if self._free:
             srf_id = self._free.pop()
-            self._entries[srf_id].reset(reg)
+            self._reset_entry(srf_id, reg)
             self.allocations += 1
             return srf_id
         if self._policy is RecyclingPolicy.DVR:
@@ -82,28 +112,48 @@ class SpeculativeRegisterFile:
             return None
         srf_id = taint.srf_of(victim_reg)
         taint.unmap(victim_reg)
-        self._entries[srf_id].reset(reg)
+        self._reset_entry(srf_id, reg)
         self.recycles += 1
         return srf_id
 
     def release(self, srf_id: int) -> None:
-        entry = self._entries[srf_id]
-        entry.owner = -1
+        self.owners[srf_id] = -1
+        self.valid[srf_id].fill(False)
         if srf_id not in self._free:
             self._free.append(srf_id)
 
     def release_all(self) -> None:
-        for srf_id, entry in enumerate(self._entries):
-            entry.owner = -1
-        self._free = list(range(len(self._entries)))
+        self.owners.fill(-1)
+        # Invalidate every lane: a reused entry must never expose a stale
+        # valid=True lane if any read bypasses the allocate-time reset.
+        self.valid.fill(False)
+        self._free = list(range(self.num_entries))
+
+    # -- scalar per-lane access (fallback path) -----------------------------
 
     def write_lane(self, srf_id: int, lane: int, value: int,
                    ready: float) -> None:
-        entry = self._entries[srf_id]
-        entry.values[lane] = value
-        entry.ready[lane] = ready
-        entry.valid[lane] = True
+        self.values[srf_id, lane] = value
+        self.ready[srf_id, lane] = ready
+        self.valid[srf_id, lane] = True
 
     def read_lane(self, srf_id: int, lane: int) -> tuple[int, float, bool]:
-        entry = self._entries[srf_id]
-        return entry.values[lane], entry.ready[lane], entry.valid[lane]
+        return (self.values.item(srf_id * self._lanes + lane),
+                self.ready.item(srf_id * self._lanes + lane),
+                self.valid.item(srf_id * self._lanes + lane))
+
+    # -- batched lane access (SoA path) -------------------------------------
+
+    def write_lanes(self, srf_id: int, lanes: np.ndarray, values: np.ndarray,
+                    ready: np.ndarray) -> None:
+        """Write a lane vector in one shot (lanes is an index array)."""
+        self.values[srf_id, lanes] = values
+        self.ready[srf_id, lanes] = ready
+        self.valid[srf_id, lanes] = True
+
+    def read_lanes(self, srf_id: int,
+                   lanes: np.ndarray) -> tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """Values, ready times and valid bits for a lane-index vector."""
+        return (self.values[srf_id, lanes], self.ready[srf_id, lanes],
+                self.valid[srf_id, lanes])

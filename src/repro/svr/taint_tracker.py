@@ -58,6 +58,20 @@ class TaintTracker:
         entry.mapped = False
         entry.srf_id = -1
 
+    def taint_unmapped(self, reg: int) -> None:
+        """Taint *reg* without an SRF mapping (allocation failed).
+
+        The single path for "the chain continues logically but its value
+        could not be vectorized": SRF exhaustion under the DVR policy, an
+        LRU steal with no victim, or taint propagation past the LIL
+        cutoff.  Downstream readers see tainted-but-unmapped and stop
+        vectorizing, never reading a stale SRF entry.
+        """
+        entry = self._entries[reg]
+        entry.tainted = True
+        entry.mapped = False
+        entry.srf_id = -1
+
     def untaint(self, reg: int) -> int | None:
         """Overwritten by a non-chain instruction; frees the SRF entry.
 

@@ -1,0 +1,232 @@
+"""SoA lane-engine kernels: bit-exactness against the scalar evaluator.
+
+Every vector kernel in :mod:`repro.svr.lanes` must agree bit-for-bit with
+its scalar twin in ``repro.isa.executor._ALU_TABLE`` — that contract is
+what lets the SVR unit dispatch rounds to either engine and still produce
+byte-identical simulator outputs.  These tests fuzz each kernel over
+adversarial 64-bit inputs (sign boundaries, wrap-around, shift extremes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa.executor import alu_fn
+from repro.isa.instructions import (
+    ALU_OPS,
+    CMP_OPS,
+    FP_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.svr.lanes import (
+    LaneEngineStats,
+    branch_outcomes,
+    expand_group_slots,
+    gather_words,
+    offset_targets,
+    stride_targets,
+    vector_alu_fn,
+)
+
+MASK64 = (1 << 64) - 1
+
+# Adversarial 64-bit operand pool: zero, small, sign boundaries, all-ones,
+# and a pseudo-random spread (fixed seed — determinism contract).
+_RNG = np.random.default_rng(0xC0FFEE)
+OPERANDS = np.array(
+    [0, 1, 2, 7, 63, 64, 255,
+     (1 << 31) - 1, 1 << 31, (1 << 32) - 1, 1 << 32,
+     (1 << 63) - 1, 1 << 63, (1 << 63) + 1, MASK64 - 1, MASK64]
+    + list(_RNG.integers(0, 1 << 64, size=48, dtype=np.uint64)),
+    dtype=np.uint64,
+)
+IMMEDIATES = [0, 1, 8, 63, 64, -1, -8, 4096, -4096, (1 << 62), -(1 << 62)]
+
+_TWO_OPERAND = sorted(
+    (op for op in ALU_OPS | FP_OPS | CMP_OPS
+     if op not in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+                   Opcode.SLLI, Opcode.SRLI, Opcode.MULI, Opcode.LI,
+                   Opcode.MV, Opcode.FMUL)),
+    key=lambda op: op.value)
+_IMM_OPS = sorted(
+    (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLLI,
+     Opcode.SRLI, Opcode.MULI, Opcode.LI),
+    key=lambda op: op.value)
+
+
+def _make(op: Opcode, imm: int = 0) -> Instruction:
+    if op in (Opcode.LI,):
+        return Instruction(op, rd=1, imm=imm)
+    if op in (Opcode.MV,):
+        return Instruction(op, rd=1, rs1=2)
+    if op in (Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+              Opcode.SLLI, Opcode.SRLI, Opcode.MULI):
+        return Instruction(op, rd=1, rs1=2, imm=imm)
+    return Instruction(op, rd=1, rs1=2, rs2=3)
+
+
+def _cross(pool: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All (a, b) pairs from the operand pool as two flat lane vectors."""
+    a = np.repeat(pool, pool.size)
+    b = np.tile(pool, pool.size)
+    return a, b
+
+
+class TestVectorKernelExactness:
+    @pytest.mark.parametrize("op", _TWO_OPERAND, ids=lambda o: o.value)
+    def test_two_operand_matches_scalar(self, op):
+        inst = _make(op)
+        kernel = vector_alu_fn(inst)
+        scalar = alu_fn(inst)
+        assert kernel is not None and scalar is not None
+        a, b = _cross(OPERANDS)
+        got = kernel(a, b, inst.imm)
+        expect = np.array(
+            [scalar(int(x), int(y), inst.imm) for x, y in
+             zip(a.tolist(), b.tolist())], dtype=np.uint64)
+        assert got.dtype == np.uint64
+        np.testing.assert_array_equal(got, expect)
+
+    @pytest.mark.parametrize("op", _IMM_OPS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("imm", IMMEDIATES)
+    def test_immediate_matches_scalar(self, op, imm):
+        if op in (Opcode.SLLI, Opcode.SRLI) and imm < 0:
+            imm &= 63   # the assembler never emits negative shift counts
+        inst = _make(op, imm=imm)
+        kernel = vector_alu_fn(inst)
+        scalar = alu_fn(inst)
+        assert kernel is not None and scalar is not None
+        a = OPERANDS
+        b = np.zeros(a.shape, dtype=np.uint64)
+        got = kernel(a, b, inst.imm)
+        expect = np.array([scalar(int(x), 0, inst.imm) for x in a.tolist()],
+                          dtype=np.uint64)
+        np.testing.assert_array_equal(got, expect)
+
+    def test_mv_matches_scalar(self):
+        inst = _make(Opcode.MV)
+        kernel = vector_alu_fn(inst)
+        np.testing.assert_array_equal(kernel(OPERANDS, OPERANDS * 0, 0),
+                                      OPERANDS)
+
+    def test_fmul_has_no_vector_kernel(self):
+        """FMUL needs an exact 128-bit intermediate: scalar fallback only."""
+        inst = Instruction(Opcode.FMUL, rd=1, rs1=2, rs2=3)
+        assert vector_alu_fn(inst) is None
+        assert alu_fn(inst) is not None   # the scalar twin must exist
+
+    def test_every_scalar_alu_op_is_covered_or_excluded(self):
+        """Any op with a scalar evaluator either has a vector kernel or is
+        a documented exclusion — a new opcode must decide explicitly."""
+        excluded = {Opcode.FMUL}
+        for op in sorted(ALU_OPS | FP_OPS | CMP_OPS, key=lambda o: o.value):
+            inst = _make(op)
+            if alu_fn(inst) is None:
+                continue
+            if op in excluded:
+                assert vector_alu_fn(inst) is None
+            else:
+                assert vector_alu_fn(inst) is not None, op
+
+
+class TestBranchOutcomes:
+    def test_beqz(self):
+        inst = Instruction(Opcode.BEQZ, rs1=1, target=0)
+        values = np.array([0, 1, MASK64, 0], dtype=np.uint64)
+        got = branch_outcomes(inst, values)
+        expect = np.array([inst.branch_taken(int(v)) for v in values.tolist()])
+        np.testing.assert_array_equal(got, expect)
+
+    def test_bnez(self):
+        inst = Instruction(Opcode.BNEZ, rs1=1, target=0)
+        values = np.array([0, 1, MASK64, 0], dtype=np.uint64)
+        got = branch_outcomes(inst, values)
+        expect = np.array([inst.branch_taken(int(v)) for v in values.tolist()])
+        np.testing.assert_array_equal(got, expect)
+
+    def test_non_branch_raises(self):
+        with pytest.raises(ValueError):
+            branch_outcomes(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+                            np.zeros(2, dtype=np.uint64))
+
+
+class TestAddressVectors:
+    @pytest.mark.parametrize("stride", [8, -8, 64, 1, -1])
+    def test_stride_targets_wrap_like_scalar(self, stride):
+        from repro.isa.registers import wrap64
+
+        addr = 0x1_0040
+        lanes = np.arange(16)
+        got = stride_targets(addr, stride, lanes)
+        expect = np.array(
+            [wrap64(addr + (lane + 1) * stride) for lane in range(16)],
+            dtype=np.uint64)
+        np.testing.assert_array_equal(got, expect)
+
+    def test_stride_targets_negative_wraps_past_zero(self):
+        from repro.isa.registers import wrap64
+
+        got = stride_targets(8, -8, np.arange(4))
+        expect = np.array([wrap64(8 - 8 * (k + 1)) for k in range(4)],
+                          dtype=np.uint64)
+        np.testing.assert_array_equal(got, expect)
+
+    @pytest.mark.parametrize("imm", [0, 8, -8, 4096])
+    def test_offset_targets_wrap_like_scalar(self, imm):
+        from repro.isa.registers import wrap64
+
+        base = OPERANDS
+        got = offset_targets(base, imm)
+        expect = np.array([wrap64(int(b) + imm) for b in base.tolist()],
+                          dtype=np.uint64)
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestGatherWords:
+    def test_in_bounds_gather(self):
+        words = np.arange(100, dtype=np.uint64)
+        targets = np.array([0, 8, 16, 792], dtype=np.uint64)
+        values, ok = gather_words(words, targets)
+        assert ok.all()
+        np.testing.assert_array_equal(values,
+                                      np.array([0, 1, 2, 99], dtype=np.uint64))
+
+    def test_out_of_bounds_flagged_and_zero(self):
+        words = np.arange(4, dtype=np.uint64)
+        targets = np.array([0, 32, 8], dtype=np.uint64)   # word 4 is OOB
+        values, ok = gather_words(words, targets)
+        np.testing.assert_array_equal(ok, [True, False, True])
+        np.testing.assert_array_equal(values,
+                                      np.array([0, 0, 1], dtype=np.uint64))
+
+    def test_all_out_of_bounds(self):
+        words = np.arange(2, dtype=np.uint64)
+        targets = np.array([1 << 40, MASK64 & ~np.uint64(7)], dtype=np.uint64)
+        values, ok = gather_words(words, targets)
+        assert not ok.any()
+        assert (values == 0).all()
+
+
+class TestExpandGroupSlots:
+    def test_spu_one_is_identity(self):
+        slots = np.array([1.0, 2.0, 3.0])
+        assert expand_group_slots(slots, 3, 1) is slots
+
+    @pytest.mark.parametrize("count,spu", [(7, 4), (8, 4), (1, 4), (5, 2)])
+    def test_matches_scalar_grouping(self, count, spu):
+        groups = -(-count // spu)
+        group_slots = np.arange(groups, dtype=np.float64) * 10.0
+        got = expand_group_slots(group_slots, count, spu)
+        expect = np.array([group_slots[i // spu] for i in range(count)])
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestLaneEngineStats:
+    def test_as_dict_round_trips_all_fields(self):
+        stats = LaneEngineStats(batched_rounds=1, scalar_rounds=2,
+                                batched_ops=3, guard_scalar_ops=4,
+                                plan_misses=5)
+        assert stats.as_dict() == {
+            "batched_rounds": 1, "scalar_rounds": 2, "batched_ops": 3,
+            "guard_scalar_ops": 4, "plan_misses": 5,
+        }

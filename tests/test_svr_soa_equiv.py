@@ -1,0 +1,298 @@
+"""Scalar-vs-SoA lane-engine equivalence, and the lane-state bug pins.
+
+The contract: the SoA fast path changes *how fast the simulator runs*,
+never *what it simulates*.  Every cell of the pinned equivalence matrix
+must export byte-identical ``SimResult.to_dict()`` fingerprints under all
+three ``lane_engine`` settings, and the two engines must agree on every
+piece of architectural lane state (SRF vectors, HSLR mask, end cycle)
+after every single instruction.
+
+Also here: regression pins for the three lane-state bugs this change
+fixed — the unmasked invalid store-source lane, the SRF-exhaustion taint
+that kept a stale mapping, and ``release_all`` leaving valid bits set.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import run, technique
+from repro.isa.instructions import Instruction, Opcode
+from repro.svr.config import RecyclingPolicy, SVRConfig
+from repro.svr.srf import SpeculativeRegisterFile
+from repro.svr.stride_detector import StrideEntry
+from repro.svr.taint_tracker import TaintTracker
+from repro.workloads.expectations import SOA_EQUIVALENCE_CELLS
+
+from conftest import build_gather_workload, make_inorder
+
+
+def _fingerprint(workload: str, tech_name: str, engine: str) -> str:
+    result = run(workload, technique(tech_name, lane_engine=engine),
+                 scale="tiny")
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestFingerprintEquivalence:
+    """Byte-identical end-to-end exports across the fallback matrix."""
+
+    @pytest.mark.parametrize("workload,tech", SOA_EQUIVALENCE_CELLS,
+                             ids=[f"{w}-{t}" for w, t in
+                                  SOA_EQUIVALENCE_CELLS])
+    def test_cell_identical_across_engines(self, workload, tech):
+        scalar = _fingerprint(workload, tech, "scalar")
+        auto = _fingerprint(workload, tech, "auto")
+        soa = _fingerprint(workload, tech, "soa")
+        assert scalar == auto
+        assert scalar == soa
+
+
+class TestLockstepStateEquivalence:
+    """Step two cores together and compare lane state after every step."""
+
+    def test_srf_mask_and_timing_agree_each_step(self):
+        prog_a, mem_a = build_gather_workload(count=64)
+        prog_b, mem_b = build_gather_workload(count=64)
+        core_a, _, unit_a = make_inorder(
+            prog_a, mem_a, svr=SVRConfig(lane_engine="scalar"))
+        core_b, _, unit_b = make_inorder(
+            prog_b, mem_b, svr=SVRConfig(lane_engine="soa"))
+        for _ in range(1500):
+            alive_a = core_a.step()
+            alive_b = core_b.step()
+            assert alive_a == alive_b
+            assert core_a.pc == core_b.pc
+            assert unit_a.in_prm == unit_b.in_prm
+            np.testing.assert_array_equal(unit_a.mask, unit_b.mask)
+            np.testing.assert_array_equal(unit_a.srf.values,
+                                          unit_b.srf.values)
+            np.testing.assert_array_equal(unit_a.srf.valid, unit_b.srf.valid)
+            np.testing.assert_array_equal(unit_a.srf.ready, unit_b.srf.ready)
+            assert core_a.stats.end_cycle == core_b.stats.end_cycle
+            if not alive_a:
+                break
+        # The comparison is only meaningful if the SoA side actually
+        # batched rounds while the scalar side looped.
+        assert unit_b.engine_stats.batched_rounds > 0
+        assert unit_b.engine_stats.batched_ops > 0
+        assert unit_a.engine_stats.batched_rounds == 0
+        assert unit_a.stats.prm_rounds == unit_b.stats.prm_rounds
+
+
+class TestDispatchPolicy:
+    """The plan-keyed round dispatch (auto / soa / scalar, oracle pin)."""
+
+    def _run_gather(self, engine, oracle=None):
+        program, memory = build_gather_workload(count=128)
+        core, _, unit = make_inorder(program, memory,
+                                     svr=SVRConfig(lane_engine=engine))
+        if oracle is not None:
+            unit.oracle = oracle
+        core.run(2000)
+        return unit
+
+    def test_scalar_engine_never_batches(self):
+        unit = self._run_gather("scalar")
+        assert unit.stats.prm_rounds > 0
+        assert unit.engine_stats.batched_rounds == 0
+        assert unit.engine_stats.scalar_rounds == unit.stats.prm_rounds
+
+    def test_soa_engine_batches_every_round(self):
+        unit = self._run_gather("soa")
+        assert unit.stats.prm_rounds > 0
+        assert unit.engine_stats.scalar_rounds == 0
+        assert unit.engine_stats.batched_rounds == unit.stats.prm_rounds
+
+    def test_oracle_forces_scalar_rounds(self):
+        """Oracle instrumentation needs per-lane observe ordering."""
+        from repro.analysis.oracle import OracleRecorder
+
+        unit = self._run_gather("soa", oracle=OracleRecorder())
+        assert unit.stats.prm_rounds > 0
+        assert unit.engine_stats.batched_rounds == 0
+
+    def test_plan_miss_keeps_auto_on_reference_path(self):
+        """A seed with no loop plan must not batch under 'auto'."""
+        program, memory = build_gather_workload(count=32)
+        _, _, unit = make_inorder(program, memory,
+                                  svr=SVRConfig(lane_engine="auto"))
+        unit._plan = False   # simulate plan construction failure
+        entry = StrideEntry(pc=999, prev_addr=0, stride=8)
+        assert unit._seed_dispatch(entry) is False
+        assert unit.engine_stats.plan_misses == 1
+
+    def test_plan_miss_still_batches_under_soa(self):
+        """'soa' forces batching (the kernels are exact) even unplanned."""
+        program, memory = build_gather_workload(count=32)
+        _, _, unit = make_inorder(program, memory,
+                                  svr=SVRConfig(lane_engine="soa"))
+        unit._plan = False
+        entry = StrideEntry(pc=999, prev_addr=0, stride=8)
+        assert unit._seed_dispatch(entry) is True
+
+    def test_dispatch_verdict_cached_on_entry(self):
+        program, memory = build_gather_workload(count=32)
+        _, _, unit = make_inorder(program, memory,
+                                  svr=SVRConfig(lane_engine="auto"))
+        unit._plan = False
+        entry = StrideEntry(pc=999, prev_addr=0, stride=8)
+        unit._seed_dispatch(entry)
+        unit._seed_dispatch(entry)
+        assert entry.plan_resolved
+        assert unit.engine_stats.plan_misses == 1   # resolved once
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(ValueError, match="lane_engine"):
+            SVRConfig(lane_engine="simd")
+
+
+class TestAllocateManyExactness:
+    """Closed-form batched slot allocation == sequential ``allocate``."""
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5])
+    def test_matches_sequential_allocate(self, width):
+        import copy
+
+        from repro.cores.base import IssueSlots
+
+        rng = np.random.default_rng(width)
+        for _ in range(300):
+            slots = IssueSlots(width)
+            for _ in range(int(rng.integers(0, 8))):
+                slots.allocate(float(rng.uniform(0, 20)))
+            earliest = float(rng.uniform(-2.0, 25.0))
+            count = int(rng.integers(0, 40))
+            ref = copy.copy(slots)
+            expect = np.array([ref.allocate(earliest) for _ in range(count)])
+            got = slots.allocate_many(earliest, count)
+            np.testing.assert_array_equal(got, expect)
+            assert slots.current_cycle == ref.current_cycle
+            assert slots.peek(earliest) == ref.peek(earliest)
+
+
+class TestStoreLaneMaskingRegression:
+    """Bug pin: an invalid store-source lane must be masked and counted.
+
+    Before the fix, ``_generate_dependent_store`` skipped invalid source
+    lanes with a bare ``continue`` — the lane kept issuing SVIs for the
+    rest of the round even though its chain values were garbage.
+    """
+
+    def _prm_unit(self, engine="scalar"):
+        program, memory = build_gather_workload(count=32)
+        core, _, unit = make_inorder(program, memory,
+                                     svr=SVRConfig(lane_engine=engine))
+        unit.in_prm = True
+        unit.mask = np.ones(unit.config.vector_length, dtype=bool)
+        return unit
+
+    def test_invalid_source_lane_is_masked_and_counted(self):
+        unit = self._prm_unit()
+        srf_id = unit.srf.allocate(5, unit.taint)
+        unit.taint.map(5, srf_id, 0)
+        for lane in range(8):      # lanes 8..15 stay invalid
+            unit.srf.write_lane(srf_id, lane, 0x2_0000 + 8 * lane, 0.0)
+        store = Instruction(Opcode.ST, rs1=5, rs2=6)
+        unit._generate_dependent_store(0, store, issue_time=0.0)
+        assert unit.mask[:8].all()
+        assert not unit.mask[8:].any()
+        assert unit.stats.masked_lanes == 8
+
+    def test_masked_store_lane_stays_dead_for_later_svis(self):
+        unit = self._prm_unit()
+        srf_id = unit.srf.allocate(5, unit.taint)
+        unit.taint.map(5, srf_id, 0)
+        unit.srf.write_lane(srf_id, 0, 0x2_0000, 0.0)   # only lane 0 valid
+        store = Instruction(Opcode.ST, rs1=5, rs2=6)
+        unit._generate_dependent_store(0, store, issue_time=0.0)
+        assert unit._active_lanes() == [0]
+
+
+class TestSrfExhaustionTaintRegression:
+    """Bug pin: allocation failure must leave the register *unmapped*.
+
+    Before the fix the stride-SVI path set ``tainted = True`` but left a
+    stale ``mapped`` / ``srf_id`` from a previous mapping, so consumers
+    could read a recycled SRF vector belonging to another register.
+    """
+
+    def _exhausted_unit(self):
+        program, memory = build_gather_workload(count=32)
+        core, _, unit = make_inorder(
+            program, memory,
+            svr=SVRConfig(srf_entries=1, recycling=RecyclingPolicy.DVR,
+                          lane_engine="scalar"))
+        unit.in_prm = True
+        unit.mask = np.ones(unit.config.vector_length, dtype=bool)
+        srf_id = unit.srf.allocate(1, unit.taint)
+        unit.taint.map(1, srf_id, 0)   # the single entry is now live
+        return unit
+
+    def test_stride_path_taints_without_mapping(self):
+        unit = self._exhausted_unit()
+        # Leave register 2 with a stale mapping record, as a recycled
+        # register would have.
+        unit.taint.map(2, 0, 0)
+        unit.taint.unmap(2)
+        entry = StrideEntry(pc=4, prev_addr=0x2_0000, stride=8, confidence=3)
+        load = Instruction(Opcode.LD, rd=2, rs1=3)
+        unit._generate_stride_svis(entry, load, 0x2_0000, 0.0,
+                                   shared_mask=False, length=4)
+        tentry = unit.taint.entry(2)
+        assert tentry.tainted
+        assert not tentry.mapped
+        assert tentry.srf_id == -1
+        assert not unit.taint.is_vectorizable(2)
+
+    def test_dependent_path_taints_without_mapping(self):
+        unit = self._exhausted_unit()
+        unit._write_dest_lanes(2, [(0, 7, 1.0)])
+        tentry = unit.taint.entry(2)
+        assert tentry.tainted
+        assert not tentry.mapped
+        assert tentry.srf_id == -1
+
+    def test_taint_unmapped_helper_contract(self):
+        taint = TaintTracker()
+        taint.map(3, srf_id=2, offset=0)
+        taint.taint_unmapped(3)
+        entry = taint.entry(3)
+        assert entry.tainted
+        assert not entry.mapped
+        assert entry.srf_id == -1
+        assert taint.is_tainted(3)
+        assert not taint.is_vectorizable(3)
+
+
+class TestReleaseAllValidBitsRegression:
+    """Bug pin: ``release_all`` must invalidate every lane."""
+
+    def test_release_all_clears_valid_bits(self):
+        srf = SpeculativeRegisterFile(4, 16, RecyclingPolicy.LRU)
+        taint = TaintTracker()
+        srf_id = srf.allocate(3, taint)
+        srf.write_lane(srf_id, 0, 7, 1.0)
+        srf.write_lane(srf_id, 5, 9, 2.0)
+        srf.release_all()
+        assert not srf.valid.any()
+
+    def test_release_single_clears_valid_bits(self):
+        srf = SpeculativeRegisterFile(4, 16, RecyclingPolicy.LRU)
+        taint = TaintTracker()
+        srf_id = srf.allocate(3, taint)
+        srf.write_lane(srf_id, 2, 7, 1.0)
+        srf.release(srf_id)
+        assert not srf.valid[srf_id].any()
+
+    def test_reused_entry_never_exposes_stale_lane(self):
+        srf = SpeculativeRegisterFile(1, 8, RecyclingPolicy.LRU)
+        taint = TaintTracker()
+        first = srf.allocate(3, taint)
+        taint.map(3, first, 0)
+        srf.write_lane(first, 4, 0xDEAD, 1.0)
+        srf.release_all()
+        taint.clear()
+        second = srf.allocate(9, taint)
+        _, _, valid = srf.read_lane(second, 4)
+        assert not valid
